@@ -1,0 +1,52 @@
+"""Extension ablation: tuning the reintegration reward threshold.
+
+Quantifies the paper's closing proposal (Sec. 9): isolated nodes kept
+under observation and readmitted after a reintegration reward
+threshold.  Swept over the aerospace lightning-bolt scenario:
+
+* thresholds below the scenario's worst time-to-reappearance
+  (500 ms = 200 rounds) readmit the node *between* bursts — each
+  readmission is followed by another isolation (flapping), i.e.
+  repeated recovery actions for the applications;
+* the smallest flap-free threshold (just above 200 rounds) maximises
+  availability among the safe settings — the same correlation window
+  logic that sizes R itself (Fig. 3), applied to recovery.
+"""
+
+from conftest import emit
+
+from repro.analysis.reporting import render_table
+from repro.experiments.reintegration_tuning import threshold_sweep
+
+THRESHOLDS = (50, 150, 250, 400, 2000)
+
+
+def run_sweep():
+    return threshold_sweep(thresholds=THRESHOLDS)
+
+
+def test_reintegration_threshold_tuning(benchmark):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [(p.threshold_rounds,
+             f"{p.threshold_rounds * 2.5:.0f} ms",
+             f"{p.availability_fraction:.0%}",
+             p.isolations, p.reintegrations, p.flapping_cycles)
+            for p in points]
+    text = render_table(
+        ["R_reint (rounds)", "window", "availability", "isolations",
+         "reintegrations", "flapping cycles"],
+        rows,
+        title="Reintegration tuning — aerospace lightning bolt "
+              "(worst reappearance: 500 ms = 200 rounds)")
+    emit("reintegration_tuning", text)
+
+    by_threshold = {p.threshold_rounds: p for p in points}
+    # Below the worst reappearance: flapping.
+    assert by_threshold[50].flapping_cycles >= 3
+    assert by_threshold[150].flapping_cycles >= 2
+    # Just above it: one isolation, one clean readmission.
+    assert by_threshold[250].flapping_cycles == 0
+    assert by_threshold[250].reintegrations == 1
+    # Oversized thresholds only lose availability.
+    assert (by_threshold[2000].availability_fraction
+            < by_threshold[250].availability_fraction)

@@ -1,0 +1,49 @@
+"""Scaling ablation: resilience grows with the number of nodes.
+
+Empirical validation of Lemma 2 across cluster sizes: every fault
+allocation (s byzantine + b coincident benign) inside the
+``N > 2s + b + 1`` bound preserves correctness, completeness and
+consistency; the tolerated-fault frontier grows linearly with N — the
+introduction's "resiliency also scales with the number of available
+nodes".
+"""
+
+from conftest import emit
+
+from repro.analysis.reporting import render_table
+from repro.experiments.resilience import (
+    capacity_frontier,
+    max_benign_within_bound,
+    resilience_sweep,
+)
+
+N_RANGE = (4, 5, 6, 8)
+
+
+def run_sweep():
+    return resilience_sweep(n_range=N_RANGE)
+
+
+def test_scaling_resilience(benchmark):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    frontier = capacity_frontier(n_range=N_RANGE)
+
+    rows = []
+    for n in N_RANGE:
+        checked = [p for p in points if p.n_nodes == n]
+        ok = sum(1 for p in checked if p.properties_hold)
+        frontier_str = ", ".join(
+            f"s={s}: b<={b}" for s, b in frontier[n].items())
+        rows.append((n, len(checked), f"{ok}/{len(checked)}", frontier_str))
+    text = render_table(
+        ["N", "allocations tested", "properties held",
+         "tolerated frontier (Lemma 2)"],
+        rows,
+        title="Scaling — coincident-fault resilience vs. cluster size")
+    emit("scaling_resilience", text)
+
+    assert all(p.properties_hold for p in points if p.within_bound)
+    # Linear growth of the benign-fault capacity with N.
+    assert max_benign_within_bound(8, 0) == 2 * max_benign_within_bound(5, 0)
+    caps = [max_benign_within_bound(n, 0) for n in N_RANGE]
+    assert caps == sorted(caps) and caps[-1] > caps[0]

@@ -1,0 +1,54 @@
+"""Engineering benchmark: simulator and protocol throughput.
+
+Not a paper artefact — this measures the reproduction substrate itself
+so regressions in the discrete-event engine or the protocol hot path
+are visible: simulated rounds per second for growing cluster sizes,
+with the full diagnostic stack running on every node.
+"""
+
+from conftest import emit
+
+from repro.analysis.reporting import render_table
+from repro.core.config import uniform_config
+from repro.core.service import DiagnosedCluster
+
+ROUNDS = 200
+
+
+def run_cluster(n_nodes: int) -> None:
+    config = uniform_config(n_nodes, penalty_threshold=10 ** 6,
+                            reward_threshold=10 ** 6)
+    dc = DiagnosedCluster(config, seed=0, trace_level=0)
+    dc.run_rounds(ROUNDS)
+    assert dc.cluster.rounds_completed == ROUNDS
+
+
+def test_throughput_n4(benchmark):
+    benchmark(run_cluster, 4)
+
+
+def test_throughput_n8(benchmark):
+    benchmark(run_cluster, 8)
+
+
+def test_throughput_n16(benchmark):
+    benchmark(run_cluster, 16)
+
+
+def test_throughput_summary(benchmark):
+    import time
+
+    def measure():
+        rows = []
+        for n in (4, 8, 16, 32):
+            start = time.perf_counter()
+            run_cluster(n)
+            elapsed = time.perf_counter() - start
+            rows.append((n, ROUNDS, f"{ROUNDS / elapsed:,.0f} rounds/s",
+                         f"{ROUNDS * n / elapsed:,.0f} slots/s"))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("simulator_throughput", render_table(
+        ["N", "rounds simulated", "throughput", "slot throughput"],
+        rows, title="Substrate throughput (full diagnostic stack)"))

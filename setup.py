@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline dev installs).
+
+`pip install -e .` requires wheel for PEP 660 editable builds; on the
+offline evaluation machine `python setup.py develop` achieves the same.
+All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

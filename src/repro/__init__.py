@@ -1,0 +1,71 @@
+"""repro — a reproduction of "A Tunable Add-On Diagnostic Protocol for
+Time-Triggered Systems" (Serafini et al., DSN 2007).
+
+The library provides:
+
+* :mod:`repro.sim` — a deterministic discrete-event simulation engine;
+* :mod:`repro.tt` — a synchronous TDMA cluster substrate (bus,
+  communication controllers, interface variables with validity bits,
+  collision detection, unconstrained node schedules, clocks);
+* :mod:`repro.faults` — the paper's fault model and a simulated
+  disturbance node (burst/periodic/stochastic scenarios);
+* :mod:`repro.core` — the paper's contribution: the add-on diagnostic
+  protocol (Alg. 1), the penalty/reward algorithm (Alg. 2), the
+  membership variant (Sec. 7), the low-latency system-level variant
+  (Sec. 10) and the reintegration extension (Sec. 9);
+* :mod:`repro.baselines` — comparison protocols (TTP/C-style
+  membership, α-count, immediate isolation);
+* :mod:`repro.analysis` — metrics, the Sec. 9 tuning procedure and the
+  Fig. 3 analytics;
+* :mod:`repro.experiments` — harnesses regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import DiagnosedCluster, uniform_config
+    from repro.faults import SlotBurst
+
+    config = uniform_config(n_nodes=4, penalty_threshold=3,
+                            reward_threshold=50)
+    dc = DiagnosedCluster(config, seed=1)
+    dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase,
+                                      round_index=5, slot=2, n_slots=1))
+    dc.run_rounds(12)
+    print(dc.health_vectors(node_id=1))
+"""
+
+from .core import (
+    CriticalityClass,
+    DiagnosedCluster,
+    DiagnosticService,
+    IsolationMode,
+    LowLatencyCluster,
+    MembershipCluster,
+    MembershipService,
+    PenaltyRewardState,
+    ProtocolConfig,
+    aerospace_config,
+    automotive_config,
+    uniform_config,
+)
+from .tt import Cluster, TimeBase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CriticalityClass",
+    "DiagnosedCluster",
+    "DiagnosticService",
+    "IsolationMode",
+    "LowLatencyCluster",
+    "MembershipCluster",
+    "MembershipService",
+    "PenaltyRewardState",
+    "ProtocolConfig",
+    "aerospace_config",
+    "automotive_config",
+    "uniform_config",
+    "Cluster",
+    "TimeBase",
+    "__version__",
+]

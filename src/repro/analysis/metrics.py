@@ -1,0 +1,153 @@
+"""Trace-derived metrics: latency, availability, consistency.
+
+These functions evaluate the protocol from the *outside*: they consume
+the shared :class:`~repro.sim.trace.Trace` (and occasionally service
+state) and produce the quantities the paper reports — detection
+latency, time to isolation, availability of criticality classes, and
+the consistency/correctness/completeness oracle checks used to score
+fault-injection experiments (Sec. 8).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sim.trace import Trace, TraceRecord
+
+
+def health_vectors_by_node(trace: Trace) -> Dict[int, Dict[int, Tuple[int, ...]]]:
+    """``node -> diagnosed_round -> health vector`` from the trace."""
+    out: Dict[int, Dict[int, Tuple[int, ...]]] = defaultdict(dict)
+    for rec in trace.select(category="cons_hv"):
+        out[rec.node][rec.data["diagnosed_round"]] = tuple(rec.data["cons_hv"])
+    return dict(out)
+
+
+def consistency_violations(trace: Trace,
+                           obedient: Sequence[int]) -> List[Tuple[int, Dict[int, Tuple[int, ...]]]]:
+    """Diagnosed rounds where obedient nodes disagree (should be empty).
+
+    Returns ``[(diagnosed_round, {node: vector, ...}), ...]`` for each
+    round with at least two distinct vectors among obedient nodes.
+    """
+    by_node = health_vectors_by_node(trace)
+    rounds: Set[int] = set()
+    for node in obedient:
+        rounds.update(by_node.get(node, {}))
+    violations = []
+    for d_round in sorted(rounds):
+        vectors = {node: by_node[node][d_round]
+                   for node in obedient
+                   if node in by_node and d_round in by_node[node]}
+        if len(set(vectors.values())) > 1:
+            violations.append((d_round, vectors))
+    return violations
+
+
+def diagnoses_for_round(trace: Trace, diagnosed_round: int,
+                        obedient: Sequence[int]) -> Dict[int, Tuple[int, ...]]:
+    """Each obedient node's health vector for one diagnosed round."""
+    by_node = health_vectors_by_node(trace)
+    return {node: by_node[node][diagnosed_round]
+            for node in obedient
+            if node in by_node and diagnosed_round in by_node[node]}
+
+
+def completeness_holds(trace: Trace, diagnosed_round: int, faulty_slot: int,
+                       obedient: Sequence[int]) -> bool:
+    """Every obedient node diagnosed the benign faulty sender as faulty."""
+    vectors = diagnoses_for_round(trace, diagnosed_round, obedient)
+    if not vectors:
+        return False
+    return all(v[faulty_slot - 1] == 0 for v in vectors.values())
+
+
+def correctness_holds(trace: Trace, diagnosed_round: int,
+                      correct_nodes: Sequence[int],
+                      obedient: Sequence[int]) -> bool:
+    """No obedient node diagnosed a correct sender as faulty."""
+    vectors = diagnoses_for_round(trace, diagnosed_round, obedient)
+    if not vectors:
+        return False
+    return all(v[c - 1] == 1 for v in vectors.values() for c in correct_nodes)
+
+
+def first_isolation_time(trace: Trace, isolated: int) -> Optional[float]:
+    """Earliest instant any node isolated ``isolated`` (None if never)."""
+    times = [rec.time for rec in trace.select(category="isolation")
+             if rec.data.get("isolated") == isolated]
+    return min(times) if times else None
+
+
+def isolation_round(trace: Trace, isolated: int) -> Optional[int]:
+    """Protocol round of the earliest isolation of ``isolated``."""
+    records = [rec for rec in trace.select(category="isolation")
+               if rec.data.get("isolated") == isolated]
+    if not records:
+        return None
+    earliest = min(records, key=lambda r: r.time)
+    return earliest.data.get("round_index")
+
+
+def detection_latency_rounds(trace: Trace, fault_round: int,
+                             faulty_slot: int) -> Optional[int]:
+    """Rounds from a fault to its first consistent detection.
+
+    Finds the earliest ``cons_hv`` record whose diagnosed round is
+    ``fault_round`` and which marks ``faulty_slot`` faulty; the latency
+    is the analysis round minus the fault round.
+    """
+    for rec in trace.select(category="cons_hv"):
+        if (rec.data["diagnosed_round"] == fault_round
+                and rec.data["cons_hv"][faulty_slot - 1] == 0):
+            return rec.data["round_index"] - fault_round
+    return None
+
+
+def availability_seconds(trace: Trace, node_id: int, horizon: float) -> float:
+    """Seconds node ``node_id`` stayed active within ``[0, horizon]``.
+
+    Counts reintegration: the node is unavailable between each
+    isolation and the following reintegration (or the horizon).
+    """
+    events: List[Tuple[float, str]] = []
+    for rec in trace.select(category="isolation"):
+        if rec.data.get("isolated") == node_id:
+            events.append((rec.time, "down"))
+    for rec in trace.select(category="reintegration"):
+        if rec.data.get("reintegrated") == node_id:
+            events.append((rec.time, "up"))
+    events.sort()
+    available = 0.0
+    up_since: Optional[float] = 0.0
+    for t, kind in events:
+        if t > horizon:
+            break
+        if kind == "down" and up_since is not None:
+            available += t - up_since
+            up_since = None
+        elif kind == "up" and up_since is None:
+            up_since = t
+    if up_since is not None:
+        available += horizon - up_since
+    return available
+
+
+def view_changes(trace: Trace, node_id: Optional[int] = None) -> List[TraceRecord]:
+    """Membership view-change records, optionally for one observer."""
+    return trace.select(category="view", node=node_id)
+
+
+__all__ = [
+    "health_vectors_by_node",
+    "consistency_violations",
+    "diagnoses_for_round",
+    "completeness_holds",
+    "correctness_holds",
+    "first_isolation_time",
+    "isolation_round",
+    "detection_latency_rounds",
+    "availability_seconds",
+    "view_changes",
+]

@@ -1,0 +1,72 @@
+"""Fixed-width table rendering for benchmark and experiment output.
+
+The benchmark harnesses print the same rows/series the paper reports;
+this module keeps that presentation logic in one place so every bench
+emits tables with a consistent look::
+
+    +------------+---------------+-------------------+
+    | Setting    | Class         | Time to isolation |
+    +------------+---------------+-------------------+
+    | Automotive | SC / SR / NSR | 0.52/4.09/25.0 s  |
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Human-friendly cell formatting."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Render an ASCII table with a separator line after the header."""
+    str_rows: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([sep, fmt_row(headers), sep])
+    lines.extend(fmt_row(row) for row in str_rows)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_comparison(title: str, paper_value: Any, measured_value: Any,
+                      unit: str = "") -> str:
+    """One-line paper-vs-measured comparison for EXPERIMENTS.md style output."""
+    suffix = f" {unit}" if unit else ""
+    return (f"{title}: paper = {format_cell(paper_value)}{suffix}, "
+            f"measured = {format_cell(measured_value)}{suffix}")
+
+
+def render_series(name: str, xs: Sequence[Any], ys: Sequence[Any],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """A small two-column series (for figure reproductions)."""
+    return render_table(
+        [x_label, y_label], list(zip(xs, ys)), title=name)
+
+
+__all__ = ["format_cell", "render_table", "render_comparison", "render_series"]

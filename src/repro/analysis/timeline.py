@@ -1,0 +1,122 @@
+"""ASCII timeline rendering of a simulation trace.
+
+Renders the round/slot grid of a run with the injected fault classes
+and the protocol's reactions, in the spirit of the paper's Fig. 1 —
+useful in examples, debugging sessions and documentation::
+
+    round | slots 1..4 | events
+    ------+------------+---------------------------
+        5 | . . . .    |
+        6 | . B . .    | fault: noise @ slot 2
+        7 | . . . .    |
+        8 | . . . .    |
+        9 | . . . .    | cons_hv 1011 (diagnoses 6)
+
+Legend: ``.`` clean slot, ``B`` benign, ``A`` asymmetric, ``M``
+symmetric malicious, ``-`` silent sender; ``X`` marks a slot of an
+isolated node, ``R`` a reintegration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.trace import Trace
+
+#: Symbol per bus-level fault class.
+_SYMBOLS = {
+    "none": ".",
+    "symmetric_benign": "B",
+    "symmetric_malicious": "M",
+    "asymmetric": "A",
+}
+
+
+def _slot_symbols(trace: Trace, n_nodes: int) -> Dict[int, List[str]]:
+    grid: Dict[int, List[str]] = {}
+    for rec in trace.select(category="tx"):
+        k = rec.data["round_index"]
+        slot = rec.data["slot"]
+        row = grid.setdefault(k, ["?"] * n_nodes)
+        if not rec.data.get("sent", True):
+            row[slot - 1] = "-"
+        else:
+            row[slot - 1] = _SYMBOLS.get(rec.data["fault_class"], "?")
+    return grid
+
+
+def _round_events(trace: Trace, observer: Optional[int]) -> Dict[int, List[str]]:
+    events: Dict[int, List[str]] = {}
+
+    def add(k: int, text: str) -> None:
+        bucket = events.setdefault(k, [])
+        if text not in bucket:
+            bucket.append(text)
+
+    for rec in trace.select(category="tx"):
+        causes = [c for c in rec.data.get("causes", ())
+                  if c != "silent-sender"]
+        if causes and rec.data["fault_class"] != "none":
+            add(rec.data["round_index"],
+                f"fault: {causes[0]} @ slot {rec.data['slot']}")
+    for rec in trace.select(category="cons_hv", node=observer):
+        hv = rec.data["cons_hv"]
+        if 0 in hv:
+            add(rec.data["round_index"],
+                "cons_hv " + "".join(map(str, hv))
+                + f" (diagnoses {rec.data['diagnosed_round']})")
+    for rec in trace.select(category="isolation"):
+        if observer is None or rec.node == observer:
+            k = rec.data.get("round_index")
+            if k is not None:
+                add(k, f"isolate node {rec.data['isolated']}")
+    for rec in trace.select(category="view"):
+        if observer is None or rec.node == observer:
+            k = rec.data.get("round_index")
+            if k is not None:
+                view = ",".join(map(str, rec.data["view"]))
+                add(k, f"new view {{{view}}}")
+    for rec in trace.select(category="reintegration"):
+        if observer is None or rec.node == observer:
+            add(rec.data["round_index"],
+                f"reintegrate node {rec.data['reintegrated']}")
+    return events
+
+
+def render_timeline(trace: Trace, n_nodes: int,
+                    first_round: int = 0,
+                    last_round: Optional[int] = None,
+                    observer: Optional[int] = 1) -> str:
+    """Render the round/slot timeline of a finished run.
+
+    ``observer`` selects whose health vectors and decisions annotate
+    the right column (``None`` = everyone's decision events).
+    """
+    grid = _slot_symbols(trace, n_nodes)
+    events = _round_events(trace, observer)
+    if not grid:
+        return "(empty trace)"
+    if last_round is None:
+        last_round = max(grid)
+    header = f"round | slots 1..{n_nodes} | events"
+    sep = "-" * 6 + "+" + "-" * (2 * n_nodes + 1) + "+" + "-" * 30
+    lines = [header, sep]
+    for k in range(first_round, last_round + 1):
+        row = grid.get(k, ["?"] * n_nodes)
+        marks = " ".join(row)
+        annotation = "; ".join(events.get(k, []))
+        lines.append(f"{k:>5} | {marks} | {annotation}")
+    return "\n".join(lines)
+
+
+def isolation_marks(trace: Trace) -> List[Tuple[int, int]]:
+    """``(round, node)`` pairs of all isolation decisions (for plots)."""
+    out = []
+    for rec in trace.select(category="isolation"):
+        k = rec.data.get("round_index")
+        if k is not None:
+            out.append((k, rec.data["isolated"]))
+    return sorted(set(out))
+
+
+__all__ = ["render_timeline", "isolation_marks"]

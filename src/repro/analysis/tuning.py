@@ -1,0 +1,121 @@
+"""The Sec. 9 tuning procedure: deriving P and criticality levels.
+
+The paper tunes the p/r algorithm experimentally: "we injected
+continuous faulty bursts and observed the value of the penalty counter
+reached when the maximum diagnostic latency for each criticality class
+was reached.  If classes c_1, ..., c_i have corresponding penalties
+p_1, ..., p_i, we set P = max(p_1, ..., p_i) and the criticality of
+each class to s_i = ceil(P / p_i)."
+
+This module implements that procedure both ways:
+
+* :func:`penalty_budget_for_outage` — the *observed* penalty for one
+  class: the number of health-vector updates a continuously faulty node
+  receives before the class's tolerated outage elapses, discounting the
+  detection pipeline (a fault becomes visible to the p/r counters only
+  ``detection_pipeline_rounds`` after it occurs) and the (assumed
+  instantaneous) recovery, exactly as in the paper's experiment;
+* :func:`tune` — the full derivation of ``(P, {class: s})``.
+
+With the paper's parameters (T = 2.5 ms, add-on pipeline of 3 rounds)
+this reproduces Table 2 exactly: automotive P = 197 with s = 40/6/1,
+aerospace P = 17 with s = 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..core.config import (
+    AEROSPACE_TOLERATED_OUTAGE,
+    AUTOMOTIVE_TOLERATED_OUTAGE,
+    CriticalityClass,
+)
+
+#: Pipeline depth of the add-on protocol with send alignment (Lemma 1:
+#: the health vector of round k refers to round k-3).
+ADDON_PIPELINE_ROUNDS = 3
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of the Sec. 9 tuning for one domain."""
+
+    penalty_threshold: int
+    criticalities: Dict[CriticalityClass, int]
+    penalty_budgets: Dict[CriticalityClass, int]
+    round_length: float
+
+    def isolation_latency(self, cls: CriticalityClass) -> float:
+        """Diagnostic latency for a continuously faulty node of ``cls``.
+
+        Faulty rounds until the penalty exceeds P, plus the detection
+        pipeline, in seconds.
+        """
+        s = self.criticalities[cls]
+        rounds = self.penalty_threshold // s + 1
+        return (rounds + ADDON_PIPELINE_ROUNDS) * self.round_length
+
+
+def penalty_budget_for_outage(tolerated_outage: float, round_length: float,
+                              pipeline_rounds: int = ADDON_PIPELINE_ROUNDS) -> int:
+    """Penalty counter value observed at the outage deadline.
+
+    Under a continuous fault starting at round 0, the p/r counters see
+    the first faulty verdict at round ``pipeline_rounds`` and one more
+    per round after that.  When the tolerated outage elapses (round
+    ``floor(outage / T)``), the counter of a criticality-1 node has
+    reached ``floor(outage / T) - pipeline_rounds``.
+    """
+    if tolerated_outage <= 0:
+        raise ValueError("tolerated_outage must be positive")
+    total_rounds = int(math.floor(tolerated_outage / round_length + 1e-9))
+    budget = total_rounds - pipeline_rounds
+    if budget < 1:
+        raise ValueError(
+            f"outage {tolerated_outage}s is below the protocol's minimum "
+            f"latency ({(pipeline_rounds + 1) * round_length}s)")
+    return budget
+
+
+def tune(tolerated_outages: Mapping[CriticalityClass, float],
+         round_length: float,
+         pipeline_rounds: int = ADDON_PIPELINE_ROUNDS) -> TuningResult:
+    """Run the Sec. 9 derivation for a set of criticality classes."""
+    budgets = {
+        cls: penalty_budget_for_outage(outage, round_length, pipeline_rounds)
+        for cls, outage in tolerated_outages.items()
+    }
+    penalty_threshold = max(budgets.values())
+    criticalities = {
+        cls: math.ceil(penalty_threshold / budget)
+        for cls, budget in budgets.items()
+    }
+    return TuningResult(
+        penalty_threshold=penalty_threshold,
+        criticalities=criticalities,
+        penalty_budgets=budgets,
+        round_length=round_length,
+    )
+
+
+def tune_automotive(round_length: float = 2.5e-3) -> TuningResult:
+    """Table 2, automotive row: expected P = 197, s = {SC:40, SR:6, NSR:1}."""
+    return tune(AUTOMOTIVE_TOLERATED_OUTAGE, round_length)
+
+
+def tune_aerospace(round_length: float = 2.5e-3) -> TuningResult:
+    """Table 2, aerospace row: expected P = 17, s = {SC:1}."""
+    return tune(AEROSPACE_TOLERATED_OUTAGE, round_length)
+
+
+__all__ = [
+    "ADDON_PIPELINE_ROUNDS",
+    "TuningResult",
+    "penalty_budget_for_outage",
+    "tune",
+    "tune_automotive",
+    "tune_aerospace",
+]

@@ -1,0 +1,13 @@
+"""Application-level jobs co-hosted with the diagnostic middleware.
+
+Demonstrates the paper's add-on property: application producers and
+consumers share each node's sending slot with the diagnostic messages
+(multiplexed frame channels) and are the layer whose *tolerated
+transient outage* drives the Sec. 9 tuning.
+"""
+
+from .consumer import ConsumerJob
+from .producer import APP_CHANNEL_PREFIX, ProducerJob, app_channel
+
+__all__ = ["ConsumerJob", "ProducerJob", "app_channel",
+           "APP_CHANNEL_PREFIX"]

@@ -1,0 +1,101 @@
+"""Application consumer with outage monitoring (Sec. 9's requirement).
+
+The tuning of the diagnostic protocol revolves around the *maximum
+tolerated transient outage* of each application class: "an application
+can be prevented from correctly exchanging messages if some of its jobs
+are hosted on a faulty node that is kept operative by the p/r
+algorithm.  In such case the application might experience an outage."
+
+:class:`ConsumerJob` is that application-side view.  Once per round it
+reads a producer's variable through the interface state; a round whose
+validity bit is 0 (or whose provider the local diagnostic service has
+isolated) counts towards the current outage.  When the consecutive
+outage exceeds the application's tolerated budget, the consumer records
+an ``outage`` trace event — the moment a real application would start
+its recovery action.  The Sec. 9 tuning guarantees the diagnostic
+protocol isolates a genuinely faulty provider *before* that happens.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.diagnostic import DiagnosticService
+from ..sim.trace import Trace
+from ..tt.node import JobContext
+from .producer import app_channel
+
+
+class ConsumerJob:
+    """Consumes one application variable and tracks provider outages.
+
+    Parameters
+    ----------
+    name:
+        The application variable (must match the producer's name).
+    provider:
+        The producing node's ID.
+    tolerated_outage_rounds:
+        The application's transient-outage budget, in rounds.
+    trace:
+        Trace to record ``outage`` events into.
+    diagnostic:
+        The node-local diagnostic service, if any: once the provider is
+        isolated, the application switches to its recovery mode and the
+        outage accounting stops (the paper assumes recovery is applied
+        as soon as diagnosis completes).
+    """
+
+    def __init__(self, name: str, provider: int,
+                 tolerated_outage_rounds: int, trace: Trace,
+                 diagnostic: Optional[DiagnosticService] = None) -> None:
+        if tolerated_outage_rounds < 1:
+            raise ValueError("tolerated_outage_rounds must be >= 1")
+        self.name = name
+        self.channel = app_channel(name)
+        self.provider = provider
+        self.tolerated_outage_rounds = tolerated_outage_rounds
+        self.trace = trace
+        self.diagnostic = diagnostic
+        #: Consecutive rounds without fresh provider data.
+        self.current_outage = 0
+        #: Longest outage observed before isolation/recovery.
+        self.worst_outage = 0
+        #: Values successfully consumed: (round, value).
+        self.consumed: List[Tuple[int, object]] = []
+        #: Rounds at which the tolerated budget was exceeded.
+        self.deadline_misses: List[int] = []
+        #: Set once the provider was isolated (recovery took over).
+        self.recovered_at: Optional[int] = None
+
+    def execute(self, ctx: JobContext) -> None:
+        """Consume the provider's variable and account the outage."""
+        if self.recovered_at is not None:
+            return
+        if self.diagnostic is not None and \
+                not self.diagnostic.is_active(self.provider):
+            # Diagnosis completed: the application applies its recovery
+            # action (paper: assumed instantaneous) and the outage ends.
+            self.recovered_at = ctx.round_index
+            self.trace.record(ctx.time, "recovery", node=ctx.node.node_id,
+                              round_index=ctx.round_index,
+                              variable=self.name, provider=self.provider)
+            return
+        valid = ctx.controller.read_validity()[self.provider]
+        if valid:
+            value = ctx.controller.read_interface(
+                channel=self.channel)[self.provider]
+            self.consumed.append((ctx.round_index, value))
+            self.current_outage = 0
+            return
+        self.current_outage += 1
+        self.worst_outage = max(self.worst_outage, self.current_outage)
+        if self.current_outage == self.tolerated_outage_rounds + 1:
+            self.deadline_misses.append(ctx.round_index)
+            self.trace.record(ctx.time, "outage", node=ctx.node.node_id,
+                              round_index=ctx.round_index,
+                              variable=self.name, provider=self.provider,
+                              outage_rounds=self.current_outage)
+
+
+__all__ = ["ConsumerJob"]

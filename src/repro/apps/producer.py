@@ -1,0 +1,58 @@
+"""Application producer job: periodic state published in the node's frame.
+
+Models the application side of the paper's system model: jobs
+communicate through interface variables updated once per round by the
+communication controllers (Sec. 3).  A producer stages its state on an
+application channel of the node's frame; the diagnostic middleware's
+messages ride the same frame on their own channel, demonstrating the
+add-on property ("without interference with other functionalities").
+
+A producer can be wrapped into a simple control computation — e.g. the
+brake-by-wire setpoint of the automotive examples — via the ``compute``
+callback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..tt.node import JobContext
+
+#: Producers publish on ``app:<name>`` channels.
+APP_CHANNEL_PREFIX = "app:"
+
+
+def app_channel(name: str) -> str:
+    """Frame channel used by the application variable ``name``."""
+    return APP_CHANNEL_PREFIX + name
+
+
+class ProducerJob:
+    """Publishes one application variable per round.
+
+    Parameters
+    ----------
+    name:
+        Variable name; consumers subscribe to ``app_channel(name)``.
+    compute:
+        ``(round_index) -> value`` callback producing the state to
+        publish.  Defaults to a monotonically increasing sequence
+        number, which lets consumers check freshness end-to-end.
+    """
+
+    def __init__(self, name: str,
+                 compute: Optional[Callable[[int], Any]] = None) -> None:
+        self.name = name
+        self.channel = app_channel(name)
+        self._compute = compute if compute is not None else (lambda k: k)
+        #: round -> published value, for end-to-end checks.
+        self.published: Dict[int, Any] = {}
+
+    def execute(self, ctx: JobContext) -> None:
+        """Publish this round's value on the application channel."""
+        value = self._compute(ctx.round_index)
+        self.published[ctx.round_index] = value
+        ctx.controller.write_interface(value, channel=self.channel)
+
+
+__all__ = ["ProducerJob", "app_channel", "APP_CHANNEL_PREFIX"]

@@ -1,0 +1,32 @@
+"""Baseline protocols the paper compares against (Sec. 2 / Sec. 9).
+
+* :mod:`repro.baselines.ttpc_membership` — TTP/C-style membership with
+  clique avoidance (single-fault assumption);
+* :mod:`repro.baselines.alpha_count` — the α-count count-and-threshold
+  transient/intermittent discriminator;
+* :mod:`repro.baselines.immediate` — isolate-on-first-fault (no
+  transient filtering), the implicit baseline of the Sec. 9
+  availability argument.
+"""
+
+from .alpha_count import AlphaCount, AlphaCountConfig, equivalent_alpha_config
+from .immediate import ImmediateIsolation
+from .ttpc_membership import (
+    TTPCMembershipCluster,
+    TTPCNode,
+    asymmetric_receiver_fault,
+    benign_sender_fault,
+    coincident_sender_faults,
+)
+
+__all__ = [
+    "AlphaCount",
+    "AlphaCountConfig",
+    "equivalent_alpha_config",
+    "ImmediateIsolation",
+    "TTPCMembershipCluster",
+    "TTPCNode",
+    "asymmetric_receiver_fault",
+    "benign_sender_fault",
+    "coincident_sender_faults",
+]

@@ -1,0 +1,99 @@
+"""Analytic comparison of membership/diagnosis protocols (Sec. 2).
+
+The paper positions its protocol against the related work along four
+axes: fault assumptions, latency, bandwidth and portability.  This
+module encodes that comparison as data so benchmarks and documentation
+render it consistently; the entries for the add-on protocol and the
+TTP/C baseline are additionally backed by measurements elsewhere in the
+repository (``bench_latency_variants``, ``bench_ablation_baselines``).
+
+Sources, per protocol:
+
+* **Cristian '91** — synchronous crash-only membership on atomic
+  broadcast; consistency is bought with an expensive primitive, which
+  the paper deems impractical for TT systems.
+* **TTP/C membership** [Kopetz & Grünsteidl; Bauer & Paulitsch] —
+  built-in, single-fault assumption, non-malicious failures; 2 slots
+  (sender faults) / 2 rounds (receiver faults) latency; O(N) bits per
+  message.
+* **Ezhilchelvan & Lemos '90** — robust membership tolerating up to
+  half the senders simultaneously faulty, 3-round latency (analytic
+  entry only; not implemented).
+* **This paper, add-on** — multiple coincident non-malicious and
+  malicious faults (N > 2a+2s+b+1, a <= 1), worst-case 4-round
+  latency, O(N) bits per message, application-level portability.
+* **This paper, system-level variant** — same fault model, 1-round
+  diagnosis / 2-round membership, portability traded away (Sec. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """One row of the related-work comparison."""
+
+    name: str
+    fault_assumption: str
+    tolerates_malicious: bool
+    latency: str
+    bandwidth_per_message: str
+    placement: str
+
+
+RELATED_WORK: Tuple[ProtocolEntry, ...] = (
+    ProtocolEntry(
+        name="Cristian '91",
+        fault_assumption="crash-only",
+        tolerates_malicious=False,
+        latency="atomic-broadcast bound (high)",
+        bandwidth_per_message="high (atomic broadcast)",
+        placement="middleware on atomic broadcast",
+    ),
+    ProtocolEntry(
+        name="TTP/C membership",
+        fault_assumption="single fault per resolution",
+        tolerates_malicious=False,
+        latency="2 slots (sender) / 2 rounds (receiver)",
+        bandwidth_per_message="O(N) bits",
+        placement="built-in, system level",
+    ),
+    ProtocolEntry(
+        name="Ezhilchelvan-Lemos '90",
+        fault_assumption="up to half of senders faulty",
+        tolerates_malicious=False,
+        latency="3 TDMA rounds",
+        bandwidth_per_message="O(N) bits",
+        placement="system level",
+    ),
+    ProtocolEntry(
+        name="this paper, add-on",
+        fault_assumption="N > 2a+2s+b+1, a <= 1 (coincident)",
+        tolerates_malicious=True,
+        latency="<= 4 TDMA rounds (worst case)",
+        bandwidth_per_message="N bits",
+        placement="add-on, application level",
+    ),
+    ProtocolEntry(
+        name="this paper, system-level variant",
+        fault_assumption="N > 2a+2s+b+1, a <= 1 (coincident)",
+        tolerates_malicious=True,
+        latency="1 round (diagnosis) / 2 rounds (membership)",
+        bandwidth_per_message="N bits",
+        placement="system level (Sec. 10)",
+    ),
+)
+
+
+def comparison_rows() -> List[Tuple[str, str, str, str, str, str]]:
+    """The table as plain rows for rendering."""
+    return [(e.name, e.fault_assumption,
+             "yes" if e.tolerates_malicious else "no",
+             e.latency, e.bandwidth_per_message, e.placement)
+            for e in RELATED_WORK]
+
+
+__all__ = ["ProtocolEntry", "RELATED_WORK", "comparison_rows"]

@@ -1,0 +1,46 @@
+"""Immediate-isolation baseline (no transient filtering).
+
+The paper motivates the p/r algorithm by contrast with the behaviour of
+built-in TT membership services that exclude (and typically restart) a
+node after its first detected fault: "if nodes were immediately
+isolated after the first fault appearance, a single abnormal transient
+period would result in the isolation of all the nodes in the system and
+would entail a restart of the whole system" (Sec. 9).
+
+:class:`ImmediateIsolation` is that strategy expressed in the same
+interface as :class:`~repro.core.penalty_reward.PenaltyRewardState`, so
+the availability ablation can swap filters under identical fault
+streams.  It is exactly the p/r algorithm with ``P = 0``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class ImmediateIsolation:
+    """Isolate every node on its first diagnosed fault."""
+
+    def __init__(self, n_nodes: int) -> None:
+        self.n_nodes = n_nodes
+        self.isolated: List[bool] = [False] * n_nodes
+
+    def update(self, cons_hv: Sequence[int]) -> List[int]:
+        """One round; returns the activity vector (0 = isolated)."""
+        if len(cons_hv) != self.n_nodes:
+            raise ValueError("health vector size mismatch")
+        act = [1] * self.n_nodes
+        for idx, healthy in enumerate(cons_hv):
+            if healthy == 0:
+                self.isolated[idx] = True
+            if self.isolated[idx]:
+                act[idx] = 0
+        return act
+
+    @property
+    def all_isolated(self) -> bool:
+        """Whether the whole system would need a restart."""
+        return all(self.isolated)
+
+
+__all__ = ["ImmediateIsolation"]

@@ -1,0 +1,211 @@
+"""TTP/C-style membership with clique avoidance (baseline).
+
+The related-work comparison of the paper (Sec. 2) is against the
+membership protocol built into TTP/C [Kopetz & Grünsteidl 1994;
+Bauer & Paulitsch, SRDS 2000].  Its defining traits:
+
+* every frame implicitly carries the sender's *membership vector*;
+* a receiver that could not receive a frame clears the sender's
+  membership bit (sender-fault detection latency: about two slots);
+* a receiver whose membership disagrees with an accepted frame's
+  membership rejects the frame — persistent disagreement means the
+  receiver sits in a minority clique;
+* *clique avoidance*: before its own sending slot each node compares
+  the accepted vs. rejected frame counts since its last slot; if it
+  rejected at least as many as it accepted, it must assume it is in
+  the minority clique and fail silent (self-removal, typically
+  followed by a restart);
+* the protocol relies on the **single-fault assumption**: one fault
+  per membership resolution; simultaneous faults can make *correct*
+  nodes fail the clique-avoidance test and drop out.
+
+This is a deliberately compact, slot-stepped model — enough to compare
+fault-handling behaviour, latency and availability against the add-on
+protocol under identical fault patterns (see
+``benchmarks/bench_ablation_baselines.py``).  It is not a bit-accurate
+TTP/C implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+#: ``(round_index, slot) -> receivers that fail to receive the frame``.
+#: Return an empty set (or None) for a clean slot; the set of *all*
+#: receivers models a benign sender fault; a proper subset models an
+#: asymmetric fault.
+ReceptionFaults = Callable[[int, int], Optional[Set[int]]]
+
+
+@dataclass
+class TTPCNode:
+    """Per-node protocol state."""
+
+    node_id: int
+    n_nodes: int
+    membership: Set[int] = field(default_factory=set)
+    accepted: int = 0
+    rejected: int = 0
+    #: False once the node failed the clique-avoidance check (it would
+    #: fail silent and restart; reintegration is out of scope, as in
+    #: the paper's discussion of TTP/C).
+    alive: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.membership:
+            self.membership = set(range(1, self.n_nodes + 1))
+
+    def reset_counters(self) -> None:
+        """Clear the clique-avoidance counters (done at the own slot)."""
+        self.accepted = 0
+        self.rejected = 0
+
+
+class TTPCMembershipCluster:
+    """A slot-stepped simulation of TTP/C membership on ``N`` nodes."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 2:
+            raise ValueError("need at least 2 nodes")
+        self.n_nodes = n_nodes
+        self.nodes: Dict[int, TTPCNode] = {
+            i: TTPCNode(i, n_nodes) for i in range(1, n_nodes + 1)}
+        self.round_index = 0
+        #: ``(round, slot, node)`` log of clique-avoidance self-removals.
+        self.self_removals: List[Tuple[int, int, int]] = []
+        #: ``(round, slot, remover, removed)`` membership-bit clears.
+        self.removals: List[Tuple[int, int, int, int]] = []
+
+    # ------------------------------------------------------------------
+    def run_round(self, faults: Optional[ReceptionFaults] = None) -> None:
+        """Advance one TDMA round under the given reception faults."""
+        k = self.round_index
+        for slot in range(1, self.n_nodes + 1):
+            self._step_slot(k, slot, faults)
+        self.round_index += 1
+
+    def run_rounds(self, n_rounds: int,
+                   faults: Optional[ReceptionFaults] = None) -> None:
+        """Advance several rounds under the same fault pattern."""
+        for _ in range(n_rounds):
+            self.run_round(faults)
+
+    # ------------------------------------------------------------------
+    def _step_slot(self, k: int, slot: int,
+                   faults: Optional[ReceptionFaults]) -> None:
+        sender = self.nodes[slot]
+
+        # Clique avoidance: evaluated right before the node's own slot.
+        transmits = sender.alive and slot in sender.membership
+        if transmits and sender.rejected > 0 and sender.rejected >= sender.accepted:
+            # The node must assume it is in the minority clique.
+            sender.alive = False
+            sender.membership.discard(slot)
+            self.self_removals.append((k, slot, slot))
+            transmits = False
+        sender.reset_counters()
+
+        failed_receivers: Set[int] = set()
+        if faults is not None:
+            failed = faults(k, slot)
+            if failed:
+                failed_receivers = set(failed)
+
+        frame_membership: Optional[FrozenSet[int]] = (
+            frozenset(sender.membership) if transmits else None)
+
+        for receiver_id, receiver in self.nodes.items():
+            if receiver_id == slot or not receiver.alive:
+                continue
+            if slot not in receiver.membership:
+                # Traffic from excluded nodes is ignored entirely.
+                continue
+            received = transmits and receiver_id not in failed_receivers
+            if not received:
+                receiver.membership.discard(slot)
+                receiver.rejected += 1
+                self.removals.append((k, slot, receiver_id, slot))
+                continue
+            if receiver_id not in frame_membership:
+                # The sender considers us failed: count as a rejection
+                # (the clique-avoidance check will resolve who is right).
+                receiver.rejected += 1
+            elif frame_membership == frozenset(receiver.membership):
+                receiver.accepted += 1
+            else:
+                # Membership disagreement about third parties: reject
+                # the frame and clear the sender's bit.
+                receiver.membership.discard(slot)
+                receiver.rejected += 1
+                self.removals.append((k, slot, receiver_id, slot))
+
+    # ------------------------------------------------------------------
+    # Queries used by the comparison benchmarks
+    # ------------------------------------------------------------------
+    def membership_of(self, node_id: int) -> FrozenSet[int]:
+        """The membership vector currently held by one node."""
+        return frozenset(self.nodes[node_id].membership)
+
+    def alive_nodes(self) -> Tuple[int, ...]:
+        """Nodes that have not failed the clique-avoidance check."""
+        return tuple(i for i, n in sorted(self.nodes.items()) if n.alive)
+
+    def consistent_membership(self) -> bool:
+        """Whether all alive nodes agree on the membership."""
+        views = {self.membership_of(i) for i in self.alive_nodes()}
+        return len(views) <= 1
+
+    def surviving_fraction(self) -> float:
+        """Fraction of nodes still alive (availability measure)."""
+        return len(self.alive_nodes()) / self.n_nodes
+
+
+def benign_sender_fault(round_index: int, slot: int,
+                        n_nodes: int) -> ReceptionFaults:
+    """A fault pattern: one benign sender fault in a specific slot."""
+    all_receivers = set(range(1, n_nodes + 1))
+
+    def faults(k: int, s: int) -> Optional[Set[int]]:
+        if k == round_index and s == slot:
+            return all_receivers
+        return None
+
+    return faults
+
+
+def coincident_sender_faults(round_index: int, slots: Tuple[int, ...],
+                             n_nodes: int) -> ReceptionFaults:
+    """Two-or-more benign sender faults in the same round — the case
+    outside TTP/C's single-fault assumption."""
+    all_receivers = set(range(1, n_nodes + 1))
+    slot_set = set(slots)
+
+    def faults(k: int, s: int) -> Optional[Set[int]]:
+        if k == round_index and s in slot_set:
+            return all_receivers
+        return None
+
+    return faults
+
+
+def asymmetric_receiver_fault(round_index: int, slot: int,
+                              failed_receivers: Set[int]) -> ReceptionFaults:
+    """An asymmetric fault: only ``failed_receivers`` miss the frame."""
+
+    def faults(k: int, s: int) -> Optional[Set[int]]:
+        if k == round_index and s == slot:
+            return set(failed_receivers)
+        return None
+
+    return faults
+
+
+__all__ = [
+    "TTPCMembershipCluster",
+    "TTPCNode",
+    "ReceptionFaults",
+    "benign_sender_fault",
+    "coincident_sender_faults",
+    "asymmetric_receiver_fault",
+]

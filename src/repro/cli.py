@@ -1,0 +1,198 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Installed as ``repro-diag``.  Subcommands map to the evaluation:
+
+* ``repro-diag validate [--reps N]`` — the Sec. 8 fault-injection campaign;
+* ``repro-diag table2``              — the Sec. 9 tuning experiment;
+* ``repro-diag table4``              — abnormal-transient time-to-isolation;
+* ``repro-diag figure3``             — the reward-threshold tradeoff;
+* ``repro-diag demo``                — a small annotated cluster run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.reporting import render_table
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .experiments.validation import run_validation_campaign
+
+    summary = run_validation_campaign(repetitions=args.reps)
+    rows = [(cls, len(results), f"{100 * rate:.0f}%")
+            for (cls, results), rate in
+            zip(sorted(summary.results.items()),
+                (summary.pass_rates()[c] for c in sorted(summary.results)))]
+    print(render_table(["experiment class", "injections", "pass rate"], rows,
+                       title=f"Sec. 8 validation campaign "
+                             f"({summary.total_injections} injections)"))
+    print(f"all passed: {summary.all_passed}")
+    return 0 if summary.all_passed else 1
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .experiments.table2 import table2
+
+    rows = [(r.domain, r.criticality_class.name,
+             f"{r.tolerated_outage * 1e3:.0f} ms", r.measured_budget,
+             r.criticality, r.penalty_threshold, f"{r.reward_threshold:.0e}")
+            for r in table2(seed=args.seed)]
+    print(render_table(
+        ["Domain", "Class", "Tolerated outage", "Measured budget",
+         "Crit. lvl (s_i)", "P", "R"],
+        rows, title="Table 2: experimental tuning of the p/r algorithm"))
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    from .experiments.adverse import table4
+
+    rows = [r.row() for r in table4(seed=args.seed)]
+    print(render_table(["Setting", "Criticality class", "Time to isolation"],
+                       rows, title="Table 4: time to incorrect isolation"))
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    from .experiments.figure3 import figure3_series, paper_choice_summary
+
+    for series in figure3_series():
+        rows = [(p.reward_threshold, f"{p.window_seconds:.0f}",
+                 f"{p.p_correlate_transient:.4g}")
+                for p in series.points]
+        print(render_table(
+            ["R", "window R*T (s)", "P(correlate 2nd transient)"], rows,
+            title=f"Fig. 3 — external transient rate "
+                  f"{series.rate_per_hour}/hour"))
+        print()
+    summary = paper_choice_summary()
+    print(f"paper's choice: R = {summary['reward_threshold']:.0e} "
+          f"-> window ≈ {summary['window_minutes']:.1f} min")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .core import DiagnosedCluster, uniform_config
+    from .faults import SlotBurst
+
+    config = uniform_config(4, penalty_threshold=3, reward_threshold=50)
+    dc = DiagnosedCluster(config, seed=args.seed)
+    dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, round_index=5,
+                                      slot=2, n_slots=1))
+    dc.run_rounds(14)
+    rows = []
+    for d_round, hv in sorted(dc.health_vectors(1).items()):
+        rows.append((d_round, " ".join(map(str, hv))))
+    print(render_table(["diagnosed round", "consistent health vector"], rows,
+                       title="Demo: 4-node cluster, 1-slot burst in "
+                             "round 5 / slot 2"))
+    print(f"consistent across nodes: {dc.consistent_health_history()}")
+    return 0
+
+
+def _cmd_portability(args: argparse.Namespace) -> int:
+    from .experiments.portability import portability_sweep
+
+    rows = [(r.platform, r.n_nodes, f"{r.round_ms:.1f} ms",
+             r.latency_rounds, f"{r.latency_ms:.1f} ms",
+             f"{r.message_bits} bits",
+             "ok" if r.oracle_ok else "VIOLATED")
+            for r in portability_sweep(seed=args.seed)]
+    print(render_table(
+        ["platform", "N", "round", "latency (rounds)", "latency (ms)",
+         "per message", "oracle"],
+        rows, title="Portability: identical protocol per TT platform"))
+    return 0
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from .experiments.resilience import capacity_frontier, resilience_sweep
+
+    points = resilience_sweep(seeds=(args.seed,))
+    frontier = capacity_frontier()
+    rows = []
+    for n in sorted(frontier):
+        checked = [p for p in points if p.n_nodes == n]
+        ok = sum(1 for p in checked if p.properties_hold)
+        rows.append((n, len(checked), f"{ok}/{len(checked)}",
+                     ", ".join(f"s={s}: b<={b}"
+                               for s, b in frontier[n].items())))
+    print(render_table(
+        ["N", "allocations", "properties held", "Lemma 2 frontier"],
+        rows, title="Resilience scaling (coincident faults)"))
+    return 0
+
+
+def _cmd_discrimination(args: argparse.Namespace) -> int:
+    from .experiments.discrimination import discrimination_study
+
+    rows = [(s.filter_name, f"{100 * s.detection_rate:.0f}%",
+             "-" if s.mean_detection_round is None
+             else f"{s.mean_detection_round:.0f} rounds",
+             f"{100 * s.false_positive_rate:.0f}%")
+            for s in discrimination_study(repetitions=args.reps)]
+    print(render_table(
+        ["filter", "unhealthy detected", "mean time to isolation",
+         "healthy isolated"],
+        rows, title="Healthy/unhealthy discrimination study"))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from .analysis.timeline import render_timeline
+    from .core import DiagnosedCluster, uniform_config
+    from .faults import crash
+
+    config = uniform_config(4, penalty_threshold=3, reward_threshold=50)
+    dc = DiagnosedCluster(config, seed=args.seed)
+    dc.cluster.add_scenario(crash(2, from_round=6))
+    dc.run_rounds(16)
+    print(render_timeline(dc.trace, 4, first_round=4, last_round=14))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-diag",
+        description="Reproduction of the DSN'07 tunable add-on diagnostic "
+                    "protocol for time-triggered systems.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="run the Sec. 8 validation campaign")
+    p.add_argument("--reps", type=int, default=5,
+                   help="repetitions per experiment class (paper: 100)")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("discrimination",
+                       help="healthy/unhealthy filter comparison")
+    p.add_argument("--reps", type=int, default=10,
+                   help="generated populations")
+    p.set_defaults(func=_cmd_discrimination)
+
+    for name, func, help_text in (
+            ("table2", _cmd_table2, "reproduce Table 2 (p/r tuning)"),
+            ("table4", _cmd_table4, "reproduce Table 4 (time to isolation)"),
+            ("figure3", _cmd_figure3, "reproduce Fig. 3 (reward tradeoff)"),
+            ("portability", _cmd_portability,
+             "run the protocol across TT platform profiles"),
+            ("resilience", _cmd_resilience,
+             "empirical Lemma 2 fault-allocation sweep"),
+            ("timeline", _cmd_timeline,
+             "render an annotated round/slot timeline"),
+            ("demo", _cmd_demo, "run a small annotated demo cluster")):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--seed", type=int, default=0)
+        p.set_defaults(func=func)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

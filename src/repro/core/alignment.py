@@ -1,0 +1,78 @@
+"""Read and send alignment (Alg. 1 lines 3-10, Fig. 2).
+
+In a TDMA scheme, a job reading the interface variables mid-round sees
+a *mixed* snapshot: variables whose sending slot already passed hold
+values from the current round ``k``, the rest hold values from round
+``k-1``.  Because node schedules are unconstrained, different
+diagnostic jobs would otherwise operate on differently-fresh data.
+
+*Read alignment* reconstructs, from the current snapshot and a buffered
+previous snapshot, the vector of values all sent in round ``k-1``:
+entries ``1..l_i`` (sent in round ``k``) are replaced by their buffered
+round ``k-1`` predecessors, entries ``l_i+1..N`` are taken from the
+current snapshot (they were sent in round ``k-1``).
+
+*Send alignment* decides which local syndrome to write to the interface
+state so that every syndrome *sent* in a given round refers to the same
+diagnosed round, no matter when each node's job runs:
+
+* if **all** nodes can disseminate in their formation round
+  (``∀j: send_curr_round_j``, a design-time property), everyone writes
+  the fresh aligned syndrome — saving one round of latency;
+* otherwise a node that *can* send in the current round writes the
+  *previous* round's aligned syndrome (others' fresh syndromes would
+  only go out next round), while a node that cannot writes the fresh
+  one (it will be transmitted next round anyway).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def read_align(prev: Sequence[T], curr: Sequence[T], l: int) -> List[T]:
+    """Combine buffered and current snapshots into round-aligned values.
+
+    ``prev`` and ``curr`` are N-element sequences indexed by sender
+    (0-based internally: index ``j-1`` for node ``j``); ``l`` is the
+    node's ``l_i``.  Returns the vector of values sent in the previous
+    round: ``prev[0:l] + curr[l:N]``.
+    """
+    n = len(curr)
+    if len(prev) != n:
+        raise ValueError(f"prev/curr length mismatch: {len(prev)} != {n}")
+    if not 0 <= l <= n:
+        raise ValueError(f"l must be in 0..{n}, got {l}")
+    return list(prev[:l]) + list(curr[l:])
+
+
+def select_dissemination(al_ls: Sequence[T], prev_al_ls: Sequence[T],
+                         send_curr_round: bool,
+                         all_send_curr_round: bool) -> List[T]:
+    """Send alignment: the syndrome to write to the interface state.
+
+    Implements Alg. 1 lines 7-10 exactly:
+
+    * ``all_send_curr_round`` → write ``al_ls`` (line 7);
+    * else if ``send_curr_round`` → write ``prev_al_ls`` (lines 8-9);
+    * else → write ``al_ls`` (line 10).
+    """
+    if all_send_curr_round:
+        return list(al_ls)
+    if send_curr_round:
+        return list(prev_al_ls)
+    return list(al_ls)
+
+
+def diagnosed_round(analysis_round: int, all_send_curr_round: bool) -> int:
+    """The round whose faults the health vector of ``analysis_round`` covers.
+
+    Lemma 1: ``k - 2`` when every node disseminates in its formation
+    round, ``k - 3`` otherwise.
+    """
+    return analysis_round - (2 if all_send_curr_round else 3)
+
+
+__all__ = ["read_align", "select_dissemination", "diagnosed_round"]

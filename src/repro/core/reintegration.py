@@ -1,0 +1,81 @@
+"""Reintegration by observation (the extension sketched in Sec. 9).
+
+The paper's availability analysis concludes that "isolated nodes could
+be kept under observation, collecting rewards if a fault-free behavior
+is observed and reintegrating the node if a specific reward threshold
+for reintegration is reached".  This module implements exactly that
+policy on top of :class:`~repro.core.diagnostic.DiagnosticService`:
+
+* the cluster must run with ``IsolationMode.OBSERVE`` (isolated nodes
+  are excluded from application traffic and from voting, but their
+  slots keep being diagnosed) and ``halt_on_self_isolation = False``
+  (an isolated node keeps transmitting so its recovery is observable);
+* for every isolated node the policy counts consecutive fault-free
+  diagnosed rounds; any fault resets the count;
+* when the count reaches the *reintegration reward threshold* the node
+  is readmitted: activity restored, counters cleared.
+
+Because the count is driven by the consistent health vector, all
+obedient nodes reintegrate the node in the same round — the decision
+stays consistent without extra communication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .diagnostic import DiagnosticService
+
+
+class ReintegrationPolicy:
+    """Observation-based reintegration hook for a diagnostic service.
+
+    Attach with :func:`attach_reintegration`; the policy registers
+    itself as a post-update hook and acts after every counter update.
+    """
+
+    def __init__(self, reward_threshold: int) -> None:
+        if reward_threshold < 1:
+            raise ValueError("reward_threshold must be >= 1")
+        self.reward_threshold = reward_threshold
+        self._observation_rewards: Dict[int, int] = {}
+
+    def __call__(self, service: DiagnosticService, cons_hv: List[int],
+                 k: int) -> None:
+        n = service.config.n_nodes
+        for j in range(1, n + 1):
+            if service.active[j - 1] == 1:
+                self._observation_rewards.pop(j, None)
+                continue
+            if cons_hv[j - 1] == 0:
+                self._observation_rewards[j] = 0
+            else:
+                count = self._observation_rewards.get(j, 0) + 1
+                if count >= self.reward_threshold:
+                    service.reintegrate(j, k)
+                    self._observation_rewards.pop(j, None)
+                else:
+                    self._observation_rewards[j] = count
+
+    def observation_reward(self, node_id: int) -> int:
+        """Current consecutive fault-free count for an isolated node."""
+        return self._observation_rewards.get(node_id, 0)
+
+
+def attach_reintegration(service: DiagnosticService) -> ReintegrationPolicy:
+    """Attach a reintegration policy per the service's configuration.
+
+    Requires ``config.reintegration_reward_threshold`` to be set (which
+    in turn requires ``IsolationMode.OBSERVE``, enforced by the config).
+    """
+    threshold = service.config.reintegration_reward_threshold
+    if threshold is None:
+        raise ValueError(
+            "config.reintegration_reward_threshold must be set to attach "
+            "a reintegration policy")
+    policy = ReintegrationPolicy(threshold)
+    service.post_update_hooks.append(policy)
+    return policy
+
+
+__all__ = ["ReintegrationPolicy", "attach_reintegration"]

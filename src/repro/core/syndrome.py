@@ -1,0 +1,176 @@
+"""Local syndromes and diagnostic matrices (Sec. 5).
+
+A *local syndrome* is a binary ``N``-tuple: element ``j`` is node
+``i``'s local opinion on the message sent by node ``j`` in the slot of
+interest (1 = received correctly, 0 = locally detected as faulty).
+Syndromes are exchanged inside the diagnostic messages ``dm_i``.
+
+A *diagnostic matrix* collects the aligned local syndromes received for
+one diagnosed round: row ``i`` is the syndrome sent by node ``i`` (or
+the special error value ε when that syndrome itself arrived corrupted),
+column ``j`` is the vector of opinions about node ``j``.
+
+Indexing convention: syndromes are plain tuples of length ``N``; the
+opinion about node ``j`` lives at index ``j - 1``.  Helper accessors
+keep the 1-based paper notation readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+
+class _Epsilon:
+    """The paper's special error value ε (unavailable/corrupted syndrome)."""
+
+    _instance: Optional["_Epsilon"] = None
+
+    def __new__(cls) -> "_Epsilon":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ε"
+
+    def __deepcopy__(self, memo) -> "_Epsilon":
+        return self
+
+    def __reduce__(self):
+        return (_Epsilon, ())
+
+
+#: Singleton ε: assigned to local syndromes whose validity bit is 0.
+EPSILON = _Epsilon()
+
+#: A syndrome entry: 0 (faulty), 1 (correct) — ε appears only at the
+#: matrix level, standing for a whole missing row.
+Opinion = int
+Syndrome = Tuple[Opinion, ...]
+Row = Union[Syndrome, _Epsilon]
+
+
+def make_syndrome(bits: Sequence[int]) -> Syndrome:
+    """Validate and freeze a local syndrome."""
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"syndrome entries must be 0/1, got {bit!r}")
+    return tuple(bits)
+
+
+def opinion_about(syndrome: Syndrome, node_id: int) -> Opinion:
+    """1-based accessor: the syndrome's opinion about ``node_id``."""
+    return syndrome[node_id - 1]
+
+
+def is_valid_syndrome(payload: Any, n_nodes: int) -> bool:
+    """Whether a received payload parses as a well-formed syndrome.
+
+    Guards the aggregation phase against garbage from non-obedient
+    nodes whose frames pass the controller's syntactic checks: a
+    malformed payload is treated like ε (the node contributed no usable
+    opinion).
+    """
+    if not isinstance(payload, (tuple, list)) or len(payload) != n_nodes:
+        return False
+    return all(bit in (0, 1) for bit in payload)
+
+
+def parse_tagged_syndrome(payload: Any, n_nodes: int):
+    """Parse a round-tagged diagnostic message ``(round, syndrome)``.
+
+    The dynamic-scheduling variant of the protocol makes its messages
+    self-describing: the payload names the round its observations refer
+    to.  Returns ``(round, syndrome_tuple)`` or ``None`` for anything
+    malformed (treated as ε by the aggregation).
+    """
+    if not isinstance(payload, (tuple, list)) or len(payload) != 2:
+        return None
+    about_round, syndrome = payload
+    if not isinstance(about_round, int) or isinstance(about_round, bool):
+        return None
+    if not is_valid_syndrome(syndrome, n_nodes):
+        return None
+    return (about_round, tuple(syndrome))
+
+
+class DiagnosticMatrix:
+    """The aggregated ``N × N`` opinion matrix for one diagnosed round."""
+
+    def __init__(self, n_nodes: int) -> None:
+        self.n_nodes = n_nodes
+        self._rows: Dict[int, Row] = {i: EPSILON for i in range(1, n_nodes + 1)}
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Row]) -> "DiagnosticMatrix":
+        """Build a matrix from rows ordered by sender ID (1..N)."""
+        matrix = cls(len(rows))
+        for i, row in enumerate(rows, start=1):
+            matrix.set_row(i, row)
+        return matrix
+
+    def set_row(self, sender: int, row: Row) -> None:
+        """Install the syndrome sent by ``sender`` (or ε)."""
+        self._check_node(sender)
+        if row is not EPSILON:
+            row = make_syndrome(row)
+            if len(row) != self.n_nodes:
+                raise ValueError(
+                    f"syndrome length {len(row)} != n_nodes {self.n_nodes}")
+        self._rows[sender] = row
+
+    def row(self, sender: int) -> Row:
+        """The syndrome sent by ``sender`` (or ε)."""
+        self._check_node(sender)
+        return self._rows[sender]
+
+    def column(self, accused: int) -> List[Union[Opinion, _Epsilon]]:
+        """All opinions about ``accused``, excluding its self-opinion.
+
+        The paper discards the accused node's opinion about itself
+        ("considered unreliable ... to tolerate asymmetric faults"), so
+        the column is an ``(N-1)``-tuple in sender-ID order.
+        """
+        self._check_node(accused)
+        column: List[Union[Opinion, _Epsilon]] = []
+        for sender in range(1, self.n_nodes + 1):
+            if sender == accused:
+                continue
+            row = self._rows[sender]
+            if row is EPSILON:
+                column.append(EPSILON)
+            else:
+                column.append(opinion_about(row, accused))
+        return column
+
+    def render(self) -> str:
+        """Human-readable rendering in the style of the paper's Table 1."""
+        header = "accuser | " + " ".join(f"{j:>2}" for j in range(1, self.n_nodes + 1))
+        lines = [header, "-" * len(header)]
+        for sender in range(1, self.n_nodes + 1):
+            row = self._rows[sender]
+            if row is EPSILON:
+                cells = " ".join(f"{'ε':>2}" for _ in range(self.n_nodes))
+            else:
+                cells = " ".join(
+                    f"{'-':>2}" if j == sender else f"{row[j - 1]:>2}"
+                    for j in range(1, self.n_nodes + 1))
+            lines.append(f"node {sender:>2} | {cells}")
+        return "\n".join(lines)
+
+    def _check_node(self, node_id: int) -> None:
+        if not 1 <= node_id <= self.n_nodes:
+            raise ValueError(f"node must be in 1..{self.n_nodes}, got {node_id}")
+
+
+__all__ = [
+    "EPSILON",
+    "parse_tagged_syndrome",
+    "Opinion",
+    "Syndrome",
+    "Row",
+    "make_syndrome",
+    "opinion_about",
+    "is_valid_syndrome",
+    "DiagnosticMatrix",
+]

@@ -1,0 +1,116 @@
+"""Resilience scaling: empirical validation of the Lemma 2 bound.
+
+The introduction claims the protocol "is able to detect bursts of
+multiple concurrent faults and to tolerate malicious faults.  Its
+resiliency also scales with the number of available nodes."  Lemma 2
+quantifies it: correctness/completeness/consistency hold as long as
+``N > 2a + 2s + b + 1`` with ``a <= 1``.
+
+This harness sweeps cluster sizes and fault allocations:
+
+* for every ``N`` and every ``(s, b)`` *inside* the bound, it injects
+  ``s`` byzantine (random-syndrome) nodes and ``b`` coincident benign
+  sender faults and verifies the Theorem 1 properties via the oracle;
+* it also reports the *capacity frontier*: the maximum ``b`` tolerated
+  per ``(N, s)``, which grows linearly with ``N`` — the scaling claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis.metrics import (
+    completeness_holds,
+    consistency_violations,
+    correctness_holds,
+)
+from ..core.config import uniform_config
+from ..core.service import DiagnosedCluster
+from ..faults.scenarios import SenderFault
+
+FAULT_ROUND = 6
+
+
+@dataclass
+class ResiliencePoint:
+    """Outcome for one (N, s, b) fault allocation."""
+
+    n_nodes: int
+    byzantine: int
+    benign: int
+    within_bound: bool
+    properties_hold: bool
+
+
+def max_benign_within_bound(n: int, s: int, a: int = 0) -> int:
+    """Largest ``b`` satisfying ``N > 2a + 2s + b + 1``."""
+    return max(0, n - 2 * a - 2 * s - 2)
+
+
+def run_allocation(n: int, s: int, b: int, seed: int = 0) -> ResiliencePoint:
+    """Inject ``s`` byzantine nodes + ``b`` coincident benign faults.
+
+    Byzantine nodes occupy the highest IDs; the benign faults hit the
+    first ``b`` of the remaining nodes, all in the same round (the
+    hardest coincident case).
+    """
+    if s + b >= n:
+        raise ValueError("fault allocation exceeds cluster size")
+    config = uniform_config(n, penalty_threshold=10 ** 6,
+                            reward_threshold=10 ** 6)
+    byzantine_ids = list(range(n - s + 1, n + 1))
+    benign_ids = list(range(1, b + 1))
+    dc = DiagnosedCluster(config, seed=seed, byzantine_nodes=byzantine_ids)
+    for node in benign_ids:
+        dc.cluster.add_scenario(SenderFault(node, kind="benign",
+                                            rounds=[FAULT_ROUND]))
+    dc.run_rounds(FAULT_ROUND + 8)
+
+    obedient = dc.obedient_node_ids()
+    holds = not consistency_violations(dc.trace, obedient)
+    for node in benign_ids:
+        holds = holds and completeness_holds(dc.trace, FAULT_ROUND, node,
+                                             obedient)
+    correct = [j for j in range(1, n + 1)
+               if j not in benign_ids and j not in byzantine_ids]
+    holds = holds and correctness_holds(dc.trace, FAULT_ROUND, correct,
+                                        obedient)
+    within = n > 2 * s + b + 1
+    return ResiliencePoint(n_nodes=n, byzantine=s, benign=b,
+                           within_bound=within, properties_hold=holds)
+
+
+def resilience_sweep(n_range=(4, 5, 6, 8, 10), seeds=(0,)
+                     ) -> List[ResiliencePoint]:
+    """Every (N, s, b) allocation within the Lemma 2 bound."""
+    points: List[ResiliencePoint] = []
+    for n in n_range:
+        max_s = (n - 2) // 2
+        for s in range(0, max_s + 1):
+            for b in range(0, max_benign_within_bound(n, s) + 1):
+                if s == 0 and b == 0:
+                    continue
+                for seed in seeds:
+                    points.append(run_allocation(n, s, b, seed=seed))
+    return points
+
+
+def capacity_frontier(n_range=(4, 5, 6, 8, 10)) -> Dict[int, Dict[int, int]]:
+    """``N -> {s: max tolerated b}`` per Lemma 2."""
+    out: Dict[int, Dict[int, int]] = {}
+    for n in n_range:
+        max_s = (n - 2) // 2
+        out[n] = {s: max_benign_within_bound(n, s)
+                  for s in range(0, max_s + 1)}
+    return out
+
+
+__all__ = [
+    "ResiliencePoint",
+    "max_benign_within_bound",
+    "run_allocation",
+    "resilience_sweep",
+    "capacity_frontier",
+    "FAULT_ROUND",
+]

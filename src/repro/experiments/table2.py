@@ -1,0 +1,140 @@
+"""Table 2 reproduction: experimental tuning of the p/r algorithm.
+
+The paper's procedure (Sec. 9, "Tuning the diagnostic latency"):
+
+1. inject a continuous faulty burst into a node with criticality 1;
+2. observe the penalty counter value reached when the class's maximum
+   tolerated diagnostic latency elapses — that is the class's penalty
+   budget ``p_class``;
+3. set ``P = max(p_class)`` and ``s_class = ceil(P / p_class)``.
+
+:func:`measure_penalty_budget` performs step 1-2 on the actual
+simulated cluster (not analytically): it runs a cluster under a
+continuous bus burst and reads the penalty counter at the deadline.
+:func:`table2` assembles the full table for both domains and
+cross-checks it against the closed-form derivation in
+:mod:`repro.analysis.tuning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..analysis.tuning import TuningResult, tune
+from ..core.config import (
+    AEROSPACE_TOLERATED_OUTAGE,
+    AUTOMOTIVE_TOLERATED_OUTAGE,
+    PAPER_REWARD_THRESHOLD,
+    CriticalityClass,
+    uniform_config,
+)
+from ..core.service import DiagnosedCluster
+from ..faults.scenarios import BusBurst
+from ..tt.cluster import PAPER_ROUND_LENGTH
+
+#: Table 2 reference values.
+PAPER_TABLE2 = {
+    "automotive": {
+        "P": 197,
+        "R": PAPER_REWARD_THRESHOLD,
+        "criticalities": {CriticalityClass.SC: 40, CriticalityClass.SR: 6,
+                          CriticalityClass.NSR: 1},
+    },
+    "aerospace": {
+        "P": 17,
+        "R": PAPER_REWARD_THRESHOLD,
+        "criticalities": {CriticalityClass.SC: 1},
+    },
+}
+
+
+def measure_penalty_budget(tolerated_outage: float, seed: int = 0,
+                           n_nodes: int = 4,
+                           round_length: float = PAPER_ROUND_LENGTH) -> int:
+    """Measure a class's penalty budget on the simulated cluster.
+
+    Injects a continuous burst starting at a round boundary and reads
+    node 1's penalty counter (criticality 1) at every node when the
+    tolerated outage has elapsed, mirroring the paper's measurement.
+    The returned budget is the *consistent* counter value (asserting
+    all nodes agree).
+    """
+    config = uniform_config(n_nodes, penalty_threshold=10 ** 9,
+                            reward_threshold=10 ** 9)
+    dc = DiagnosedCluster(config, seed=seed, round_length=round_length,
+                          trace_level=0)
+    tb = dc.cluster.timebase
+    start_round = 6
+    fault_start = tb.round_start(start_round)
+    dc.cluster.add_scenario(BusBurst(fault_start,
+                                     tolerated_outage + 10 * round_length,
+                                     cause="continuous-burst"))
+    # Run the rounds that complete strictly before the outage deadline:
+    # an isolation decided at the deadline itself would already exceed
+    # the tolerated outage (jobs execute inside their round, after the
+    # deadline instant).
+    deadline_round = start_round + int(round(tolerated_outage / round_length))
+    dc.run_rounds(deadline_round)
+    budgets = {dc.service(i).pr.penalties[0] for i in range(1, n_nodes + 1)}
+    if len(budgets) != 1:
+        raise AssertionError(f"nodes disagree on the penalty budget: {budgets}")
+    return budgets.pop()
+
+
+@dataclass
+class Table2Row:
+    """One (domain, class) row of the reproduced Table 2."""
+
+    domain: str
+    criticality_class: CriticalityClass
+    tolerated_outage: float
+    measured_budget: int
+    criticality: int
+    penalty_threshold: int
+    reward_threshold: int
+    round_length: float
+
+
+def table2(seed: int = 0,
+           round_length: float = PAPER_ROUND_LENGTH) -> List[Table2Row]:
+    """Run the tuning experiment for both domains and assemble Table 2."""
+    import math
+
+    rows: List[Table2Row] = []
+    for domain, outages in (("Automotive", AUTOMOTIVE_TOLERATED_OUTAGE),
+                            ("Aerospace", AEROSPACE_TOLERATED_OUTAGE)):
+        budgets = {
+            cls: measure_penalty_budget(outage, seed=seed,
+                                        round_length=round_length)
+            for cls, outage in outages.items()
+        }
+        penalty_threshold = max(budgets.values())
+        for cls, outage in outages.items():
+            rows.append(Table2Row(
+                domain=domain,
+                criticality_class=cls,
+                tolerated_outage=outage,
+                measured_budget=budgets[cls],
+                criticality=math.ceil(penalty_threshold / budgets[cls]),
+                penalty_threshold=penalty_threshold,
+                reward_threshold=PAPER_REWARD_THRESHOLD,
+                round_length=round_length,
+            ))
+    return rows
+
+
+def analytic_cross_check(round_length: float = PAPER_ROUND_LENGTH
+                         ) -> Tuple[TuningResult, TuningResult]:
+    """The closed-form derivation, for comparison with the measurement."""
+    return (tune(AUTOMOTIVE_TOLERATED_OUTAGE, round_length),
+            tune(AEROSPACE_TOLERATED_OUTAGE, round_length))
+
+
+__all__ = [
+    "PAPER_TABLE2",
+    "Table2Row",
+    "measure_penalty_budget",
+    "table2",
+    "analytic_cross_check",
+]

@@ -1,0 +1,332 @@
+"""Sec. 8 validation campaign: fault injection experiment classes.
+
+The paper validates the protocols with 1500 physical fault injections
+on a 4-node cluster (T = 2.5 ms), grouped into experiment classes:
+
+* **bursty faults** of one slot, two slots and two TDMA rounds,
+  starting in any of the 4 sending slots (12 classes x 100 reps);
+* **penalty/reward update**: a fault in one node's sending slot every
+  second TDMA round for 20 rounds — either the penalty or the reward
+  counter must change at every diagnosed round;
+* **malicious node**: one node broadcasts random local syndromes; the
+  other nodes must never diagnose a correct node as faulty (4 classes);
+* **clique detection**: the disturbance node separates Node 1 from the
+  rest of the cluster during another node's sending slot, producing a
+  minority clique formed by Node 1, which the membership protocol must
+  detect and exclude.
+
+Each function runs one injection experiment on the simulated cluster
+and scores it against the paper's properties (correctness,
+completeness, consistency; counter behaviour; view changes).
+:func:`run_validation_campaign` reproduces the whole campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.metrics import (
+    completeness_holds,
+    consistency_violations,
+    correctness_holds,
+    diagnoses_for_round,
+)
+from ..core.config import ProtocolConfig, uniform_config
+from ..core.service import DiagnosedCluster, MembershipCluster
+from ..faults.scenarios import SenderFault, SlotBurst, every_nth_round
+from ..tt.cluster import PAPER_ROUND_LENGTH
+
+#: The paper's prototype size.
+PAPER_N_NODES = 4
+#: Round where injections start (after the pipeline has filled).
+FAULT_ROUND = 6
+
+
+def _default_config(n_nodes: int = PAPER_N_NODES) -> ProtocolConfig:
+    # A permissive p/r configuration: validation scores the health
+    # vectors themselves, not isolation decisions.
+    return uniform_config(n_nodes, penalty_threshold=10 ** 6,
+                          reward_threshold=10 ** 6)
+
+
+@dataclass
+class BurstResult:
+    """Outcome of one bursty-fault injection."""
+
+    n_slots: int
+    start_slot: int
+    #: Slots expected faulty, per round: round -> sorted node IDs.
+    expected: Dict[int, Tuple[int, ...]]
+    #: What the cluster diagnosed: round -> {node: health vector}.
+    diagnosed: Dict[int, Dict[int, Tuple[int, ...]]]
+    consistent: bool
+    complete: bool
+    correct: bool
+
+    @property
+    def passed(self) -> bool:
+        return self.consistent and self.complete and self.correct
+
+
+def expected_faulty_slots(n_nodes: int, start_slot: int,
+                          n_slots: int, fault_round: int = FAULT_ROUND
+                          ) -> Dict[int, Tuple[int, ...]]:
+    """Ground truth: the senders hit by a burst, grouped by round."""
+    per_round: Dict[int, List[int]] = {}
+    gidx0 = fault_round * n_nodes + (start_slot - 1)
+    for offset in range(n_slots):
+        gidx = gidx0 + offset
+        per_round.setdefault(gidx // n_nodes, []).append(gidx % n_nodes + 1)
+    return {r: tuple(sorted(slots)) for r, slots in per_round.items()}
+
+
+def run_burst_experiment(n_slots: int, start_slot: int, seed: int = 0,
+                         n_nodes: int = PAPER_N_NODES,
+                         round_length: float = PAPER_ROUND_LENGTH) -> BurstResult:
+    """One injection of a burst of ``n_slots`` slots from ``start_slot``.
+
+    Bursts of 1 or 2 slots exercise the Lemma 2 regime; a burst of two
+    whole rounds (``n_slots = 2 * n_nodes``) is the Lemma 3 blackout.
+    """
+    dc = DiagnosedCluster(_default_config(n_nodes), seed=seed,
+                          round_length=round_length)
+    dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, FAULT_ROUND,
+                                      start_slot, n_slots))
+    expected = expected_faulty_slots(n_nodes, start_slot, n_slots)
+    last_round = max(expected)
+    # Run long enough for the pipeline to diagnose every affected round.
+    dc.run_rounds(last_round + 6)
+
+    obedient = dc.obedient_node_ids()
+    diagnosed: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+    complete = True
+    correct = True
+    for d_round, faulty in expected.items():
+        vectors = diagnoses_for_round(dc.trace, d_round, obedient)
+        diagnosed[d_round] = vectors
+        for f in faulty:
+            if not completeness_holds(dc.trace, d_round, f, obedient):
+                complete = False
+        correct_nodes = [j for j in range(1, n_nodes + 1) if j not in faulty]
+        if not correctness_holds(dc.trace, d_round, correct_nodes, obedient):
+            correct = False
+    consistent = not consistency_violations(dc.trace, obedient)
+    return BurstResult(n_slots=n_slots, start_slot=start_slot,
+                       expected=expected, diagnosed=diagnosed,
+                       consistent=consistent, complete=complete,
+                       correct=correct)
+
+
+@dataclass
+class PenaltyRewardResult:
+    """Outcome of the counter-update experiment."""
+
+    target: int
+    #: (diagnosed_round, penalty, reward) evolution at one observer.
+    evolution: List[Tuple[int, int, int]]
+    #: Whether one of the two counters changed at every diagnosed round.
+    counters_progress: bool
+    consistent: bool
+
+    @property
+    def passed(self) -> bool:
+        return self.counters_progress and self.consistent
+
+
+def run_penalty_reward_experiment(target: int = 2, seed: int = 0,
+                                  n_nodes: int = PAPER_N_NODES
+                                  ) -> PenaltyRewardResult:
+    """Fault in ``target``'s slot every second round for 20 rounds.
+
+    "Hence, either the penalty or the reward counter should be
+    increased at every round" (Sec. 8).
+    """
+    config = _default_config(n_nodes)
+    dc = DiagnosedCluster(config, seed=seed)
+    dc.cluster.add_scenario(every_nth_round(target, period=2,
+                                            start_round=FAULT_ROUND,
+                                            occurrences=10))
+    observer = dc.service(1)
+    evolution: List[Tuple[int, int, int]] = []
+
+    def probe(service, cons_hv, k):
+        d_round = k - config.detection_pipeline_rounds()
+        p, r = service.pr.counters_of(target)
+        evolution.append((d_round, p, r))
+
+    observer.post_update_hooks.append(probe)
+    dc.run_rounds(FAULT_ROUND + 20 + 6)
+
+    window = [(d, p, r) for d, p, r in evolution
+              if FAULT_ROUND <= d < FAULT_ROUND + 20]
+    progress = True
+    for (d0, p0, r0), (d1, p1, r1) in zip(window, window[1:]):
+        if (p1, r1) == (p0, r0):
+            progress = False
+    # The very first faulty round must bump the penalty from 0.
+    if not window or window[0][1] == 0:
+        progress = False
+    consistent = not consistency_violations(dc.trace, dc.obedient_node_ids())
+    return PenaltyRewardResult(target=target, evolution=window,
+                               counters_progress=progress,
+                               consistent=consistent)
+
+
+@dataclass
+class MaliciousResult:
+    """Outcome of one malicious-node injection."""
+
+    byzantine: int
+    consistent: bool
+    #: No correct node was ever diagnosed faulty by an obedient node.
+    no_false_accusation: bool
+
+    @property
+    def passed(self) -> bool:
+        return self.consistent and self.no_false_accusation
+
+
+def run_malicious_experiment(byzantine: int, seed: int = 0,
+                             n_nodes: int = PAPER_N_NODES,
+                             n_rounds: int = 30) -> MaliciousResult:
+    """One node broadcasts random local syndromes for the whole run.
+
+    "Its presence is not supposed to induce the other nodes to diagnose
+    correct nodes as faulty" (Sec. 8).
+    """
+    dc = DiagnosedCluster(_default_config(n_nodes), seed=seed,
+                          byzantine_nodes=[byzantine])
+    dc.run_rounds(n_rounds)
+    obedient = dc.obedient_node_ids()
+    consistent = not consistency_violations(dc.trace, obedient)
+    no_false = True
+    for node in obedient:
+        for d_round, hv in dc.health_vectors(node).items():
+            for j in range(1, n_nodes + 1):
+                if j != byzantine and hv[j - 1] == 0:
+                    no_false = False
+    return MaliciousResult(byzantine=byzantine, consistent=consistent,
+                           no_false_accusation=no_false)
+
+
+@dataclass
+class CliqueResult:
+    """Outcome of one clique-detection injection."""
+
+    minority: int
+    #: Rounds between the asymmetric fault and the view change.
+    view_latency_rounds: Optional[int]
+    #: The final agreed view of the majority clique.
+    final_view: Optional[Tuple[int, ...]]
+    detected: bool
+    consistent_views: bool
+
+    @property
+    def passed(self) -> bool:
+        return (self.detected and self.consistent_views
+                and self.final_view is not None
+                and self.minority not in self.final_view)
+
+
+def run_clique_experiment(disturbed_sender: int = 3, seed: int = 0,
+                          n_nodes: int = PAPER_N_NODES) -> CliqueResult:
+    """Reproduce the paper's clique injection.
+
+    The disturbance node sits between Node 1 and the rest of the
+    cluster and disconnects the bus during ``disturbed_sender``'s slot:
+    only Node 1 misses that frame, forming a minority clique {1}.
+    """
+    config = _default_config(n_nodes)
+    mc = MembershipCluster(config, seed=seed)
+    mc.cluster.add_scenario(SenderFault(
+        disturbed_sender, kind="asymmetric", rounds=[FAULT_ROUND],
+        detectable_by=[1], cause="disturbance-node"))
+    mc.run_rounds(FAULT_ROUND + 12)
+
+    majority = [i for i in range(2, n_nodes + 1)]
+    views = [mc.services[i].view for i in majority]
+    consistent_views = len(set(views)) == 1
+    final_view = tuple(sorted(views[0])) if consistent_views else None
+    detected = all(1 not in v for v in views)
+    latency = None
+    changes = [rec for rec in mc.trace.select(category="view")
+               if rec.node in majority]
+    if changes:
+        latency = min(rec.data["round_index"] for rec in changes) - FAULT_ROUND
+    return CliqueResult(minority=1, view_latency_rounds=latency,
+                        final_view=final_view, detected=detected,
+                        consistent_views=consistent_views)
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate outcome of the Sec. 8 campaign."""
+
+    results: Dict[str, List[bool]] = field(default_factory=dict)
+
+    def add(self, experiment_class: str, passed: bool) -> None:
+        """Record one injection's outcome for a class."""
+        self.results.setdefault(experiment_class, []).append(passed)
+
+    @property
+    def total_injections(self) -> int:
+        return sum(len(v) for v in self.results.values())
+
+    @property
+    def all_passed(self) -> bool:
+        return all(all(v) for v in self.results.values())
+
+    def pass_rates(self) -> Dict[str, float]:
+        """Per-class fraction of passed injections."""
+        return {cls: sum(v) / len(v) for cls, v in self.results.items()}
+
+
+def run_validation_campaign(repetitions: int = 100,
+                            n_nodes: int = PAPER_N_NODES) -> CampaignSummary:
+    """The full Sec. 8 campaign.
+
+    With the paper's ``repetitions = 100`` this is 1500+ injections
+    (12 burst classes + counter update + 4 malicious classes + clique
+    detection, ``repetitions`` each).  The simulator is deterministic
+    per seed, so the repetitions vary the seed.
+    """
+    summary = CampaignSummary()
+    burst_lengths = (1, 2, 2 * n_nodes)
+    for n_slots in burst_lengths:
+        for start_slot in range(1, n_nodes + 1):
+            cls = f"burst-{n_slots}-slot{start_slot}"
+            for rep in range(repetitions):
+                result = run_burst_experiment(n_slots, start_slot, seed=rep,
+                                              n_nodes=n_nodes)
+                summary.add(cls, result.passed)
+    for rep in range(repetitions):
+        summary.add("penalty-reward",
+                    run_penalty_reward_experiment(seed=rep,
+                                                  n_nodes=n_nodes).passed)
+    for byzantine in range(1, n_nodes + 1):
+        cls = f"malicious-node{byzantine}"
+        for rep in range(repetitions):
+            summary.add(cls, run_malicious_experiment(byzantine, seed=rep,
+                                                      n_nodes=n_nodes).passed)
+    for rep in range(repetitions):
+        summary.add("clique-detection",
+                    run_clique_experiment(seed=rep, n_nodes=n_nodes).passed)
+    return summary
+
+
+__all__ = [
+    "PAPER_N_NODES",
+    "FAULT_ROUND",
+    "BurstResult",
+    "PenaltyRewardResult",
+    "MaliciousResult",
+    "CliqueResult",
+    "CampaignSummary",
+    "expected_faulty_slots",
+    "run_burst_experiment",
+    "run_penalty_reward_experiment",
+    "run_malicious_experiment",
+    "run_clique_experiment",
+    "run_validation_campaign",
+]

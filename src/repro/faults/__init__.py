@@ -1,0 +1,57 @@
+"""Fault model and fault-injection substrate (paper Secs. 4 and 8).
+
+This package replaces the paper's physical disturbance node: scenarios
+describe *when* and *how* transmissions are corrupted, the
+:class:`~repro.faults.injector.InjectionLayer` composes them into
+per-receiver reception outcomes, and the bus applies those outcomes
+when frames are delivered.
+"""
+
+from .injector import InjectedOutcome, InjectionLayer, Scenario, TransmissionContext
+from .model import (
+    FaultClass,
+    FaultDirective,
+    NodeGroundTruth,
+    NodeHealth,
+    ReceptionOutcome,
+    classify_broadcast,
+    worst_outcome,
+)
+from .processes import IntermittentSender, PoissonTransients, RandomSlotNoise
+from .scenarios import (
+    BurstSequence,
+    BusBurst,
+    ChannelBurst,
+    PeriodicBurst,
+    SenderFault,
+    SlotBurst,
+    blinking_light,
+    crash,
+    every_nth_round,
+)
+
+__all__ = [
+    "InjectedOutcome",
+    "InjectionLayer",
+    "Scenario",
+    "TransmissionContext",
+    "FaultClass",
+    "FaultDirective",
+    "NodeGroundTruth",
+    "NodeHealth",
+    "ReceptionOutcome",
+    "classify_broadcast",
+    "worst_outcome",
+    "IntermittentSender",
+    "PoissonTransients",
+    "RandomSlotNoise",
+    "BurstSequence",
+    "BusBurst",
+    "ChannelBurst",
+    "PeriodicBurst",
+    "SenderFault",
+    "SlotBurst",
+    "blinking_light",
+    "crash",
+    "every_nth_round",
+]

@@ -1,0 +1,124 @@
+"""Fault-injection layer: the simulated disturbance node.
+
+The paper's validation (Sec. 8) uses a physical *disturbance node* that
+injects electrical spikes, random noise and periods of silence on the
+bus.  Because the diagnostic protocol "does not discriminate between
+node and link faults", a fault in a node can be emulated by corrupting
+or dropping a message it sends — which is exactly what this layer does,
+deterministically, at the moment a frame is transmitted.
+
+:class:`InjectionLayer` holds an ordered list of *scenarios*.  When the
+bus transmits a frame it asks the layer for the per-receiver outcomes;
+each scenario may contribute a :class:`~repro.faults.model.FaultDirective`
+and overlapping directives are composed receiver-wise with
+:func:`~repro.faults.model.worst_outcome` (a detectable corruption
+dominates a malicious one dominates a clean reception).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Protocol, Sequence, Tuple
+
+from ..tt.timebase import TimeBase
+from .model import FaultDirective, ReceptionOutcome, worst_outcome
+
+
+@dataclass(frozen=True)
+class TransmissionContext:
+    """Everything a scenario may condition its directives on."""
+
+    time: float
+    round_index: int
+    slot: int
+    sender: int
+    receivers: Tuple[int, ...]
+    channel: int
+    timebase: TimeBase
+
+
+class Scenario(Protocol):
+    """A source of fault directives.
+
+    Implementations return the directives affecting one transmission
+    (usually zero or one).  Scenarios must be deterministic functions of
+    the context and of their own (seeded) random stream.
+    """
+
+    def directives(self, ctx: TransmissionContext) -> Iterable[FaultDirective]:
+        """Directives affecting the transmission described by ``ctx``."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class InjectedOutcome:
+    """Composed result of injection for one transmission on one channel."""
+
+    #: Per-receiver outcome.
+    outcomes: Dict[int, ReceptionOutcome]
+    #: Forged payload if any receiver's outcome is MALICIOUS.
+    malicious_payload: Any
+    #: Causes of the directives that actually applied (for traces).
+    causes: Tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True iff no receiver was affected."""
+        return all(o is ReceptionOutcome.OK for o in self.outcomes.values())
+
+
+class InjectionLayer:
+    """Composes scenario directives into per-receiver outcomes."""
+
+    def __init__(self) -> None:
+        self._scenarios: List[Scenario] = []
+
+    def add(self, scenario: Scenario) -> None:
+        """Register a scenario (kept for the simulation's lifetime)."""
+        self._scenarios.append(scenario)
+
+    def remove(self, scenario: Scenario) -> None:
+        """Unregister a scenario."""
+        self._scenarios.remove(scenario)
+
+    @property
+    def scenarios(self) -> Sequence[Scenario]:
+        return tuple(self._scenarios)
+
+    def apply(self, ctx: TransmissionContext) -> InjectedOutcome:
+        """Compute the injected outcome for one transmission.
+
+        The sender is treated as a receiver of its own frame (the local
+        collision detector reads the bus back), so ``ctx.receivers``
+        normally includes the sender.
+        """
+        outcomes: Dict[int, ReceptionOutcome] = {
+            r: ReceptionOutcome.OK for r in ctx.receivers
+        }
+        malicious_payload: Any = None
+        causes: List[str] = []
+        for scenario in self._scenarios:
+            for directive in scenario.directives(ctx):
+                if directive.channel is not None and directive.channel != ctx.channel:
+                    continue
+                causes.append(directive.cause)
+                if directive.is_malicious:
+                    malicious_payload = directive.malicious_payload
+                for receiver in ctx.receivers:
+                    outcomes[receiver] = worst_outcome(
+                        outcomes[receiver], directive.outcome_for(receiver))
+        # A malicious payload only matters for receivers that still see
+        # the frame as valid-but-wrong after composition.
+        if not any(o is ReceptionOutcome.MALICIOUS for o in outcomes.values()):
+            malicious_payload = None
+        return InjectedOutcome(outcomes=outcomes,
+                               malicious_payload=malicious_payload,
+                               causes=tuple(causes))
+
+
+__all__ = [
+    "TransmissionContext",
+    "Scenario",
+    "InjectedOutcome",
+    "InjectionLayer",
+]

@@ -1,0 +1,179 @@
+"""Fault model primitives (paper Sec. 4).
+
+The paper uses a Customizable Fault-Effect Model that classifies the
+*communication errors* observable in the broadcast of one message:
+
+* **symmetric benign** — the message is locally detectable (syntax,
+  early/late/missing) by *all* receivers;
+* **symmetric malicious** — all receivers accept the same locally
+  undetectable but semantically wrong message;
+* **asymmetric** — at least one but not all receivers locally detect
+  the message (e.g. Slightly-Off-Specification faults, or EMI that
+  disturbs only part of the bus).
+
+At the level of one (frame, receiver) pair this reduces to a
+:class:`ReceptionOutcome`: the receiver either accepts the intended
+payload (``OK``), rejects the frame (``DETECTABLE`` — validity bit 0),
+or accepts a wrong payload (``MALICIOUS`` — validity bit 1 with bad
+data).  The injection layer composes scenario directives into exactly
+one outcome per (frame, receiver, channel).
+
+The *extended fault model* distinguishes node health over time:
+
+* a **healthy** node suffers only sporadic, external transient faults;
+* an **unhealthy** node has internal faults that manifest as
+  intermittent or permanent communication faults (shorter time to
+  reappearance than external transients).
+
+Node health is ground truth known only to the experiment harness (the
+protocol must infer it); :class:`NodeGroundTruth` records it for
+oracle checks in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional
+
+
+class ReceptionOutcome(enum.Enum):
+    """What one receiver observes for one transmitted frame."""
+
+    #: Frame accepted with the sender's intended payload.
+    OK = "ok"
+    #: Frame locally detectable as faulty (validity bit = 0).
+    DETECTABLE = "detectable"
+    #: Frame accepted (validity bit = 1) but payload is wrong.
+    MALICIOUS = "malicious"
+
+
+#: Severity order used when several scenarios affect the same frame:
+#: a detectable corruption dominates a malicious one, which dominates
+#: a clean reception.
+_SEVERITY = {
+    ReceptionOutcome.OK: 0,
+    ReceptionOutcome.MALICIOUS: 1,
+    ReceptionOutcome.DETECTABLE: 2,
+}
+
+
+def worst_outcome(a: "ReceptionOutcome", b: "ReceptionOutcome") -> "ReceptionOutcome":
+    """The dominating outcome when two fault effects overlap."""
+    return a if _SEVERITY[a] >= _SEVERITY[b] else b
+
+
+class FaultClass(enum.Enum):
+    """Sender-level fault classification of one broadcast (Sec. 4)."""
+
+    NONE = "none"
+    SYMMETRIC_BENIGN = "symmetric_benign"
+    SYMMETRIC_MALICIOUS = "symmetric_malicious"
+    ASYMMETRIC = "asymmetric"
+
+
+def classify_broadcast(outcomes: Dict[int, ReceptionOutcome]) -> FaultClass:
+    """Classify a broadcast from its per-receiver outcomes.
+
+    ``outcomes`` maps receiver IDs to what they observed.  The paper's
+    broadcast-channel assumption forbids two *different* undetectable
+    payloads at different receivers, which this model enforces by
+    construction (a malicious directive carries a single forged value).
+    """
+    values = set(outcomes.values())
+    if values == {ReceptionOutcome.OK}:
+        return FaultClass.NONE
+    if values == {ReceptionOutcome.DETECTABLE}:
+        return FaultClass.SYMMETRIC_BENIGN
+    if values == {ReceptionOutcome.MALICIOUS}:
+        return FaultClass.SYMMETRIC_MALICIOUS
+    return FaultClass.ASYMMETRIC
+
+
+class NodeHealth(enum.Enum):
+    """Ground-truth health of a node in the extended fault model."""
+
+    #: Only sporadic external transients hit this node's slots.
+    HEALTHY = "healthy"
+    #: Internal faults: intermittent or permanent sender faults.
+    UNHEALTHY = "unhealthy"
+
+
+@dataclass
+class NodeGroundTruth:
+    """Oracle information about one node, for experiment evaluation.
+
+    The diagnostic protocol never reads this; harnesses use it to score
+    decisions (e.g. "was the isolated node actually unhealthy?").
+    """
+
+    node_id: int
+    health: NodeHealth = NodeHealth.HEALTHY
+    #: True while the node follows its program (correct or omissive);
+    #: false for nodes with corrupted internal state (e.g. a node that
+    #: broadcasts random syndromes).
+    obedient: bool = True
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """The effect of one scenario on one transmission.
+
+    Exactly one of the three shapes is used:
+
+    * benign: ``detectable_by is None`` and ``malicious_payload is None``
+      — every receiver sees ``DETECTABLE``;
+    * asymmetric: ``detectable_by`` is the set of receivers that locally
+      detect the frame (the rest see it as ``OK``);
+    * symmetric malicious: ``malicious_payload`` is the forged value all
+      receivers accept.
+    """
+
+    detectable_by: Optional[FrozenSet[int]] = None
+    malicious_payload: Any = None
+    is_malicious: bool = False
+    #: Restrict the effect to one bus channel (None = all channels).
+    channel: Optional[int] = None
+    #: Free-form tag for traces ("noise", "silence", "spike", "sos"...).
+    cause: str = "fault"
+
+    def outcome_for(self, receiver: int) -> ReceptionOutcome:
+        """Outcome this directive imposes on ``receiver``."""
+        if self.is_malicious:
+            return ReceptionOutcome.MALICIOUS
+        if self.detectable_by is None:
+            return ReceptionOutcome.DETECTABLE
+        if receiver in self.detectable_by:
+            return ReceptionOutcome.DETECTABLE
+        return ReceptionOutcome.OK
+
+    @staticmethod
+    def benign(cause: str = "noise", channel: Optional[int] = None) -> "FaultDirective":
+        """All receivers locally detect the frame as faulty."""
+        return FaultDirective(cause=cause, channel=channel)
+
+    @staticmethod
+    def asymmetric(detectable_by, cause: str = "sos",
+                   channel: Optional[int] = None) -> "FaultDirective":
+        """Only ``detectable_by`` receivers detect the frame."""
+        return FaultDirective(detectable_by=frozenset(detectable_by),
+                              cause=cause, channel=channel)
+
+    @staticmethod
+    def malicious(payload: Any, cause: str = "malicious",
+                  channel: Optional[int] = None) -> "FaultDirective":
+        """All receivers accept the forged ``payload``."""
+        return FaultDirective(malicious_payload=payload, is_malicious=True,
+                              cause=cause, channel=channel)
+
+
+__all__ = [
+    "ReceptionOutcome",
+    "worst_outcome",
+    "FaultClass",
+    "classify_broadcast",
+    "NodeHealth",
+    "NodeGroundTruth",
+    "FaultDirective",
+]

@@ -1,0 +1,157 @@
+"""Stochastic fault processes for the extended fault model.
+
+The paper's extended fault model (Sec. 4) distinguishes nodes by the
+statistics of their faults rather than by a single fault event:
+
+* **healthy** nodes suffer only *external transient* faults — rare,
+  independent events well modelled as a Poisson process on the bus;
+* **unhealthy** nodes suffer *internal* faults that manifest either as
+  a permanent sender fault or as *intermittent* faults whose time to
+  reappearance is much shorter than the external transient
+  inter-arrival time.
+
+These processes drive the tuning experiments (Sec. 9 / Fig. 3): the
+reward threshold ``R`` must be large enough to correlate intermittent
+reappearances yet small enough that two independent transients are
+almost never correlated.
+
+All processes draw from a caller-provided :class:`random.Random` so the
+experiments are reproducible; arrivals are *pre-sampled lazily* up to
+any queried horizon, making the scenario a deterministic function of
+its seed.
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+from typing import Iterator, List, Optional
+
+from .injector import Scenario, TransmissionContext
+from .model import FaultDirective
+
+_EPS = 1e-12
+
+
+class PoissonTransients(Scenario):
+    """External transient faults: Poisson arrivals of short bus bursts.
+
+    Each arrival corrupts the bus for ``burst_length`` seconds (default:
+    one slot is typically covered).  ``rate`` is in arrivals per second.
+    """
+
+    def __init__(self, rate: float, burst_length: float, rng: Random,
+                 start: float = 0.0, cause: str = "transient") -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst_length <= 0:
+            raise ValueError(f"burst_length must be positive, got {burst_length}")
+        self.rate = rate
+        self.burst_length = burst_length
+        self.cause = cause
+        self._rng = rng
+        self._arrivals: List[float] = []
+        self._next_sample_from = float(start)
+
+    def _extend_to(self, horizon: float) -> None:
+        """Lazily sample arrivals up to ``horizon``."""
+        while self._next_sample_from <= horizon:
+            gap = self._rng.expovariate(self.rate)
+            self._next_sample_from += gap
+            self._arrivals.append(self._next_sample_from)
+
+    def arrivals_until(self, horizon: float) -> List[float]:
+        """All arrival instants in ``[start, horizon]`` (for oracles)."""
+        self._extend_to(horizon)
+        return [t for t in self._arrivals if t <= horizon]
+
+    def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
+        """Yield the fault directives this scenario imposes on ``ctx``."""
+        tx_start, tx_end = ctx.timebase.tx_window(ctx.round_index, ctx.slot)
+        self._extend_to(tx_end)
+        for arrival in self._arrivals:
+            if arrival >= tx_end - _EPS:
+                break
+            if arrival + self.burst_length > tx_start + _EPS:
+                yield FaultDirective.benign(cause=self.cause)
+                return
+
+
+class IntermittentSender(Scenario):
+    """An unhealthy node's internal fault, reappearing stochastically.
+
+    After each faulty burst of ``burst_rounds`` rounds, the fault
+    reappears after an exponentially distributed number of rounds with
+    mean ``mean_reappearance_rounds``.  The defining characteristic of
+    an *internal* intermittent fault is that this mean is small compared
+    to ``R`` (the reward threshold), so the penalty/reward algorithm
+    accumulates its penalties (Sec. 9, "characterizing intermittent
+    faults").
+    """
+
+    def __init__(self, sender: int, mean_reappearance_rounds: float,
+                 rng: Random, burst_rounds: int = 1,
+                 first_round: int = 0, cause: Optional[str] = None) -> None:
+        if mean_reappearance_rounds <= 0:
+            raise ValueError("mean_reappearance_rounds must be positive")
+        if burst_rounds < 1:
+            raise ValueError("burst_rounds must be >= 1")
+        self.sender = sender
+        self.mean_reappearance_rounds = mean_reappearance_rounds
+        self.burst_rounds = burst_rounds
+        self.cause = cause or f"intermittent-{sender}"
+        self._rng = rng
+        self._faulty_rounds: set = set()
+        self._next_burst_start = first_round
+        self._sampled_until = -1
+
+    def _extend_to(self, round_index: int) -> None:
+        while self._sampled_until < round_index:
+            burst_start = self._next_burst_start
+            for r in range(burst_start, burst_start + self.burst_rounds):
+                self._faulty_rounds.add(r)
+            self._sampled_until = burst_start + self.burst_rounds - 1
+            gap = self._rng.expovariate(1.0 / self.mean_reappearance_rounds)
+            self._next_burst_start = (burst_start + self.burst_rounds
+                                      + max(1, int(math.ceil(gap))))
+
+    def is_faulty_round(self, round_index: int) -> bool:
+        """Oracle: whether the sender's slot in ``round_index`` is hit."""
+        self._extend_to(round_index)
+        return round_index in self._faulty_rounds
+
+    def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
+        """Yield the fault directives this scenario imposes on ``ctx``."""
+        if ctx.sender != self.sender:
+            return
+        if self.is_faulty_round(ctx.round_index):
+            yield FaultDirective.benign(cause=self.cause)
+
+
+class RandomSlotNoise(Scenario):
+    """Each transmission is independently corrupted with probability p.
+
+    A simple memoryless disturbance useful for stress tests; the
+    per-transmission decision is memoised so repeated queries (e.g. on
+    a replicated bus) are consistent.
+    """
+
+    def __init__(self, probability: float, rng: Random,
+                 cause: str = "random-noise") -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self.probability = probability
+        self.cause = cause
+        self._rng = rng
+        self._decisions: dict = {}
+
+    def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
+        """Yield the fault directives this scenario imposes on ``ctx``."""
+        key = (ctx.round_index, ctx.slot)
+        if key not in self._decisions:
+            self._decisions[key] = self._rng.random() < self.probability
+        if self._decisions[key]:
+            yield FaultDirective.benign(cause=self.cause)
+
+
+__all__ = ["PoissonTransients", "IntermittentSender", "RandomSlotNoise"]

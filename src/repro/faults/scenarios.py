@@ -1,0 +1,276 @@
+"""Deterministic fault scenarios used in the paper's experiments.
+
+All the disturbance patterns the paper injects are expressed here as
+:class:`~repro.faults.injector.Scenario` implementations:
+
+* :class:`BusBurst` — a window of noise/silence on the bus corrupting
+  every overlapping transmission (used for 1-slot, 2-slot and
+  2-round bursts in Sec. 8, and for continuous bursts in Sec. 9).
+* :class:`SlotBurst` — convenience wrapper expressing a burst as
+  "``n_slots`` slots starting at slot ``s`` of round ``k``".
+* :class:`PeriodicBurst` — bursts with a fixed time to reappearance
+  (the *blinking light* scenario of Table 3).
+* :class:`BurstSequence` — an explicit list of bursts (the *lightning
+  bolt* scenario of Table 3, with increasing times to reappearance).
+* :class:`SenderFault` — faults attached to a specific sender:
+  benign omission, asymmetric (SOS-style, detected only by a subset of
+  receivers), or symmetric malicious (forged payload), active on a
+  configurable set of rounds (or permanently: a crashed node).
+* :class:`ChannelBurst` — a burst restricted to one channel of a
+  replicated bus.
+
+Timing convention: a burst corrupts a frame iff its ``[start, end)``
+window overlaps the frame's transmission window on the bus.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..tt.timebase import TimeBase
+from .injector import Scenario, TransmissionContext
+from .model import FaultDirective
+
+_EPS = 1e-12
+
+
+class BusBurst(Scenario):
+    """Noise/silence on the whole bus during ``[start, start+duration)``.
+
+    Every frame whose transmission window overlaps the burst is locally
+    detectable as faulty by *all* receivers (symmetric benign), which is
+    how broadband electrical disturbances manifest (Sec. 8).
+
+    ``min_overlap`` models the physical-layer detail that a frame only
+    marginally clipped by a disturbance may still pass the receivers'
+    checks: a frame is corrupted iff the burst covers more than that
+    fraction of its transmission window (default 0: any overlap
+    corrupts, the conservative EMI-on-the-wire assumption).
+    """
+
+    def __init__(self, start: float, duration: float, cause: str = "noise",
+                 min_overlap: float = 0.0) -> None:
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if not 0.0 <= min_overlap < 1.0:
+            raise ValueError(f"min_overlap must be in [0, 1), got {min_overlap}")
+        self.start = float(start)
+        self.duration = float(duration)
+        self.end = self.start + self.duration
+        self.cause = cause
+        self.min_overlap = float(min_overlap)
+
+    def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
+        """Yield the fault directives this scenario imposes on ``ctx``."""
+        tx_start, tx_end = ctx.timebase.tx_window(ctx.round_index, ctx.slot)
+        overlap = min(tx_end, self.end) - max(tx_start, self.start)
+        threshold = self.min_overlap * (tx_end - tx_start)
+        if overlap > max(threshold, _EPS):
+            yield FaultDirective.benign(cause=self.cause)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BusBurst(start={self.start}, duration={self.duration})"
+
+
+class SlotBurst(BusBurst):
+    """A burst covering ``n_slots`` consecutive slots.
+
+    Mirrors the paper's Sec. 8 injection classes: bursts of one slot,
+    two slots, or two TDMA rounds (``n_slots = 2 * N``), starting in any
+    of the ``N`` sending slots.
+    """
+
+    def __init__(self, timebase: TimeBase, round_index: int, slot: int,
+                 n_slots: int, cause: str = "noise") -> None:
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        start = timebase.slot_start(round_index, slot)
+        super().__init__(start, n_slots * timebase.slot_length, cause=cause)
+        self.first_slot = (round_index, slot)
+        self.n_slots = n_slots
+
+
+class ChannelBurst(Scenario):
+    """A burst affecting only one channel of a replicated bus."""
+
+    def __init__(self, channel: int, start: float, duration: float,
+                 cause: str = "channel-noise") -> None:
+        self.channel = channel
+        self._burst = BusBurst(start, duration, cause=cause)
+
+    def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
+        """Yield the fault directives this scenario imposes on ``ctx``."""
+        if ctx.channel != self.channel:
+            return
+        for directive in self._burst.directives(ctx):
+            yield FaultDirective.benign(cause=directive.cause)
+
+
+class PeriodicBurst(Scenario):
+    """Bursts repeating with a constant time to reappearance.
+
+    Models the *blinking light* abnormal transient scenario (Table 3):
+    an open relay causes a 10 ms disturbance every 500 ms, 50 times.
+    ``time_to_reappearance`` is the gap between the *end* of one burst
+    and the *start* of the next, matching Table 3's ``TTReapp`` column.
+    """
+
+    def __init__(self, start: float, burst_length: float,
+                 time_to_reappearance: float, count: int,
+                 cause: str = "blinking-light",
+                 min_overlap: float = 0.0) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.bursts: List[BusBurst] = []
+        t = float(start)
+        for _ in range(count):
+            self.bursts.append(BusBurst(t, burst_length, cause=cause,
+                                        min_overlap=min_overlap))
+            t += burst_length + time_to_reappearance
+
+    def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
+        """Yield the fault directives this scenario imposes on ``ctx``."""
+        for burst in self.bursts:
+            yield from burst.directives(ctx)
+
+    @property
+    def burst_windows(self) -> List[Tuple[float, float]]:
+        """``(start, end)`` of each burst, for harness bookkeeping."""
+        return [(b.start, b.end) for b in self.bursts]
+
+
+class BurstSequence(Scenario):
+    """An explicit sequence of ``(gap_before, burst_length)`` bursts.
+
+    Models the *lightning bolt* scenario (Table 3): 40 ms bursts with
+    times to reappearance 160 ms, 290 ms, then 9 times 500 ms.  Each
+    entry's gap is measured from the end of the previous burst.
+    """
+
+    def __init__(self, start: float,
+                 pattern: Sequence[Tuple[float, float]],
+                 cause: str = "lightning") -> None:
+        self.bursts: List[BusBurst] = []
+        t = float(start)
+        for gap_before, burst_length in pattern:
+            t += gap_before
+            self.bursts.append(BusBurst(t, burst_length, cause=cause))
+            t += burst_length
+
+    @classmethod
+    def lightning_bolt(cls, start: float = 0.0,
+                       burst_length: float = 40e-3) -> "BurstSequence":
+        """The paper's aerospace lightning-bolt scenario (Table 3).
+
+        One initial 40 ms burst, reappearing after 160 ms, then after
+        290 ms, then 9 more times with 500 ms reappearance.
+        """
+        pattern: List[Tuple[float, float]] = [(0.0, burst_length),
+                                              (160e-3, burst_length),
+                                              (290e-3, burst_length)]
+        pattern.extend((500e-3, burst_length) for _ in range(9))
+        return cls(start, pattern, cause="lightning")
+
+    def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
+        """Yield the fault directives this scenario imposes on ``ctx``."""
+        for burst in self.bursts:
+            yield from burst.directives(ctx)
+
+    @property
+    def burst_windows(self) -> List[Tuple[float, float]]:
+        return [(b.start, b.end) for b in self.bursts]
+
+
+def blinking_light(start: float = 0.0) -> PeriodicBurst:
+    """The paper's automotive blinking-light scenario (Table 3).
+
+    10 ms bursts with 500 ms time to reappearance, 50 instances.
+    """
+    return PeriodicBurst(start=start, burst_length=10e-3,
+                         time_to_reappearance=500e-3, count=50,
+                         cause="blinking-light")
+
+
+class SenderFault(Scenario):
+    """Faults attached to one sender's slots.
+
+    ``rounds`` selects when the fault is active: an iterable of round
+    indices, a predicate ``round_index -> bool``, or ``None`` for
+    "always" (a permanent fault, e.g. a crashed node).
+
+    ``kind`` selects the fault class:
+
+    * ``"benign"`` — omission: every receiver's validity bit is 0;
+    * ``"asymmetric"`` — only ``detectable_by`` receivers see the fault
+      (SOS faults, Sec. 4);
+    * ``"malicious"`` — all receivers accept ``payload`` instead of the
+      sender's real message (symmetric malicious).
+    """
+
+    def __init__(self, sender: int, kind: str = "benign",
+                 rounds: Any = None,
+                 detectable_by: Optional[Iterable[int]] = None,
+                 payload: Any = None,
+                 cause: Optional[str] = None) -> None:
+        if kind not in ("benign", "asymmetric", "malicious"):
+            raise ValueError(f"unknown fault kind {kind!r}")
+        if kind == "asymmetric" and not detectable_by:
+            raise ValueError("asymmetric faults need a non-empty detectable_by")
+        self.sender = sender
+        self.kind = kind
+        self.detectable_by = frozenset(detectable_by or ())
+        self.payload = payload
+        self.cause = cause or f"{kind}-sender-{sender}"
+        if rounds is None:
+            self._active: Callable[[int], bool] = lambda k: True
+        elif callable(rounds):
+            self._active = rounds
+        else:
+            round_set = frozenset(rounds)
+            self._active = lambda k: k in round_set
+
+    def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
+        """Yield the fault directives this scenario imposes on ``ctx``."""
+        if ctx.sender != self.sender or not self._active(ctx.round_index):
+            return
+        if self.kind == "benign":
+            yield FaultDirective.benign(cause=self.cause)
+        elif self.kind == "asymmetric":
+            yield FaultDirective.asymmetric(self.detectable_by, cause=self.cause)
+        else:
+            yield FaultDirective.malicious(self.payload, cause=self.cause)
+
+
+def crash(sender: int, from_round: int = 0) -> SenderFault:
+    """A crashed node: permanent benign sender fault from ``from_round``."""
+    return SenderFault(sender, kind="benign",
+                       rounds=lambda k: k >= from_round,
+                       cause=f"crash-{sender}")
+
+
+def every_nth_round(sender: int, period: int, start_round: int,
+                    occurrences: int) -> SenderFault:
+    """A benign fault in the sender's slot every ``period`` rounds.
+
+    Used by the Sec. 8 penalty/reward validation class: "a fault is
+    injected in the sending slots of the node every second TDMA round
+    for 20 TDMA rounds".
+    """
+    if period < 1 or occurrences < 1:
+        raise ValueError("period and occurrences must be >= 1")
+    active_rounds = frozenset(start_round + i * period for i in range(occurrences))
+    return SenderFault(sender, kind="benign", rounds=active_rounds,
+                       cause=f"intermittent-{sender}")
+
+
+__all__ = [
+    "BusBurst",
+    "SlotBurst",
+    "ChannelBurst",
+    "PeriodicBurst",
+    "BurstSequence",
+    "SenderFault",
+    "blinking_light",
+    "crash",
+    "every_nth_round",
+]

@@ -1,0 +1,68 @@
+"""Time-triggered system substrate (paper Sec. 3).
+
+A synchronous TDMA cluster: a shared (optionally replicated) broadcast
+bus, communication controllers exposing interface variables with
+validity bits and a local collision detector, host nodes with
+unconstrained job schedules, and local clocks (for SOS fault
+generation).  The add-on diagnostic protocol of :mod:`repro.core` runs
+purely on top of the observables this package provides.
+"""
+
+from .bus import Bus
+from .clock import ClockModel, SOSClockScenario
+from .cluster import Cluster, PAPER_ROUND_LENGTH
+from .controller import CommunicationController, SenderStatus
+from .frames import (
+    Delivery,
+    Frame,
+    decode_syndrome,
+    encode_syndrome,
+    round_bandwidth_bits,
+    syndrome_size_bits,
+)
+from .node import Job, JobContext, Node
+from .platforms import FLEXRAY, PLATFORMS, SAFEBUS, TTP_C, TT_ETHERNET, PlatformProfile
+from .schedule import (
+    DynamicNodeSchedule,
+    GlobalSchedule,
+    NodeSchedule,
+    ScheduleParams,
+    StaticNodeSchedule,
+    offset_for_exec_after,
+    params_from_offset,
+)
+from .timebase import SlotRef, TimeBase
+
+__all__ = [
+    "Bus",
+    "ClockModel",
+    "SOSClockScenario",
+    "Cluster",
+    "PAPER_ROUND_LENGTH",
+    "CommunicationController",
+    "SenderStatus",
+    "Delivery",
+    "Frame",
+    "decode_syndrome",
+    "encode_syndrome",
+    "round_bandwidth_bits",
+    "syndrome_size_bits",
+    "Job",
+    "JobContext",
+    "Node",
+    "FLEXRAY",
+    "PLATFORMS",
+    "SAFEBUS",
+    "TTP_C",
+    "TT_ETHERNET",
+    "PlatformProfile",
+    "DynamicNodeSchedule",
+    "GlobalSchedule",
+    "NodeSchedule",
+    "ScheduleParams",
+    "StaticNodeSchedule",
+    "offset_for_exec_after",
+    "params_from_offset",
+    "SlotRef",
+    "TimeBase",
+]

@@ -1,0 +1,140 @@
+"""Shared (optionally replicated) broadcast bus with TDMA access.
+
+The bus connects all communication controllers.  At the start of a
+sending slot the owning node's controller hands the bus a frame (or
+``None`` if the node does not transmit); the bus consults the
+fault-injection layer for the per-receiver outcome on each channel,
+composes replicated channels, and schedules the delivery at the end of
+the transmission window.
+
+Key modelling points (Sec. 3/4 of the paper):
+
+* The sender is a receiver of its own frame — its self-reception result
+  is the *local collision detector* outcome ("checks if messages sent
+  by the node can actually be read from the bus").
+* Correct nodes are identified by sending time; there is no message
+  forging: a frame observed in slot ``i`` is attributed to node ``i``.
+* On a replicated bus a receiver accepts the first channel (in index
+  order) whose frame passes its local error detection.  A malicious
+  frame is by definition locally undetectable, so a malicious channel
+  earlier in the order wins over a correct later channel — replication
+  helps against benign channel faults, not against malicious ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..faults.injector import InjectionLayer, TransmissionContext
+from ..faults.model import ReceptionOutcome, classify_broadcast
+from ..sim.engine import Engine
+from ..sim.events import EventPriority
+from ..sim.trace import Trace
+from .frames import Frame
+from .timebase import TimeBase
+
+
+class Bus:
+    """The TDMA broadcast medium."""
+
+    def __init__(self, engine: Engine, timebase: TimeBase,
+                 injection: InjectionLayer, trace: Trace,
+                 n_channels: int = 1) -> None:
+        if n_channels < 1:
+            raise ValueError(f"n_channels must be >= 1, got {n_channels}")
+        self.engine = engine
+        self.timebase = timebase
+        self.injection = injection
+        self.trace = trace
+        self.n_channels = n_channels
+        self._receivers: Dict[int, Any] = {}
+
+    def attach(self, node_id: int, controller: Any) -> None:
+        """Register a controller to receive every slot's delivery."""
+        self._receivers[node_id] = controller
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._receivers))
+
+    # ------------------------------------------------------------------
+    def transmit(self, round_index: int, slot: int, frame: Optional[Frame]) -> None:
+        """Put ``frame`` on the bus in the given slot.
+
+        Called by the cluster driver at the slot start.  ``frame is
+        None`` models a silent sender (crashed process or transmission
+        disabled): every receiver observes a missing frame, i.e. a
+        locally detectable fault.
+        """
+        receivers = self.node_ids
+        per_receiver: Dict[int, Tuple[bool, Any]] = {}
+        causes: List[str] = []
+
+        if frame is None:
+            for r in receivers:
+                per_receiver[r] = (False, None)
+            causes.append("silent-sender")
+            outcome_map = {r: ReceptionOutcome.DETECTABLE for r in receivers}
+        else:
+            # Injection outcome per channel, then channel composition:
+            # a receiver takes the first channel whose frame passes its
+            # local error detection.
+            channel_results = []
+            for channel in range(self.n_channels):
+                ctx = TransmissionContext(
+                    time=self.timebase.slot_start(round_index, slot),
+                    round_index=round_index,
+                    slot=slot,
+                    sender=frame.sender,
+                    receivers=receivers,
+                    channel=channel,
+                    timebase=self.timebase,
+                )
+                injected = self.injection.apply(ctx)
+                channel_results.append(injected)
+                causes.extend(injected.causes)
+
+            outcome_map = {}
+            for r in receivers:
+                accepted: Optional[Tuple[bool, Any]] = None
+                composed = ReceptionOutcome.DETECTABLE
+                for injected in channel_results:
+                    outcome = injected.outcomes[r]
+                    if outcome is ReceptionOutcome.OK:
+                        accepted = (True, frame.payload)
+                        composed = ReceptionOutcome.OK
+                        break
+                    if outcome is ReceptionOutcome.MALICIOUS:
+                        accepted = (True, injected.malicious_payload)
+                        composed = ReceptionOutcome.MALICIOUS
+                        break
+                per_receiver[r] = accepted if accepted is not None else (False, None)
+                outcome_map[r] = composed
+
+        sender_id = frame.sender if frame is not None else slot
+        self.trace.record(
+            self.engine.now, "tx", node=sender_id,
+            round_index=round_index, slot=slot,
+            sent=frame is not None,
+            fault_class=classify_broadcast(outcome_map).value,
+            validity={r: int(v) for r, (v, _p) in per_receiver.items()},
+            causes=tuple(dict.fromkeys(causes)),
+        )
+
+        delivery_at = self.timebase.delivery_time(round_index, slot)
+        self.engine.schedule(
+            delivery_at, EventPriority.SLOT_DELIVER,
+            lambda: self._deliver(round_index, slot, sender_id, per_receiver),
+            description=f"deliver r{round_index} s{slot}",
+        )
+
+    def _deliver(self, round_index: int, slot: int, sender: int,
+                 per_receiver: Dict[int, Tuple[bool, Any]]) -> None:
+        for node_id in self.node_ids:
+            valid, payload = per_receiver[node_id]
+            self._receivers[node_id].deliver(
+                sender=sender, round_index=round_index, slot=slot,
+                valid=valid, payload=payload, time=self.engine.now)
+
+
+__all__ = ["Bus"]

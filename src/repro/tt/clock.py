@@ -1,0 +1,89 @@
+"""Local clock model and Slightly-Off-Specification (SOS) faults.
+
+Sec. 4 of the paper names SOS faults [Ademaj et al., DSN 2003] as a
+canonical source of *asymmetric* faults: "when the clock of a node is
+close to the allowed offset ... the messages it sends are seen as
+timely only by a subset of the receivers".
+
+This module models just enough clock physics to generate such
+asymmetries from first principles instead of hand-picking the affected
+receiver set:
+
+* every node has a local clock with a constant initial offset and a
+  linear drift rate relative to global time;
+* a receiver accepts a frame as *timely* iff the apparent timing error
+  — the difference between the sender's and the receiver's clock at
+  transmission time — is within the receiver's acceptance window.
+
+When a sender's clock deviation sits near the acceptance-window edge,
+receivers whose own offsets lean the other way reject the frame while
+the rest accept it: an asymmetric fault, exactly the SOS mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping
+
+from ..faults.injector import Scenario, TransmissionContext
+from ..faults.model import FaultDirective
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """A node-local clock: ``local(t) = t + offset + drift * t``."""
+
+    offset: float = 0.0
+    drift: float = 0.0
+
+    def deviation(self, t: float) -> float:
+        """Deviation from global time at global time ``t``."""
+        return self.offset + self.drift * t
+
+
+class SOSClockScenario(Scenario):
+    """Derives per-receiver timeliness from the cluster's clock state.
+
+    Parameters
+    ----------
+    clocks:
+        Mapping node ID -> :class:`ClockModel`.  Nodes absent from the
+        mapping are assumed perfectly synchronised.
+    acceptance_window:
+        Half-width of the receive window: receiver ``r`` detects the
+        frame of sender ``s`` as untimely iff
+        ``|deviation_s(t) - deviation_r(t)| > acceptance_window``.
+    """
+
+    def __init__(self, clocks: Mapping[int, ClockModel],
+                 acceptance_window: float) -> None:
+        if acceptance_window <= 0:
+            raise ValueError("acceptance_window must be positive")
+        self.clocks: Dict[int, ClockModel] = dict(clocks)
+        self.acceptance_window = acceptance_window
+
+    def _deviation(self, node_id: int, t: float) -> float:
+        clock = self.clocks.get(node_id)
+        return clock.deviation(t) if clock is not None else 0.0
+
+    def rejecting_receivers(self, sender: int, receivers, t: float):
+        """Receivers that locally detect the sender's frame as untimely."""
+        dev_s = self._deviation(sender, t)
+        rejecting = []
+        for r in receivers:
+            if r == sender:
+                # The sender judges its own frame by its own clock:
+                # zero apparent error, never rejected here.
+                continue
+            if abs(dev_s - self._deviation(r, t)) > self.acceptance_window:
+                rejecting.append(r)
+        return rejecting
+
+    def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
+        """Yield the fault directives this scenario imposes on ``ctx``."""
+        rejecting = self.rejecting_receivers(ctx.sender, ctx.receivers, ctx.time)
+        if rejecting:
+            yield FaultDirective.asymmetric(rejecting, cause="sos")
+
+
+__all__ = ["ClockModel", "SOSClockScenario"]

@@ -1,0 +1,108 @@
+"""Frames exchanged on the TDMA bus.
+
+A frame is the unit of transmission in one sending slot.  The payload
+is opaque to the bus and the communication controllers; for the
+diagnostic protocol it carries the sender's *local syndrome* (an
+``N``-tuple over ``{0, 1}``), which is why the paper's bandwidth
+requirement is only ``N`` bits per diagnostic message.
+
+The module also provides the wire encoding used to report the actual
+bandwidth numbers in the benchmarks (``N`` bits per message, ``O(N^2)``
+bits per round for the whole protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One TDMA transmission.
+
+    Attributes
+    ----------
+    sender:
+        ID of the sending node (equals the slot number).
+    round_index:
+        Round in which the frame is sent.
+    payload:
+        Application payload.  For diagnostic jobs this is a
+        ``tuple`` of ``N`` binary opinions (the local syndrome).
+    """
+
+    sender: int
+    round_index: int
+    payload: Any
+
+    @property
+    def slot(self) -> int:
+        """Sending slot (identical to the sender ID in this model)."""
+        return self.sender
+
+
+def encode_syndrome(syndrome: Sequence[int]) -> bytes:
+    """Pack a binary local syndrome into a bit string (MSB first).
+
+    The packed size is ``ceil(N / 8)`` bytes, demonstrating the paper's
+    ``N``-bit-per-message bandwidth requirement.
+    """
+    n = len(syndrome)
+    value = 0
+    for bit in syndrome:
+        if bit not in (0, 1):
+            raise ValueError(f"syndrome bits must be 0/1, got {bit!r}")
+        value = (value << 1) | bit
+    n_bytes = (n + 7) // 8
+    # Left-align the bits in the byte string: shift so the first
+    # syndrome bit occupies the MSB of the first byte.
+    value <<= n_bytes * 8 - n
+    return value.to_bytes(n_bytes, "big")
+
+
+def decode_syndrome(data: bytes, n: int) -> Tuple[int, ...]:
+    """Inverse of :func:`encode_syndrome`."""
+    n_bytes = (n + 7) // 8
+    if len(data) != n_bytes:
+        raise ValueError(f"expected {n_bytes} bytes for N={n}, got {len(data)}")
+    value = int.from_bytes(data, "big") >> (n_bytes * 8 - n)
+    return tuple((value >> (n - 1 - i)) & 1 for i in range(n))
+
+
+def syndrome_size_bits(n: int) -> int:
+    """Size of one diagnostic message in bits (paper: ``N`` bits)."""
+    return n
+
+
+def round_bandwidth_bits(n: int) -> int:
+    """Total protocol bandwidth per round in bits (paper: ``O(N^2)``)."""
+    return n * syndrome_size_bits(n)
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """The outcome of one frame at one receiver.
+
+    ``valid`` mirrors the communication controller's *validity bit*:
+    it is true iff the frame passed the receiver's local error
+    detection.  ``payload`` carries the received value; when a fault is
+    *malicious* the payload differs from the sender's intent while
+    ``valid`` remains true (locally undetectable, Sec. 4).
+    """
+
+    frame: Frame
+    receiver: int
+    valid: bool
+    payload: Any
+    channel: Optional[int] = None
+
+
+__all__ = [
+    "Frame",
+    "Delivery",
+    "encode_syndrome",
+    "decode_syndrome",
+    "syndrome_size_bits",
+    "round_bandwidth_bits",
+]

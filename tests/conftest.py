@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolConfig, uniform_config
+from repro.core.service import DiagnosedCluster
+from repro.tt.timebase import TimeBase
+
+
+@pytest.fixture
+def timebase() -> TimeBase:
+    """The paper's prototype timing: 4 slots, 2.5 ms rounds."""
+    return TimeBase(n_slots=4, round_length=2.5e-3)
+
+
+@pytest.fixture
+def permissive_config() -> ProtocolConfig:
+    """A 4-node config whose p/r thresholds never trigger (pure
+    diagnosis tests)."""
+    return uniform_config(4, penalty_threshold=10 ** 6,
+                          reward_threshold=10 ** 6)
+
+
+@pytest.fixture
+def small_config() -> ProtocolConfig:
+    """A 4-node config with small thresholds (isolation tests)."""
+    return uniform_config(4, penalty_threshold=3, reward_threshold=10)
+
+
+def make_cluster(config: ProtocolConfig, **kwargs) -> DiagnosedCluster:
+    """Convenience constructor used across integration tests."""
+    kwargs.setdefault("seed", 0)
+    return DiagnosedCluster(config, **kwargs)

@@ -1,0 +1,124 @@
+"""Tests for trace-derived metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    availability_seconds,
+    completeness_holds,
+    consistency_violations,
+    correctness_holds,
+    detection_latency_rounds,
+    first_isolation_time,
+    health_vectors_by_node,
+    isolation_round,
+)
+from repro.sim.trace import Trace
+
+
+def trace_with_vectors():
+    trace = Trace()
+    for node in (1, 2, 3):
+        trace.record(0.1 * node, "cons_hv", node=node, round_index=9,
+                     diagnosed_round=6, cons_hv=(1, 0, 1, 1))
+        trace.record(0.2 * node, "cons_hv", node=node, round_index=10,
+                     diagnosed_round=7, cons_hv=(1, 1, 1, 1))
+    return trace
+
+
+class TestHealthVectors:
+    def test_grouping(self):
+        by_node = health_vectors_by_node(trace_with_vectors())
+        assert by_node[1] == {6: (1, 0, 1, 1), 7: (1, 1, 1, 1)}
+        assert set(by_node) == {1, 2, 3}
+
+    def test_consistency_clean(self):
+        assert consistency_violations(trace_with_vectors(), [1, 2, 3]) == []
+
+    def test_consistency_violation_detected(self):
+        trace = trace_with_vectors()
+        trace.record(0.9, "cons_hv", node=4, round_index=9,
+                     diagnosed_round=6, cons_hv=(1, 1, 1, 1))
+        violations = consistency_violations(trace, [1, 2, 3, 4])
+        assert len(violations) == 1
+        assert violations[0][0] == 6
+
+    def test_violations_ignore_non_obedient(self):
+        trace = trace_with_vectors()
+        trace.record(0.9, "cons_hv", node=4, round_index=9,
+                     diagnosed_round=6, cons_hv=(0, 0, 0, 0))
+        assert consistency_violations(trace, [1, 2, 3]) == []
+
+
+class TestOracles:
+    def test_completeness(self):
+        trace = trace_with_vectors()
+        assert completeness_holds(trace, 6, 2, [1, 2, 3])
+        assert not completeness_holds(trace, 7, 2, [1, 2, 3])
+        # No data for that round -> not complete.
+        assert not completeness_holds(trace, 99, 2, [1, 2, 3])
+
+    def test_correctness(self):
+        trace = trace_with_vectors()
+        assert correctness_holds(trace, 6, [1, 3, 4], [1, 2, 3])
+        assert not correctness_holds(trace, 6, [2], [1, 2, 3])
+        assert not correctness_holds(trace, 99, [1], [1, 2, 3])
+
+    def test_detection_latency(self):
+        trace = trace_with_vectors()
+        assert detection_latency_rounds(trace, 6, 2) == 3
+        assert detection_latency_rounds(trace, 7, 2) is None
+
+
+class TestIsolationQueries:
+    def make_trace(self):
+        trace = Trace()
+        trace.record(1.0, "isolation", node=1, round_index=400, isolated=2)
+        trace.record(1.0, "isolation", node=3, round_index=400, isolated=2)
+        trace.record(2.0, "isolation", node=1, round_index=800, isolated=4)
+        return trace
+
+    def test_first_isolation_time(self):
+        trace = self.make_trace()
+        assert first_isolation_time(trace, 2) == 1.0
+        assert first_isolation_time(trace, 4) == 2.0
+        assert first_isolation_time(trace, 1) is None
+
+    def test_isolation_round(self):
+        assert isolation_round(self.make_trace(), 2) == 400
+
+
+class TestAvailability:
+    def test_always_up(self):
+        assert availability_seconds(Trace(), 1, horizon=10.0) == 10.0
+
+    def test_down_from_isolation(self):
+        trace = Trace()
+        trace.record(4.0, "isolation", node=2, isolated=1)
+        assert availability_seconds(trace, 1, horizon=10.0) == 4.0
+
+    def test_reintegration_restores(self):
+        trace = Trace()
+        trace.record(2.0, "isolation", node=2, isolated=1)
+        trace.record(5.0, "reintegration", node=2, reintegrated=1)
+        assert availability_seconds(trace, 1, horizon=10.0) == \
+            pytest.approx(2.0 + 5.0)
+
+    def test_multiple_cycles(self):
+        trace = Trace()
+        trace.record(1.0, "isolation", node=2, isolated=1)
+        trace.record(2.0, "reintegration", node=2, reintegrated=1)
+        trace.record(3.0, "isolation", node=2, isolated=1)
+        assert availability_seconds(trace, 1, horizon=4.0) == \
+            pytest.approx(2.0)
+
+    def test_duplicate_observers_do_not_double_count(self):
+        trace = Trace()
+        trace.record(1.0, "isolation", node=2, isolated=1)
+        trace.record(1.0, "isolation", node=3, isolated=1)
+        assert availability_seconds(trace, 1, horizon=2.0) == \
+            pytest.approx(1.0)
+
+    def test_events_beyond_horizon_ignored(self):
+        trace = Trace()
+        trace.record(15.0, "isolation", node=2, isolated=1)
+        assert availability_seconds(trace, 1, horizon=10.0) == 10.0

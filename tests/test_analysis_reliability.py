@@ -1,0 +1,103 @@
+"""Tests for the Fig. 3 analytics."""
+
+import math
+
+import pytest
+
+from repro.analysis.reliability import (
+    PAPER_R,
+    PAPER_T,
+    correlation_window_seconds,
+    max_reward_for_transient_bound,
+    min_reward_for_intermittent_bound,
+    p_correlate_intermittent,
+    p_correlate_transient,
+    reward_tradeoff_curve,
+)
+
+
+class TestWindow:
+    def test_paper_choice_is_about_42_minutes(self):
+        window = correlation_window_seconds(PAPER_R, PAPER_T)
+        assert window == pytest.approx(2500.0)
+        assert window / 60 == pytest.approx(41.67, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            correlation_window_seconds(0)
+
+
+class TestTransientCorrelation:
+    def test_closed_form(self):
+        rate = 1.0 / 3600.0  # one per hour
+        p = p_correlate_transient(rate, PAPER_R, PAPER_T)
+        assert p == pytest.approx(1 - math.exp(-2500 / 3600))
+
+    def test_below_one_percent_at_low_rates(self):
+        # The paper: "the resulting probability of correlating a second
+        # transient fault is less than 1%" at the considered rates.
+        rate = 0.01 / 3600.0
+        assert p_correlate_transient(rate, PAPER_R, PAPER_T) < 0.01
+
+    def test_monotone_in_r(self):
+        rate = 1.0 / 3600.0
+        ps = [p_correlate_transient(rate, r, PAPER_T)
+              for r in (10 ** 3, 10 ** 5, 10 ** 7)]
+        assert ps[0] < ps[1] < ps[2]
+
+    def test_zero_rate(self):
+        assert p_correlate_transient(0.0, PAPER_R, PAPER_T) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            p_correlate_transient(-1.0, 10, PAPER_T)
+
+
+class TestIntermittentCorrelation:
+    def test_fast_reappearance_almost_surely_correlated(self):
+        # Internal fault reappearing every ~60 s; window 2500 s.
+        p = p_correlate_intermittent(60.0, PAPER_R, PAPER_T)
+        assert p > 0.999999
+
+    def test_slow_reappearance_often_missed_with_small_r(self):
+        p = p_correlate_intermittent(60.0, 1000, PAPER_T)  # 2.5 s window
+        assert p < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            p_correlate_intermittent(0.0, 10, PAPER_T)
+
+
+class TestInverses:
+    def test_max_reward_respects_bound(self):
+        rate = 1.0 / 3600.0
+        r = max_reward_for_transient_bound(rate, 0.01, PAPER_T)
+        assert p_correlate_transient(rate, r, PAPER_T) <= 0.01
+        assert p_correlate_transient(rate, r + r // 10 + 2, PAPER_T) > 0.01
+
+    def test_min_reward_respects_bound(self):
+        r = min_reward_for_intermittent_bound(60.0, 0.99, PAPER_T)
+        assert p_correlate_intermittent(60.0, r, PAPER_T) >= 0.99
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            max_reward_for_transient_bound(1.0, 1.5)
+        with pytest.raises(ValueError):
+            max_reward_for_transient_bound(0.0, 0.5)
+        with pytest.raises(ValueError):
+            min_reward_for_intermittent_bound(60.0, 0.0)
+
+
+class TestCurve:
+    def test_tradeoff_curve_shape(self):
+        points = reward_tradeoff_curve([10 ** 3, 10 ** 6, 10 ** 8],
+                                       external_rate=1.0 / 3600.0,
+                                       intermittent_mean_reappearance=60.0)
+        assert len(points) == 3
+        # Both probabilities increase with R — that is the tradeoff.
+        trans = [p.p_correlate_transient for p in points]
+        inter = [p.p_correlate_intermittent for p in points]
+        assert trans == sorted(trans)
+        assert inter == sorted(inter)
+        # Intermittents correlate earlier than independent transients.
+        assert inter[1] > trans[1]

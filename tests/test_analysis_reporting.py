@@ -1,0 +1,59 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    format_cell,
+    render_comparison,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_floats_compact(self):
+        assert format_cell(0.518) == "0.518"
+        assert format_cell(0) == "0"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1e-9) == "1e-09"
+        assert format_cell(123456.0) == "1.23e+05"
+
+    def test_strings_and_ints_passthrough(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment_and_borders(self):
+        out = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "| a " in lines[1]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "| a |" in out
+
+
+def test_render_comparison():
+    line = render_comparison("Table 4 auto SC", 0.518, 0.520, unit="s")
+    assert "paper = 0.518 s" in line
+    assert "measured = 0.52 s" in line
+
+
+def test_render_series():
+    out = render_series("fig", [1, 2], [0.1, 0.2], x_label="R", y_label="p")
+    assert "fig" in out
+    assert "| R" in out

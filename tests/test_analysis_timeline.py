@@ -1,0 +1,68 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.analysis.timeline import isolation_marks, render_timeline
+from repro.core.config import uniform_config
+from repro.core.service import DiagnosedCluster
+from repro.faults.scenarios import SenderFault, SlotBurst, crash
+from repro.sim.trace import Trace
+
+
+def run_cluster(scenario=None, config=None, rounds=14):
+    config = config or uniform_config(4, penalty_threshold=10 ** 6,
+                                      reward_threshold=10 ** 6)
+    dc = DiagnosedCluster(config, seed=0)
+    if scenario is not None:
+        dc.cluster.add_scenario(scenario)
+    dc.run_rounds(rounds)
+    return dc
+
+
+def test_empty_trace():
+    assert render_timeline(Trace(), 4) == "(empty trace)"
+
+
+def test_clean_round_renders_dots():
+    dc = run_cluster()
+    text = render_timeline(dc.trace, 4, first_round=5, last_round=5)
+    assert "    5 | . . . ." in text
+
+
+def test_benign_fault_marked():
+    dc = run_cluster(SlotBurst(None or run_cluster().cluster.timebase, 6, 2, 1))
+    text = render_timeline(dc.trace, 4, first_round=6, last_round=9)
+    assert "    6 | . B . ." in text
+    assert "fault: noise @ slot 2" in text
+    assert "cons_hv 1011 (diagnoses 6)" in text
+
+
+def test_asymmetric_and_silent_markers():
+    dc = run_cluster(SenderFault(3, kind="asymmetric", rounds=[6],
+                                 detectable_by=[1]))
+    text = render_timeline(dc.trace, 4, first_round=6, last_round=6,
+                           observer=None)
+    assert "    6 | . . A ." in text
+
+    dc2 = DiagnosedCluster(uniform_config(4, penalty_threshold=10 ** 6,
+                                          reward_threshold=10 ** 6), seed=0)
+    dc2.cluster.node(2).controller.disable_transmission()
+    dc2.run_rounds(2)
+    text2 = render_timeline(dc2.trace, 4, first_round=0, last_round=1)
+    assert "    0 | . - . ." in text2
+
+
+def test_isolation_annotated_and_marks():
+    config = uniform_config(4, penalty_threshold=2, reward_threshold=10)
+    dc = run_cluster(crash(2, from_round=6), config=config, rounds=16)
+    text = render_timeline(dc.trace, 4)
+    assert "isolate node 2" in text
+    marks = isolation_marks(dc.trace)
+    assert marks == [(11, 2)]
+
+
+def test_observer_filtering():
+    config = uniform_config(4, penalty_threshold=2, reward_threshold=10)
+    dc = run_cluster(crash(2, from_round=6), config=config, rounds=16)
+    # observer=None aggregates all nodes' identical decisions into one
+    # annotation line (deduplicated).
+    text = render_timeline(dc.trace, 4, observer=None)
+    assert text.count("isolate node 2") == 1

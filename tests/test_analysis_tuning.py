@@ -1,0 +1,74 @@
+"""Tests for the Sec. 9 tuning derivation — must reproduce Table 2 exactly."""
+
+import pytest
+
+from repro.analysis.tuning import (
+    ADDON_PIPELINE_ROUNDS,
+    penalty_budget_for_outage,
+    tune,
+    tune_aerospace,
+    tune_automotive,
+)
+from repro.core.config import (
+    AUTOMOTIVE_TOLERATED_OUTAGE,
+    CriticalityClass,
+)
+
+C = CriticalityClass
+
+
+class TestPenaltyBudget:
+    def test_counts_rounds_minus_pipeline(self):
+        # 20 ms at 2.5 ms rounds = 8 rounds; minus the 3-round pipeline.
+        assert penalty_budget_for_outage(20e-3, 2.5e-3) == 5
+        assert penalty_budget_for_outage(100e-3, 2.5e-3) == 37
+        assert penalty_budget_for_outage(500e-3, 2.5e-3) == 197
+        assert penalty_budget_for_outage(50e-3, 2.5e-3) == 17
+
+    def test_pipeline_override(self):
+        assert penalty_budget_for_outage(20e-3, 2.5e-3, pipeline_rounds=2) == 6
+
+    def test_outage_below_minimum_latency_rejected(self):
+        with pytest.raises(ValueError):
+            penalty_budget_for_outage(7.5e-3, 2.5e-3)
+        with pytest.raises(ValueError):
+            penalty_budget_for_outage(-1.0, 2.5e-3)
+
+
+class TestTable2:
+    def test_automotive_matches_paper_exactly(self):
+        result = tune_automotive()
+        assert result.penalty_threshold == 197
+        assert result.criticalities == {C.SC: 40, C.SR: 6, C.NSR: 1}
+        assert result.penalty_budgets == {C.SC: 5, C.SR: 37, C.NSR: 197}
+
+    def test_aerospace_matches_paper_exactly(self):
+        result = tune_aerospace()
+        assert result.penalty_threshold == 17
+        assert result.criticalities == {C.SC: 1}
+
+    def test_latencies_satisfy_tolerated_outage(self):
+        result = tune_automotive()
+        # SC and SR latencies must fit their class budget; NSR's range
+        # is 500-1000 ms, satisfied by 502.5 ms.
+        assert result.isolation_latency(C.SC) <= \
+            AUTOMOTIVE_TOLERATED_OUTAGE[C.SC] + 1e-9
+        assert result.isolation_latency(C.SR) <= \
+            AUTOMOTIVE_TOLERATED_OUTAGE[C.SR] + 1e-9
+        assert result.isolation_latency(C.NSR) <= 1.0
+
+    def test_round_length_scales_results(self):
+        # Halving the round doubles the budgets.
+        result = tune(AUTOMOTIVE_TOLERATED_OUTAGE, 1.25e-3)
+        assert result.penalty_budgets[C.NSR] == 397  # 400 - 3
+
+    def test_single_class_always_criticality_one(self):
+        result = tune({C.SC: 50e-3}, 2.5e-3)
+        assert result.criticalities == {C.SC: 1}
+        assert result.penalty_threshold == result.penalty_budgets[C.SC]
+
+
+def test_pipeline_constant_matches_protocol():
+    from repro.core.config import uniform_config
+    assert ADDON_PIPELINE_ROUNDS == \
+        uniform_config(4).detection_pipeline_rounds()

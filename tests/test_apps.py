@@ -1,0 +1,118 @@
+"""Tests for the application layer (producers, consumers, outages)."""
+
+import pytest
+
+from repro.apps import ConsumerJob, ProducerJob, app_channel
+from repro.core.config import uniform_config
+from repro.core.service import DiagnosedCluster
+from repro.faults.scenarios import SenderFault, SlotBurst, crash
+from repro.sim.trace import Trace
+
+
+def build(config=None, seed=0):
+    config = config or uniform_config(4, penalty_threshold=10 ** 6,
+                                      reward_threshold=10 ** 6)
+    return DiagnosedCluster(config, seed=seed)
+
+
+def install_pair(dc, provider=2, consumer_node=1, budget=4,
+                 with_diag_link=True):
+    producer = ProducerJob("speed")
+    consumer = ConsumerJob(
+        "speed", provider=provider, tolerated_outage_rounds=budget,
+        trace=dc.trace,
+        diagnostic=dc.service(consumer_node) if with_diag_link else None)
+    dc.cluster.install_job(provider, producer)
+    dc.cluster.install_job(consumer_node, consumer)
+    return producer, consumer
+
+
+class TestEndToEnd:
+    def test_values_flow_with_one_round_delay(self):
+        dc = build()
+        producer, consumer = install_pair(dc)
+        dc.run_rounds(10)
+        assert consumer.consumed
+        for round_index, value in consumer.consumed:
+            # The consumer (job at round k, l=0) reads the value the
+            # producer published in round k-1 or k-2 depending on the
+            # producer's slot position vs. its job offset.
+            assert value in (round_index - 1, round_index - 2)
+
+    def test_app_and_diag_share_the_frame(self):
+        dc = build()
+        producer, consumer = install_pair(dc)
+        dc.run_rounds(10)
+        # The diagnostic protocol is unaffected by the co-hosted app...
+        assert dc.consistent_health_history()
+        # ...and the frame carries both channels.
+        tx_payload = dc.cluster.node(1).controller.read_interface()[2]
+        assert "diag" in tx_payload
+        assert app_channel("speed") in tx_payload
+
+    def test_transient_outage_within_budget(self):
+        dc = build()
+        producer, consumer = install_pair(dc, budget=4)
+        dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, 6, 2, 1))
+        dc.run_rounds(14)
+        assert consumer.worst_outage == 1
+        assert not consumer.deadline_misses
+        assert not dc.trace.select(category="outage")
+
+    def test_outage_recorded_when_budget_exceeded(self):
+        dc = build()
+        producer, consumer = install_pair(dc, budget=3,
+                                          with_diag_link=False)
+        dc.cluster.add_scenario(SenderFault(
+            2, kind="benign", rounds=lambda k: 6 <= k < 12))
+        dc.run_rounds(16)
+        assert consumer.deadline_misses == [10]  # 4th missed round
+        outages = dc.trace.select(category="outage")
+        assert len(outages) == 1
+        assert outages[0].data["provider"] == 2
+
+    def test_isolation_triggers_recovery_before_deadline(self):
+        # The Sec. 9 contract: tune P so diagnosis completes inside the
+        # application's outage budget -> the consumer never misses its
+        # deadline; it switches to recovery when the provider is
+        # isolated.
+        config = uniform_config(4, penalty_threshold=2, reward_threshold=10)
+        dc = build(config)
+        # Budget of 7 rounds > isolation latency (3 faulty rounds + 3
+        # pipeline rounds).
+        producer, consumer = install_pair(dc, budget=7)
+        dc.cluster.add_scenario(crash(2, from_round=6))
+        dc.run_rounds(20)
+        assert consumer.recovered_at is not None
+        assert not consumer.deadline_misses
+        rec = dc.trace.select(category="recovery")
+        assert rec and rec[0].data["provider"] == 2
+
+    def test_under_tuned_budget_misses_deadline(self):
+        # Conversely, an outage budget below the diagnostic latency is
+        # violated before diagnosis completes -> the tuning procedure
+        # would reject this configuration.
+        config = uniform_config(4, penalty_threshold=10, reward_threshold=10)
+        dc = build(config)
+        producer, consumer = install_pair(dc, budget=3)
+        dc.cluster.add_scenario(crash(2, from_round=6))
+        dc.run_rounds(20)
+        assert consumer.deadline_misses
+
+
+class TestValidation:
+    def test_budget_positive(self):
+        with pytest.raises(ValueError):
+            ConsumerJob("x", provider=1, tolerated_outage_rounds=0,
+                        trace=Trace())
+
+    def test_producer_custom_compute(self):
+        dc = build()
+        producer = ProducerJob("cmd", compute=lambda k: {"round": k})
+        consumer = ConsumerJob("cmd", provider=3,
+                               tolerated_outage_rounds=5, trace=dc.trace)
+        dc.cluster.install_job(3, producer)
+        dc.cluster.install_job(1, consumer)
+        dc.run_rounds(8)
+        assert consumer.consumed
+        assert all(isinstance(v, dict) for _k, v in consumer.consumed)

@@ -1,0 +1,110 @@
+"""Tests for the α-count and immediate-isolation baselines."""
+
+import pytest
+
+from repro.baselines.alpha_count import (
+    AlphaCount,
+    AlphaCountConfig,
+    equivalent_alpha_config,
+)
+from repro.baselines.immediate import ImmediateIsolation
+
+
+class TestAlphaCount:
+    def test_score_grows_on_faults(self):
+        ac = AlphaCount(AlphaCountConfig(2, decay=0.5, alpha_threshold=3.0))
+        ac.update([0, 1])
+        ac.update([0, 1])
+        assert ac.alpha[0] == pytest.approx(2.0)
+        assert ac.alpha[1] == 0.0
+
+    def test_score_decays_geometrically(self):
+        ac = AlphaCount(AlphaCountConfig(2, decay=0.5, alpha_threshold=10.0))
+        ac.update([0, 1])
+        ac.update([1, 1])
+        ac.update([1, 1])
+        assert ac.alpha[0] == pytest.approx(0.25)
+
+    def test_signals_above_threshold_and_latches(self):
+        ac = AlphaCount(AlphaCountConfig(2, decay=0.9, alpha_threshold=2.5))
+        acts = [ac.update([0, 1])[0] for _ in range(4)]
+        # Scores 1, 2, 3, 4: the third faulty round crosses 2.5.
+        assert acts == [1, 1, 0, 0]
+        # Signalled state latches even if the node recovers.
+        assert ac.update([1, 1])[0] == 0
+
+    def test_continuous_fault_budget(self):
+        ac = AlphaCount(AlphaCountConfig(4, decay=0.5, alpha_threshold=5.0))
+        assert ac.rounds_to_signal_continuous() == 6
+
+    def test_decay_validation(self):
+        with pytest.raises(ValueError):
+            AlphaCountConfig(2, decay=1.5, alpha_threshold=1.0)
+        with pytest.raises(ValueError):
+            AlphaCountConfig(2, decay=0.5, alpha_threshold=0.0)
+
+    def test_equivalent_config_matches_pr_budget(self):
+        cfg = equivalent_alpha_config(4, penalty_threshold=197,
+                                      reward_threshold=10 ** 6,
+                                      criticality=40)
+        ac = AlphaCount(cfg)
+        from repro.core.penalty_reward import faulty_rounds_to_isolation
+        assert ac.rounds_to_signal_continuous() == \
+            faulty_rounds_to_isolation(197, 40)
+
+    def test_decay_halflife_matches_reward_window(self):
+        cfg = equivalent_alpha_config(4, penalty_threshold=10,
+                                      reward_threshold=100)
+        assert cfg.decay ** 100 == pytest.approx(0.5)
+
+    def test_alpha_count_never_fully_forgets(self):
+        # The qualitative difference from p/r: after the reward window
+        # p/r resets exactly, α-count retains a residue.
+        cfg = equivalent_alpha_config(2, penalty_threshold=10,
+                                      reward_threshold=50)
+        ac = AlphaCount(cfg)
+        ac.update([0, 1])
+        for _ in range(50):
+            ac.update([1, 1])
+        assert 0 < ac.alpha[0] < 1.0
+
+    def test_size_mismatch(self):
+        ac = AlphaCount(AlphaCountConfig(2, decay=0.5, alpha_threshold=1.0))
+        with pytest.raises(ValueError):
+            ac.update([1, 1, 1])
+
+
+class TestImmediateIsolation:
+    def test_first_fault_isolates(self):
+        imm = ImmediateIsolation(4)
+        act = imm.update([1, 0, 1, 1])
+        assert act == [1, 0, 1, 1]
+
+    def test_isolation_is_permanent(self):
+        imm = ImmediateIsolation(4)
+        imm.update([1, 0, 1, 1])
+        act = imm.update([1, 1, 1, 1])
+        assert act == [1, 0, 1, 1]
+
+    def test_whole_system_restart_condition(self):
+        imm = ImmediateIsolation(4)
+        imm.update([0, 0, 0, 0])
+        assert imm.all_isolated
+
+    def test_equivalent_to_pr_with_zero_threshold(self):
+        from repro.core.config import uniform_config
+        from repro.core.penalty_reward import PenaltyRewardState
+        pr = PenaltyRewardState(uniform_config(4, penalty_threshold=0,
+                                               reward_threshold=10))
+        imm = ImmediateIsolation(4)
+        active_pr = [1] * 4
+        pattern = [[1, 0, 1, 1], [1, 1, 1, 1], [0, 1, 1, 0], [1, 1, 1, 1]]
+        for hv in pattern:
+            active_pr = [a and c for a, c in zip(active_pr, pr.update(hv))]
+            act_imm = imm.update(hv)
+            assert active_pr == act_imm
+
+    def test_size_mismatch(self):
+        imm = ImmediateIsolation(2)
+        with pytest.raises(ValueError):
+            imm.update([1])

@@ -1,0 +1,83 @@
+"""Tests for the TTP/C-style membership baseline.
+
+These encode the behavioural contrasts the paper draws in Sec. 2:
+TTP/C handles a single fault with low latency but relies on the
+single-fault assumption — coincident faults can take down correct
+nodes via the clique-avoidance check.
+"""
+
+import pytest
+
+from repro.baselines.ttpc_membership import (
+    TTPCMembershipCluster,
+    asymmetric_receiver_fault,
+    benign_sender_fault,
+    coincident_sender_faults,
+)
+
+
+class TestFaultFree:
+    def test_stable_full_membership(self):
+        cluster = TTPCMembershipCluster(4)
+        cluster.run_rounds(10)
+        assert cluster.alive_nodes() == (1, 2, 3, 4)
+        assert cluster.consistent_membership()
+        assert cluster.membership_of(1) == frozenset({1, 2, 3, 4})
+        assert not cluster.self_removals
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            TTPCMembershipCluster(1)
+
+
+class TestSingleSenderFault:
+    def test_sender_removed_from_all_memberships(self):
+        cluster = TTPCMembershipCluster(4)
+        cluster.run_rounds(6, benign_sender_fault(2, slot=3, n_nodes=4))
+        for node in (1, 2, 4):
+            assert 3 not in cluster.membership_of(node)
+        assert cluster.consistent_membership()
+
+    def test_faulty_sender_fails_silent_at_next_slot(self):
+        cluster = TTPCMembershipCluster(4)
+        cluster.run_rounds(6, benign_sender_fault(2, slot=3, n_nodes=4))
+        # Node 3 sees everyone's membership excluding it -> rejections
+        # dominate at its next slot -> clique-avoidance self-removal.
+        assert (3, 3, 3) in [(k, s, n) for k, s, n in cluster.self_removals]
+
+    def test_correct_nodes_survive(self):
+        cluster = TTPCMembershipCluster(4)
+        cluster.run_rounds(6, benign_sender_fault(2, slot=3, n_nodes=4))
+        assert set(cluster.alive_nodes()) == {1, 2, 4}
+
+
+class TestAsymmetricReceiverFault:
+    def test_minority_receiver_eliminated_within_two_rounds(self):
+        cluster = TTPCMembershipCluster(4)
+        # Node 4 alone misses node 2's frame in round 1.
+        cluster.run_rounds(4, asymmetric_receiver_fault(1, slot=2,
+                                                        failed_receivers={4}))
+        assert 4 not in cluster.alive_nodes()
+        removal_rounds = [k for k, s, n in cluster.self_removals if n == 4]
+        assert removal_rounds and removal_rounds[0] <= 3
+        # The majority keeps a consistent membership.
+        assert cluster.consistent_membership()
+
+
+class TestSingleFaultAssumptionViolation:
+    def test_coincident_faults_take_down_correct_nodes(self):
+        # Two benign sender faults in one round (N=4): every correct
+        # node rejects 2 of its 3 observed frames, fails the
+        # clique-avoidance check and drops out — the whole-system
+        # failure mode the add-on protocol avoids (it tolerates b=2 at
+        # N=4 by Lemma 2).
+        cluster = TTPCMembershipCluster(4)
+        cluster.run_rounds(6, coincident_sender_faults(1, (2, 3), n_nodes=4))
+        assert cluster.surviving_fraction() < 1.0
+        victims = {n for _k, _s, n in cluster.self_removals}
+        assert victims - {2, 3}, "a correct node must have been taken down"
+
+    def test_single_fault_keeps_availability_high(self):
+        cluster = TTPCMembershipCluster(4)
+        cluster.run_rounds(6, benign_sender_fault(1, slot=2, n_nodes=4))
+        assert cluster.surviving_fraction() == pytest.approx(3 / 4)

@@ -1,0 +1,73 @@
+"""Tests for the repro-diag command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_demo_runs(capsys):
+    assert main(["demo", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "consistent health vector" in out
+    assert "consistent across nodes: True" in out
+
+
+def test_table2_output(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "| Automotive | SC    |" in out
+    assert "197" in out and "40" in out
+    assert "| Aerospace" in out and "17" in out
+
+
+def test_table4_output(capsys):
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "Time to isolation" in out
+    assert "Automotive" in out and "Aerospace" in out
+
+
+def test_figure3_output(capsys):
+    assert main(["figure3"]) == 0
+    out = capsys.readouterr().out
+    assert "P(correlate 2nd transient)" in out
+    assert "R = 1e+06" in out
+
+
+def test_validate_small_campaign(capsys):
+    assert main(["validate", "--reps", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "all passed: True" in out
+    assert "clique-detection" in out
+
+
+def test_portability_output(capsys):
+    assert main(["portability"]) == 0
+    out = capsys.readouterr().out
+    assert "FlexRay" in out and "TT-Ethernet" in out
+    assert "VIOLATED" not in out
+
+
+def test_resilience_output(capsys):
+    assert main(["resilience"]) == 0
+    out = capsys.readouterr().out
+    assert "Lemma 2 frontier" in out
+    assert "s=0: b<=2" in out
+
+
+def test_discrimination_output(capsys):
+    assert main(["discrimination", "--reps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "penalty/reward" in out and "immediate" in out
+
+
+def test_timeline_output(capsys):
+    assert main(["timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "fault: crash-2 @ slot 2" in out
+    assert "isolate node 2" in out

@@ -1,0 +1,75 @@
+"""Unit tests for read and send alignment."""
+
+import pytest
+
+from repro.core.alignment import diagnosed_round, read_align, select_dissemination
+
+
+class TestReadAlign:
+    def test_l_zero_takes_all_current(self):
+        assert read_align(["p1", "p2"], ["c1", "c2"], 0) == ["c1", "c2"]
+
+    def test_l_n_takes_all_previous(self):
+        assert read_align(["p1", "p2"], ["c1", "c2"], 2) == ["p1", "p2"]
+
+    def test_mixed_split(self):
+        prev = ["p1", "p2", "p3", "p4"]
+        curr = ["c1", "c2", "c3", "c4"]
+        assert read_align(prev, curr, 2) == ["p1", "p2", "c3", "c4"]
+
+    def test_paper_figure2_example(self):
+        # Fig. 2: l_i = 2 at round k -> dm_1, dm_2 from round k (so the
+        # previous-round values come from the buffer), dm_3, dm_4 from
+        # the current snapshot (they were sent in round k-1).
+        prev = ["dm1(k-1)", "dm2(k-1)", "dm3(k-2)", "dm4(k-2)"]
+        curr = ["dm1(k)", "dm2(k)", "dm3(k-1)", "dm4(k-1)"]
+        aligned = read_align(prev, curr, 2)
+        assert aligned == ["dm1(k-1)", "dm2(k-1)", "dm3(k-1)", "dm4(k-1)"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            read_align([1], [1, 2], 0)
+
+    def test_l_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            read_align([1, 2], [1, 2], 3)
+        with pytest.raises(ValueError):
+            read_align([1, 2], [1, 2], -1)
+
+    def test_reconstruction_property(self):
+        # For any split point, alignment reconstructs exactly the
+        # previous-round vector when prev holds rounds k-1 values for
+        # the first l entries and curr holds them for the rest.
+        n = 6
+        truth = [f"sent(k-1)[{j}]" for j in range(n)]
+        for l in range(n + 1):
+            prev = truth[:l] + [f"sent(k-2)[{j}]" for j in range(l, n)]
+            curr = [f"sent(k)[{j}]" for j in range(l)] + truth[l:]
+            assert read_align(prev, curr, l) == truth
+
+
+class TestSelectDissemination:
+    AL = ["al"]
+    PREV = ["prev"]
+
+    def test_global_fast_path_sends_fresh(self):
+        assert select_dissemination(self.AL, self.PREV, True, True) == ["al"]
+        # Line 7 applies regardless of the local predicate.
+        assert select_dissemination(self.AL, self.PREV, False, True) == ["al"]
+
+    def test_send_curr_defers_to_previous(self):
+        assert select_dissemination(self.AL, self.PREV, True, False) == ["prev"]
+
+    def test_late_job_sends_fresh(self):
+        assert select_dissemination(self.AL, self.PREV, False, False) == ["al"]
+
+    def test_returns_copies(self):
+        out = select_dissemination(self.AL, self.PREV, False, False)
+        out[0] = "mutated"
+        assert self.AL == ["al"]
+
+
+class TestDiagnosedRound:
+    def test_lemma1_offsets(self):
+        assert diagnosed_round(10, all_send_curr_round=True) == 8
+        assert diagnosed_round(10, all_send_curr_round=False) == 7

@@ -1,0 +1,252 @@
+"""Integration tests for the diagnostic protocol (Alg. 1, Theorems)."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    completeness_holds,
+    consistency_violations,
+    correctness_holds,
+    detection_latency_rounds,
+)
+from repro.core.config import IsolationMode, uniform_config
+from repro.core.service import DiagnosedCluster
+from repro.faults.scenarios import SenderFault, SlotBurst, crash
+from repro.tt.controller import SenderStatus
+
+FAULT_ROUND = 6
+
+
+def permissive(n=4, **kw):
+    return uniform_config(n, penalty_threshold=10 ** 6,
+                          reward_threshold=10 ** 6, **kw)
+
+
+def run_with_burst(config, *, exec_after=None, dynamic=False, seed=0,
+                   slot=2, n_slots=1, rounds=16, **cluster_kw):
+    dc = DiagnosedCluster(config, seed=seed, exec_after=exec_after,
+                          dynamic_schedules=dynamic, **cluster_kw)
+    dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, FAULT_ROUND,
+                                      slot, n_slots))
+    dc.run_rounds(rounds)
+    return dc
+
+
+class TestDetectionAcrossSchedules:
+    @pytest.mark.parametrize("exec_after", [0, 1, 2, 3])
+    def test_uniform_static_schedules(self, exec_after):
+        dc = run_with_burst(permissive(), exec_after=exec_after)
+        obedient = dc.obedient_node_ids()
+        assert completeness_holds(dc.trace, FAULT_ROUND, 2, obedient)
+        assert correctness_holds(dc.trace, FAULT_ROUND, [1, 3, 4], obedient)
+        assert not consistency_violations(dc.trace, obedient)
+
+    def test_mixed_static_schedules(self):
+        dc = run_with_burst(permissive(), exec_after=[0, 3, 1, 2])
+        obedient = dc.obedient_node_ids()
+        assert completeness_holds(dc.trace, FAULT_ROUND, 2, obedient)
+        assert not consistency_violations(dc.trace, obedient)
+
+    def test_footnote_schedules(self):
+        dc = run_with_burst(permissive(), exec_after=4)
+        assert completeness_holds(dc.trace, FAULT_ROUND, 2,
+                                  dc.obedient_node_ids())
+
+    def test_dynamic_schedules(self):
+        dc = run_with_burst(permissive(), dynamic=True, seed=5)
+        obedient = dc.obedient_node_ids()
+        assert completeness_holds(dc.trace, FAULT_ROUND, 2, obedient)
+        assert correctness_holds(dc.trace, FAULT_ROUND, [1, 3, 4], obedient)
+        assert not consistency_violations(dc.trace, obedient)
+
+    def test_fast_path_all_send_curr(self):
+        cfg = permissive(all_send_curr_round=True)
+        dc = run_with_burst(cfg, exec_after=4)
+        assert completeness_holds(dc.trace, FAULT_ROUND, 2,
+                                  dc.obedient_node_ids())
+        assert detection_latency_rounds(dc.trace, FAULT_ROUND, 2) == 2
+
+    def test_fast_path_requires_compatible_schedules(self):
+        with pytest.raises(ValueError):
+            DiagnosedCluster(permissive(all_send_curr_round=True),
+                             exec_after=0)
+
+
+class TestLatency:
+    def test_send_aligned_latency_is_three_rounds(self):
+        dc = run_with_burst(permissive(), exec_after=0)
+        assert detection_latency_rounds(dc.trace, FAULT_ROUND, 2) == 3
+
+    def test_every_diagnosed_round_covered_exactly_once(self):
+        dc = run_with_burst(permissive(), exec_after=0, rounds=20)
+        for node in range(1, 5):
+            rounds = sorted(dc.health_vectors(node))
+            assert rounds == list(range(rounds[0], rounds[-1] + 1))
+
+
+class TestFaultClasses:
+    def test_two_slot_burst_same_round(self):
+        dc = run_with_burst(permissive(), slot=2, n_slots=2)
+        obedient = dc.obedient_node_ids()
+        assert completeness_holds(dc.trace, FAULT_ROUND, 2, obedient)
+        assert completeness_holds(dc.trace, FAULT_ROUND, 3, obedient)
+        assert correctness_holds(dc.trace, FAULT_ROUND, [1, 4], obedient)
+
+    def test_burst_across_round_boundary(self):
+        dc = run_with_burst(permissive(), slot=4, n_slots=2)
+        obedient = dc.obedient_node_ids()
+        assert completeness_holds(dc.trace, FAULT_ROUND, 4, obedient)
+        assert completeness_holds(dc.trace, FAULT_ROUND + 1, 1, obedient)
+        assert correctness_holds(dc.trace, FAULT_ROUND, [1, 2, 3], obedient)
+        assert correctness_holds(dc.trace, FAULT_ROUND + 1, [2, 3, 4],
+                                 obedient)
+
+    def test_blackout_two_rounds_lemma3(self):
+        dc = run_with_burst(permissive(), slot=1, n_slots=8, rounds=18)
+        obedient = dc.obedient_node_ids()
+        for d_round in (FAULT_ROUND, FAULT_ROUND + 1):
+            for j in range(1, 5):
+                assert completeness_holds(dc.trace, d_round, j, obedient)
+        # Clean rounds around the blackout stay clean.
+        assert correctness_holds(dc.trace, FAULT_ROUND - 1, [1, 2, 3, 4],
+                                 obedient)
+        assert correctness_holds(dc.trace, FAULT_ROUND + 2, [1, 2, 3, 4],
+                                 obedient)
+        assert not consistency_violations(dc.trace, obedient)
+
+    def test_blackout_self_diagnosis_uses_collision_detector(self):
+        # During a blackout a node cannot receive any syndrome, yet each
+        # node correctly diagnoses ITSELF via its collision detector.
+        dc = run_with_burst(permissive(), slot=1, n_slots=8, rounds=18)
+        for node in range(1, 5):
+            hv = dc.health_vectors(node)
+            assert hv[FAULT_ROUND][node - 1] == 0
+
+    def test_malicious_syndromes_do_not_poison_diagnosis(self):
+        cfg = permissive()
+        dc = DiagnosedCluster(cfg, seed=2, byzantine_nodes=[3])
+        dc.run_rounds(25)
+        obedient = dc.obedient_node_ids()
+        assert obedient == (1, 2, 4)
+        assert not consistency_violations(dc.trace, obedient)
+        for node in obedient:
+            for hv in dc.health_vectors(node).values():
+                assert hv[0] == 1 and hv[1] == 1 and hv[3] == 1
+
+    def test_asymmetric_fault_is_consistent(self):
+        # Theorem 1: for an asymmetric sender the decision may be any
+        # value but must be consistent across obedient nodes.
+        cfg = permissive()
+        dc = DiagnosedCluster(cfg, seed=3)
+        dc.cluster.add_scenario(SenderFault(
+            2, kind="asymmetric", rounds=[FAULT_ROUND], detectable_by=[4]))
+        dc.run_rounds(16)
+        assert not consistency_violations(dc.trace, dc.obedient_node_ids())
+
+    def test_faulty_sender_diagnoses_itself(self):
+        # Obedient nodes with omission faults still self-diagnose.
+        cfg = permissive()
+        dc = DiagnosedCluster(cfg, seed=4)
+        dc.cluster.add_scenario(SenderFault(3, kind="benign",
+                                            rounds=[FAULT_ROUND]))
+        dc.run_rounds(16)
+        assert dc.health_vectors(3)[FAULT_ROUND][2] == 0
+
+
+class TestIsolation:
+    def test_crash_isolated_consistently(self):
+        cfg = uniform_config(4, penalty_threshold=3, reward_threshold=10)
+        dc = DiagnosedCluster(cfg, seed=0)
+        dc.cluster.add_scenario(crash(2, from_round=FAULT_ROUND))
+        dc.run_rounds(20)
+        assert dc.agreed_active_vector() == (1, 0, 1, 1)
+        # All four isolation decisions in the same protocol round.
+        rounds = {r.data["round_index"]
+                  for r in dc.isolation_records(isolated=2)}
+        assert len(rounds) == 1
+
+    def test_isolation_round_matches_pr_budget(self):
+        cfg = uniform_config(4, penalty_threshold=3, reward_threshold=10)
+        dc = DiagnosedCluster(cfg, seed=0)
+        dc.cluster.add_scenario(crash(2, from_round=FAULT_ROUND))
+        dc.run_rounds(20)
+        [round_] = {r.data["round_index"]
+                    for r in dc.isolation_records(isolated=2)}
+        # 4 faulty rounds (P=3, s=1) + 3-round pipeline.
+        assert round_ == FAULT_ROUND + 3 + 3
+
+    def test_controllers_ignore_isolated_sender(self):
+        cfg = uniform_config(4, penalty_threshold=3, reward_threshold=10)
+        dc = DiagnosedCluster(cfg, seed=0)
+        dc.cluster.add_scenario(crash(2, from_round=FAULT_ROUND))
+        dc.run_rounds(20)
+        for node in (1, 3, 4):
+            ctrl = dc.cluster.node(node).controller
+            assert ctrl.sender_status(2) is SenderStatus.IGNORED
+
+    def test_self_isolated_node_halts_transmission(self):
+        cfg = uniform_config(4, penalty_threshold=3, reward_threshold=10)
+        dc = DiagnosedCluster(cfg, seed=0)
+        dc.cluster.add_scenario(SenderFault(
+            2, kind="benign",
+            rounds=lambda k: FAULT_ROUND <= k < FAULT_ROUND + 4))
+        dc.run_rounds(20)
+        assert not dc.cluster.node(2).controller.tx_enabled
+
+    def test_observe_mode_keeps_diagnosing(self):
+        cfg = uniform_config(4, penalty_threshold=3, reward_threshold=10,
+                             isolation_mode=IsolationMode.OBSERVE,
+                             halt_on_self_isolation=False)
+        dc = DiagnosedCluster(cfg, seed=0)
+        dc.cluster.add_scenario(SenderFault(
+            2, kind="benign",
+            rounds=lambda k: FAULT_ROUND <= k < FAULT_ROUND + 4))
+        dc.run_rounds(24)
+        assert dc.agreed_active_vector() == (1, 0, 1, 1)
+        # With OBSERVE, later healthy rounds are correctly diagnosed.
+        hv = dc.health_vectors(1)
+        last = max(hv)
+        assert hv[last][1] == 1
+
+    def test_transient_not_isolated(self):
+        cfg = uniform_config(4, penalty_threshold=3, reward_threshold=10)
+        dc = run_with_burst(cfg)
+        assert dc.agreed_active_vector() == (1, 1, 1, 1)
+
+
+class TestStartup:
+    def test_no_diagnosis_before_pipeline_fills(self):
+        dc = DiagnosedCluster(permissive(), seed=0)
+        dc.run_rounds(12)
+        for node in range(1, 5):
+            assert min(dc.health_vectors(node)) >= 1
+
+    def test_fault_free_run_all_healthy(self):
+        dc = DiagnosedCluster(permissive(), seed=0)
+        dc.run_rounds(12)
+        for node in range(1, 5):
+            for hv in dc.health_vectors(node).values():
+                assert hv == (1, 1, 1, 1)
+
+    def test_larger_cluster(self):
+        cfg = permissive(n=7)
+        dc = DiagnosedCluster(cfg, seed=1)
+        dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, FAULT_ROUND,
+                                          5, 1))
+        dc.run_rounds(16)
+        obedient = dc.obedient_node_ids()
+        assert completeness_holds(dc.trace, FAULT_ROUND, 5, obedient)
+        assert correctness_holds(dc.trace, FAULT_ROUND,
+                                 [1, 2, 3, 4, 6, 7], obedient)
+
+
+class TestTraceLevels:
+    def test_level_zero_suppresses_bulk_records(self):
+        dc = run_with_burst(permissive(), trace_level=0)
+        assert not dc.trace.select(category="cons_hv")
+        assert not dc.trace.select(category="syndrome")
+
+    def test_level_one_records_faulty_vectors_only(self):
+        dc = run_with_burst(permissive(), trace_level=1)
+        vectors = dc.trace.select(category="cons_hv")
+        assert vectors
+        assert all(0 in rec.data["cons_hv"] for rec in vectors)

@@ -1,0 +1,121 @@
+"""Integration tests for the low-latency system-level variant (Sec. 10)."""
+
+import pytest
+
+from repro.core.config import uniform_config
+from repro.core.service import LowLatencyCluster
+from repro.faults.scenarios import SenderFault, SlotBurst, crash
+
+FAULT_ROUND = 6
+
+
+def permissive():
+    return uniform_config(4, penalty_threshold=10 ** 6,
+                          reward_threshold=10 ** 6)
+
+
+def make_llc(scenario=None, seed=0, rounds=14, config=None, **kw):
+    llc = LowLatencyCluster(config or permissive(), seed=seed, **kw)
+    if scenario is not None:
+        llc.cluster.add_scenario(scenario)
+    llc.run_rounds(rounds)
+    return llc
+
+
+class TestPerSlotVerdicts:
+    def test_fault_free_all_ones(self):
+        llc = make_llc()
+        for node in range(1, 5):
+            verdicts = llc.service(node).verdicts
+            assert verdicts and all(v == 1 for v in verdicts.values())
+
+    def test_single_slot_fault_detected(self):
+        llc = make_llc(SlotBurst(make_llc().cluster.timebase,
+                                 FAULT_ROUND, 2, 1))
+        for node in range(1, 5):
+            assert llc.service(node).verdicts[(FAULT_ROUND, 2)] == 0
+            assert llc.service(node).verdicts[(FAULT_ROUND, 3)] == 1
+
+    def test_verdicts_consistent_across_nodes(self):
+        llc = make_llc(SlotBurst(make_llc().cluster.timebase,
+                                 FAULT_ROUND, 1, 3))
+        assert llc.consistent_verdicts()
+
+    def test_detection_latency_exactly_one_round(self):
+        tb_probe = make_llc().cluster.timebase
+        llc = make_llc(SlotBurst(tb_probe, FAULT_ROUND, 2, 1))
+        records = [r for r in llc.trace.select(category="cons_slot")
+                   if r.data["diagnosed_round"] == FAULT_ROUND
+                   and r.data["slot"] == 2 and r.data["verdict"] == 0]
+        assert len(records) == 4
+        tb = llc.cluster.timebase
+        expected = tb.delivery_time(FAULT_ROUND + 1, 2)
+        for rec in records:
+            assert rec.time == pytest.approx(expected)
+
+
+class TestBlackout:
+    def test_blackout_self_diagnosis(self):
+        tb = make_llc().cluster.timebase
+        llc = make_llc(SlotBurst(tb, FAULT_ROUND, 1, 8), rounds=16)
+        for node in range(1, 5):
+            verdicts = llc.service(node).verdicts
+            for s in range(1, 5):
+                assert verdicts[(FAULT_ROUND, s)] == 0
+                assert verdicts[(FAULT_ROUND + 1, s)] == 0
+            assert verdicts[(FAULT_ROUND + 2, 1)] == 1
+        assert llc.consistent_verdicts()
+
+
+class TestIsolation:
+    def test_crash_isolated_via_per_slot_pr(self):
+        cfg = uniform_config(4, penalty_threshold=3, reward_threshold=10)
+        llc = make_llc(crash(2, from_round=FAULT_ROUND), rounds=16,
+                       config=cfg)
+        for node in range(1, 5):
+            assert llc.service(node).active_nodes() == (1, 3, 4)
+
+    def test_isolation_latency_shorter_than_addon(self):
+        # P=3, s=1: 4 faulty rounds + 1 round pipeline (vs 3 for the
+        # add-on variant).
+        cfg = uniform_config(4, penalty_threshold=3, reward_threshold=10)
+        llc = make_llc(crash(2, from_round=FAULT_ROUND), rounds=16,
+                       config=cfg)
+        iso = llc.trace.select(category="isolation")
+        assert iso
+        diag_rounds = {r.data["diagnosed_round"] for r in iso}
+        assert diag_rounds == {FAULT_ROUND + 3}  # 4th faulty round
+
+
+class TestMembershipVariant:
+    def test_asymmetric_fault_excludes_minority(self):
+        cfg = permissive()
+        llc = LowLatencyCluster(cfg, seed=0, membership=True)
+        llc.cluster.add_scenario(SenderFault(
+            3, kind="asymmetric", rounds=[FAULT_ROUND], detectable_by=[1]))
+        llc.run_rounds(FAULT_ROUND + 8)
+        for node in (2, 3, 4):
+            assert 1 not in llc.service(node).view
+
+    def test_membership_latency_about_two_rounds(self):
+        cfg = permissive()
+        llc = LowLatencyCluster(cfg, seed=0, membership=True)
+        llc.cluster.add_scenario(SenderFault(
+            3, kind="asymmetric", rounds=[FAULT_ROUND], detectable_by=[1]))
+        llc.run_rounds(FAULT_ROUND + 8)
+        views = [r for r in llc.trace.select(category="view")
+                 if r.node in (2, 3, 4)]
+        assert views
+        tb = llc.cluster.timebase
+        fault_t = tb.slot_start(FAULT_ROUND, 3)
+        for rec in views:
+            assert rec.time - fault_t <= 3.1 * tb.round_length
+
+    def test_benign_fault_view_without_accusations(self):
+        cfg = permissive()
+        llc = LowLatencyCluster(cfg, seed=0, membership=True)
+        llc.cluster.add_scenario(SenderFault(2, kind="benign",
+                                             rounds=[FAULT_ROUND]))
+        llc.run_rounds(FAULT_ROUND + 6)
+        for node in (1, 3, 4):
+            assert llc.service(node).view == frozenset({1, 3, 4})

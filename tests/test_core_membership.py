@@ -1,0 +1,136 @@
+"""Integration tests for the membership protocol (Sec. 7, Theorem 2)."""
+
+import pytest
+
+from repro.analysis.metrics import consistency_violations
+from repro.core.config import uniform_config
+from repro.core.service import MembershipCluster
+from repro.faults.scenarios import SenderFault, SlotBurst, crash
+
+FAULT_ROUND = 6
+
+
+def permissive():
+    return uniform_config(4, penalty_threshold=10 ** 6,
+                          reward_threshold=10 ** 6)
+
+
+def make_membership(scenario=None, seed=0, rounds=20, config=None, **kw):
+    mc = MembershipCluster(config or permissive(), seed=seed, **kw)
+    if scenario is not None:
+        mc.cluster.add_scenario(scenario)
+    mc.run_rounds(rounds)
+    return mc
+
+
+class TestFaultFreeOperation:
+    def test_initial_view_is_full_and_stable(self):
+        mc = make_membership()
+        for node in range(1, 5):
+            assert mc.services[node].view == frozenset({1, 2, 3, 4})
+            assert len(mc.views(node)) == 1
+
+    def test_no_accusations_without_faults(self):
+        mc = make_membership()
+        assert not mc.trace.select(category="clique")
+
+
+class TestBenignSenderExclusion:
+    def test_benign_faulty_sender_leaves_view(self):
+        mc = make_membership(crash(3, from_round=FAULT_ROUND))
+        for node in (1, 2, 4):
+            assert mc.services[node].view == frozenset({1, 2, 4})
+
+    def test_view_change_round_consistent(self):
+        mc = make_membership(crash(3, from_round=FAULT_ROUND))
+        rounds = {rec.data["round_index"]
+                  for rec in mc.trace.select(category="view")
+                  if rec.node in (1, 2, 4)}
+        assert len(rounds) == 1
+
+    def test_transient_sender_fault_also_changes_view(self):
+        # Membership liveness: ANY locally detectable faulty message
+        # produces a new view (even a single transient).
+        mc = make_membership(SenderFault(2, kind="benign",
+                                         rounds=[FAULT_ROUND]))
+        for node in (1, 3, 4):
+            assert mc.services[node].view == frozenset({1, 3, 4})
+
+
+class TestAsymmetricCliqueDetection:
+    def make_asymmetric(self, minority, seed=0):
+        # Node `disturbed`'s frame in FAULT_ROUND is missed only by the
+        # minority receivers.
+        return make_membership(
+            SenderFault(3, kind="asymmetric", rounds=[FAULT_ROUND],
+                        detectable_by=minority),
+            seed=seed, rounds=FAULT_ROUND + 14)
+
+    def test_minority_clique_accused_and_excluded(self):
+        mc = self.make_asymmetric(minority=[1])
+        majority = (2, 3, 4)
+        for node in majority:
+            assert 1 not in mc.services[node].view
+        accused = {a for rec in mc.trace.select(category="clique")
+                   for a in rec.data["accused"]}
+        assert accused == {1}
+
+    def test_two_node_minority_without_sender_vote(self):
+        # Minority {1, 4}: the vote on node 3 (sender) is 1-1 among
+        # {1,4} vs {2} plus... with N=4 the column on the sender has 3
+        # votes: 1, 4 say faulty, 2 says fine -> majority faulty.  The
+        # disagreeing node is then node 2.
+        mc = self.make_asymmetric(minority=[1, 4])
+        obedient = mc.obedient_node_ids()
+        assert not consistency_violations(mc.trace, obedient)
+        final_views = {mc.services[n].view for n in (1, 3, 4)}
+        assert len(final_views) == 1
+
+    def test_views_agree_across_majority(self):
+        mc = self.make_asymmetric(minority=[2])
+        views = {mc.services[n].view for n in (1, 3, 4)}
+        assert len(views) == 1
+
+    def test_liveness_within_two_protocol_executions(self):
+        # Theorem 2: the new view forms within two executions after the
+        # fault's analysis.  The fault in round F is analysed at F+3;
+        # the minority accusation propagates through one more full
+        # pipeline (3 rounds): view change by F+6.
+        mc = self.make_asymmetric(minority=[1])
+        change_rounds = [rec.data["round_index"]
+                         for rec in mc.trace.select(category="view")
+                         if rec.node in (2, 3, 4)]
+        assert change_rounds
+        assert max(change_rounds) <= FAULT_ROUND + 6
+
+
+class TestViewSynchrony:
+    def test_members_of_view_received_same_messages(self):
+        # After the view stabilises, every in-view obedient node has
+        # identical health history (a proxy for "received the same
+        # messages" in this simulation: validity bits drive state).
+        mc = make_membership(
+            SenderFault(3, kind="asymmetric", rounds=[FAULT_ROUND],
+                        detectable_by=[1]),
+            rounds=FAULT_ROUND + 14)
+        view = mc.services[2].view
+        histories = {n: tuple(sorted(mc.health_vectors(n).items()))
+                     for n in view}
+        assert len(set(histories.values())) == 1
+
+
+class TestMembershipUnderBursts:
+    def test_burst_shrinks_view_but_stays_consistent(self):
+        mc = make_membership(
+            SlotBurst(MembershipClusterTimebase(), FAULT_ROUND, 2, 2),
+            rounds=20)
+        obedient = mc.obedient_node_ids()
+        assert not consistency_violations(mc.trace, obedient)
+        views = {mc.services[n].view for n in (1, 4)}
+        assert len(views) == 1
+        assert views.pop() == frozenset({1, 4})
+
+
+def MembershipClusterTimebase():
+    from repro.tt.timebase import TimeBase
+    return TimeBase(4, 2.5e-3)

@@ -1,0 +1,155 @@
+"""Unit tests for the penalty/reward algorithm (Alg. 2)."""
+
+import pytest
+
+from repro.core.config import uniform_config
+from repro.core.penalty_reward import (
+    PenaltyRewardState,
+    faulty_rounds_to_isolation,
+    isolation_latency_seconds,
+    rounds_to_isolation,
+    transient_correlation_probability,
+)
+
+
+def make_pr(penalty_threshold=3, reward_threshold=5, criticalities=None,
+            n=4):
+    config = uniform_config(n, penalty_threshold=penalty_threshold,
+                            reward_threshold=reward_threshold)
+    if criticalities is not None:
+        config = config.with_updates(criticalities=criticalities)
+    return PenaltyRewardState(config)
+
+
+HEALTHY = [1, 1, 1, 1]
+
+
+class TestUpdate:
+    def test_initial_counters_zero(self):
+        pr = make_pr()
+        assert pr.penalties == [0, 0, 0, 0]
+        assert pr.rewards == [0, 0, 0, 0]
+
+    def test_fault_increments_penalty_by_criticality(self):
+        pr = make_pr(criticalities=[40, 6, 1, 40])
+        pr.update([0, 0, 0, 1])
+        assert pr.penalties == [40, 6, 1, 0]
+
+    def test_fault_resets_reward(self):
+        pr = make_pr()
+        pr.update([0, 1, 1, 1])
+        pr.update(HEALTHY)
+        assert pr.rewards[0] == 1
+        pr.update([0, 1, 1, 1])
+        assert pr.rewards[0] == 0
+
+    def test_reward_only_grows_with_pending_penalty(self):
+        # Alg. 2: the reward branch requires penalties[i] > 0.
+        pr = make_pr()
+        pr.update(HEALTHY)
+        assert pr.rewards == [0, 0, 0, 0]
+
+    def test_reward_threshold_clears_both_counters(self):
+        pr = make_pr(reward_threshold=3)
+        pr.update([0, 1, 1, 1])
+        for _ in range(3):
+            pr.update(HEALTHY)
+        assert pr.penalties[0] == 0
+        assert pr.rewards[0] == 0
+
+    def test_penalty_strictly_above_threshold_isolates(self):
+        pr = make_pr(penalty_threshold=3)
+        acts = [pr.update([0, 1, 1, 1]) for _ in range(4)]
+        # Penalties 1, 2, 3 are tolerated; 4 > 3 isolates.
+        assert [a[0] for a in acts] == [1, 1, 1, 0]
+
+    def test_zero_threshold_isolates_first_fault(self):
+        pr = make_pr(penalty_threshold=0)
+        act = pr.update([0, 1, 1, 1])
+        assert act[0] == 0
+
+    def test_counters_keep_accumulating_after_threshold(self):
+        # Alg. 2 has no special case for already-isolated nodes; the
+        # AND with the activity vector happens in the caller.
+        pr = make_pr(penalty_threshold=1)
+        for _ in range(5):
+            act = pr.update([0, 1, 1, 1])
+        assert pr.penalties[0] == 5
+        assert act[0] == 0
+
+    def test_independent_per_node_counters(self):
+        pr = make_pr()
+        pr.update([0, 1, 0, 1])
+        pr.update([1, 1, 0, 1])
+        assert pr.penalties == [1, 0, 2, 0]
+        assert pr.rewards == [1, 0, 0, 0]
+
+    def test_size_mismatch_rejected(self):
+        pr = make_pr()
+        with pytest.raises(ValueError):
+            pr.update([1, 1])
+
+    def test_update_single_matches_update(self):
+        full = make_pr(penalty_threshold=2, reward_threshold=3)
+        single = make_pr(penalty_threshold=2, reward_threshold=3)
+        pattern = [[0, 1, 1, 1], HEALTHY, [0, 1, 1, 1], HEALTHY, HEALTHY,
+                   HEALTHY, [0, 0, 1, 1]]
+        for hv in pattern:
+            acts = full.update(hv)
+            singles = [single.update_single(j, faulty=(hv[j - 1] == 0))
+                       for j in range(1, 5)]
+            assert acts == singles
+            assert full.snapshot() == single.snapshot()
+
+    def test_reset_node(self):
+        pr = make_pr()
+        pr.update([0, 1, 1, 1])
+        pr.reset_node(1)
+        assert pr.counters_of(1) == (0, 0)
+
+
+class TestDerivedQuantities:
+    def test_faulty_rounds_to_isolation(self):
+        # P=197: criticality 40 -> isolated on round floor(197/40)+1 = 5.
+        assert faulty_rounds_to_isolation(197, 40) == 5
+        assert faulty_rounds_to_isolation(197, 6) == 33
+        assert faulty_rounds_to_isolation(197, 1) == 198
+        assert faulty_rounds_to_isolation(17, 1) == 18
+        assert faulty_rounds_to_isolation(0, 1) == 1
+
+    def test_matches_simulated_counters(self):
+        for P, s in [(197, 40), (17, 1), (3, 1), (10, 4)]:
+            pr = make_pr(penalty_threshold=P, criticalities=[s, 1, 1, 1])
+            rounds = 0
+            while True:
+                rounds += 1
+                if pr.update([0, 1, 1, 1])[0] == 0:
+                    break
+            assert rounds == faulty_rounds_to_isolation(P, s)
+
+    def test_rounds_to_isolation_uses_node_criticality(self):
+        config = uniform_config(4, penalty_threshold=197,
+                                reward_threshold=10).with_updates(
+            criticalities=[40, 6, 1, 40])
+        assert rounds_to_isolation(config, 1) == 5
+        assert rounds_to_isolation(config, 3) == 198
+
+    def test_isolation_latency_includes_pipeline(self):
+        config = uniform_config(4, penalty_threshold=3, reward_threshold=10)
+        # 4 faulty rounds + 3 pipeline rounds, at 2.5 ms.
+        assert isolation_latency_seconds(config, 1, 2.5e-3) == \
+            pytest.approx(7 * 2.5e-3)
+
+    def test_transient_correlation_probability(self):
+        # Paper: R = 1e6, T = 2.5 ms -> window = 2500 s.
+        p = transient_correlation_probability(1 / 250000.0, 10 ** 6, 2.5e-3)
+        assert p == pytest.approx(1 - pow(2.718281828459045, -0.01), rel=1e-6)
+        assert transient_correlation_probability(0.0, 10, 1.0) == 0.0
+        with pytest.raises(ValueError):
+            transient_correlation_probability(-1.0, 10, 1.0)
+
+
+class TestValidationErrors:
+    def test_criticality_must_be_positive(self):
+        with pytest.raises(ValueError):
+            faulty_rounds_to_isolation(10, 0)

@@ -1,0 +1,108 @@
+"""Tests for the DiagnosedCluster facade."""
+
+import pytest
+
+from repro.core.config import uniform_config
+from repro.core.service import DiagnosedCluster, MembershipCluster
+from repro.faults.scenarios import SlotBurst, crash
+
+
+def permissive():
+    return uniform_config(4, penalty_threshold=10 ** 6,
+                          reward_threshold=10 ** 6)
+
+
+class TestConstruction:
+    def test_exec_after_scalar_applies_to_all(self):
+        dc = DiagnosedCluster(permissive(), exec_after=2)
+        for node in range(1, 5):
+            assert dc.cluster.schedule.node_schedule(node).params(0).l == 2
+
+    def test_exec_after_per_node(self):
+        dc = DiagnosedCluster(permissive(), exec_after=[0, 1, 2, 3])
+        ls = [dc.cluster.schedule.node_schedule(n).params(0).l
+              for n in range(1, 5)]
+        assert ls == [0, 1, 2, 3]
+
+    def test_exec_after_wrong_length(self):
+        with pytest.raises(ValueError):
+            DiagnosedCluster(permissive(), exec_after=[0, 1])
+
+    def test_byzantine_marks_ground_truth(self):
+        dc = DiagnosedCluster(permissive(), byzantine_nodes=[2])
+        assert not dc.cluster.node(2).ground_truth.obedient
+        assert dc.obedient_node_ids() == (1, 3, 4)
+
+    def test_config_size_must_match(self):
+        from repro.core.diagnostic import DiagnosticService
+        from repro.tt.cluster import Cluster
+        cluster = Cluster(4)
+        with pytest.raises(ValueError):
+            DiagnosticService(uniform_config(5, 1, 1), cluster.node(1),
+                              cluster.trace)
+
+
+class TestQueries:
+    def test_health_vectors_accumulate(self):
+        dc = DiagnosedCluster(permissive(), seed=0)
+        dc.run_rounds(10)
+        hv = dc.health_vectors(1)
+        assert hv
+        assert all(v == (1, 1, 1, 1) for v in hv.values())
+
+    def test_consistent_health_history_detects_divergence(self):
+        dc = DiagnosedCluster(permissive(), seed=0)
+        dc.run_rounds(8)
+        assert dc.consistent_health_history()
+        # Forge a conflicting record.
+        dc.trace.record(99.0, "cons_hv", node=2, round_index=5,
+                        diagnosed_round=2, cons_hv=(0, 0, 0, 0))
+        assert not dc.consistent_health_history()
+
+    def test_agreed_active_vector_raises_on_disagreement(self):
+        dc = DiagnosedCluster(permissive(), seed=0)
+        dc.run_rounds(8)
+        dc.service(2).active[3] = 0
+        with pytest.raises(AssertionError):
+            dc.agreed_active_vector()
+
+    def test_isolation_queries(self):
+        config = uniform_config(4, penalty_threshold=2, reward_threshold=10)
+        dc = DiagnosedCluster(config, seed=0)
+        dc.cluster.add_scenario(crash(3, from_round=6))
+        dc.run_rounds(18)
+        assert dc.first_isolation_time(3) is not None
+        assert dc.first_isolation_time(1) is None
+        assert len(dc.isolation_records(isolated=3)) == 4  # one per node
+
+    def test_active_matrix(self):
+        dc = DiagnosedCluster(permissive(), seed=0)
+        dc.run_rounds(8)
+        matrix = dc.active_matrix()
+        assert set(matrix) == {1, 2, 3, 4}
+        assert all(v == (1, 1, 1, 1) for v in matrix.values())
+
+
+class TestMembershipCluster:
+    def test_agreed_view(self):
+        mc = MembershipCluster(permissive(), seed=0)
+        mc.cluster.add_scenario(crash(2, from_round=6))
+        mc.run_rounds(16)
+        assert mc.agreed_view() == frozenset({1, 3, 4})
+
+    def test_views_history_exposed(self):
+        mc = MembershipCluster(permissive(), seed=0)
+        mc.run_rounds(8)
+        assert mc.views(1) == [(None, frozenset({1, 2, 3, 4}))]
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        def run(seed):
+            dc = DiagnosedCluster(permissive(), seed=seed,
+                                  dynamic_schedules=True)
+            dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, 6, 2, 1))
+            dc.run_rounds(14)
+            return sorted(dc.health_vectors(1).items())
+
+        assert run(3) == run(3)

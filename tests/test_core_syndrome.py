@@ -1,0 +1,111 @@
+"""Unit tests for syndromes and the diagnostic matrix."""
+
+import copy
+
+import pytest
+
+from repro.core.syndrome import (
+    EPSILON,
+    DiagnosticMatrix,
+    is_valid_syndrome,
+    make_syndrome,
+    opinion_about,
+)
+
+
+class TestEpsilon:
+    def test_singleton(self):
+        from repro.core.syndrome import _Epsilon
+        assert _Epsilon() is EPSILON
+
+    def test_deepcopy_preserves_identity(self):
+        assert copy.deepcopy(EPSILON) is EPSILON
+
+    def test_repr(self):
+        assert repr(EPSILON) == "ε"
+
+
+class TestMakeSyndrome:
+    def test_freezes_to_tuple(self):
+        assert make_syndrome([1, 0, 1]) == (1, 0, 1)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            make_syndrome([1, 2])
+
+    def test_opinion_about_is_one_based(self):
+        s = make_syndrome([1, 0, 1, 1])
+        assert opinion_about(s, 2) == 0
+        assert opinion_about(s, 1) == 1
+
+
+class TestIsValidSyndrome:
+    def test_accepts_tuples_and_lists(self):
+        assert is_valid_syndrome((1, 0, 1, 1), 4)
+        assert is_valid_syndrome([0, 0, 0, 0], 4)
+
+    def test_rejects_wrong_length(self):
+        assert not is_valid_syndrome((1, 0, 1), 4)
+
+    def test_rejects_garbage(self):
+        assert not is_valid_syndrome(None, 4)
+        assert not is_valid_syndrome("1011", 4)
+        assert not is_valid_syndrome((1, 0, 2, 1), 4)
+        assert not is_valid_syndrome(42, 4)
+
+
+class TestDiagnosticMatrix:
+    def test_rows_default_to_epsilon(self):
+        m = DiagnosticMatrix(4)
+        assert m.row(1) is EPSILON
+
+    def test_set_and_get_row(self):
+        m = DiagnosticMatrix(4)
+        m.set_row(2, (1, 1, 0, 1))
+        assert m.row(2) == (1, 1, 0, 1)
+
+    def test_row_length_checked(self):
+        m = DiagnosticMatrix(4)
+        with pytest.raises(ValueError):
+            m.set_row(1, (1, 0))
+
+    def test_column_excludes_self_opinion(self):
+        m = DiagnosticMatrix.from_rows([
+            (1, 1, 0, 0),
+            (1, 0, 0, 0),   # node 2 thinks badly of itself: ignored
+            EPSILON,
+            (1, 1, 1, 1),
+        ])
+        # Column 2: opinions of nodes 1, 3, 4 about node 2.
+        assert m.column(2) == [1, EPSILON, 1]
+
+    def test_column_order_is_by_sender(self):
+        m = DiagnosticMatrix.from_rows([
+            (1, 0, 1, 1),
+            (1, 1, 1, 1),
+            (0, 1, 1, 1),
+            (1, 1, 1, 0),
+        ])
+        assert m.column(1) == [1, 0, 1]
+        assert m.column(4) == [1, 1, 1]
+
+    def test_node_bounds_checked(self):
+        m = DiagnosticMatrix(4)
+        with pytest.raises(ValueError):
+            m.column(0)
+        with pytest.raises(ValueError):
+            m.set_row(5, (1, 1, 1, 1))
+
+    def test_render_paper_table1(self):
+        m = DiagnosticMatrix.from_rows([
+            (1, 1, 0, 0),
+            (1, 1, 0, 0),
+            EPSILON,
+            EPSILON,
+        ])
+        text = m.render()
+        assert "ε" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + 4  # header, separator, four rows
+        # The self-opinion is rendered as '-'.
+        assert " -" in lines[2]

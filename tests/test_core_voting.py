@@ -1,0 +1,124 @@
+"""Unit tests for the hybrid majority voting function (Eqn. 1)."""
+
+import pytest
+
+from repro.core.syndrome import EPSILON
+from repro.core.voting import (
+    BOTTOM,
+    benign_only_bound_holds,
+    excl,
+    h_maj,
+    maj,
+    vote_bound_holds,
+)
+
+E = EPSILON
+
+
+class TestExcl:
+    def test_removes_epsilon_only(self):
+        assert excl([0, E, 1, E, 1]) == [0, 1, 1]
+
+    def test_empty(self):
+        assert excl([]) == []
+        assert excl([E, E]) == []
+
+
+class TestMaj:
+    def test_strict_majority(self):
+        assert maj([0, 0, 1]) == 0
+        assert maj([1, 1, 0]) == 1
+        assert maj([1]) == 1
+
+    def test_tie_has_no_majority(self):
+        assert maj([0, 1]) is None
+        assert maj([0, 0, 1, 1]) is None
+
+    def test_empty_has_no_majority(self):
+        assert maj([]) is None
+
+
+class TestHMaj:
+    def test_all_epsilon_is_bottom(self):
+        assert h_maj([E, E, E]) is BOTTOM
+
+    def test_majority_of_surviving_votes(self):
+        assert h_maj([0, 0, 1]) == 0
+        assert h_maj([E, 0, 0, 1]) == 0
+        assert h_maj([E, E, 1]) == 1
+        assert h_maj([E, E, 0]) == 0
+
+    def test_single_surviving_vote_decides(self):
+        # |excl(V, eps)| = 1 still yields its majority.
+        assert h_maj([E, E, E, 0]) == 0
+
+    def test_tie_defaults_to_not_faulty(self):
+        assert h_maj([0, 1]) == 1
+        assert h_maj([E, 0, 1]) == 1
+        assert h_maj([0, 0, 1, 1]) == 1
+
+    def test_rejects_garbage_votes(self):
+        with pytest.raises(ValueError):
+            h_maj([0, 2, 1])
+
+    def test_paper_table1_example(self):
+        # Table 1: nodes 3, 4 benign faulty (rows eps); vote on each
+        # column as in the paper, yielding cons_hv = 1 1 0 0.
+        rows = {
+            1: (None, 1, 0, 0),   # '-' stands for the self opinion
+            2: (1, None, 0, 0),
+            3: E,
+            4: E,
+        }
+
+        def column(j):
+            votes = []
+            for i in (1, 2, 3, 4):
+                if i == j:
+                    continue
+                votes.append(E if rows[i] is E else rows[i][j - 1])
+            return votes
+
+        assert [h_maj(column(j)) for j in (1, 2, 3, 4)] == [1, 1, 0, 0]
+
+
+class TestBounds:
+    def test_lemma2_condition(self):
+        # N=4: one benign fault tolerated (4 > 0+0+1+1).
+        assert vote_bound_holds(4, a=0, s=0, b=1)
+        assert vote_bound_holds(4, a=0, s=0, b=2)
+        assert not vote_bound_holds(4, a=0, s=0, b=3)
+        # One asymmetric fault needs N > 3.
+        assert vote_bound_holds(4, a=1, s=0, b=0)
+        assert not vote_bound_holds(3, a=1, s=0, b=0)
+        # A malicious fault consumes two votes of margin.
+        assert vote_bound_holds(4, a=0, s=1, b=0)
+        assert not vote_bound_holds(4, a=0, s=1, b=1)
+        # At most one asymmetric fault per execution.
+        assert not vote_bound_holds(100, a=2, s=0, b=0)
+
+    def test_lemma3_condition(self):
+        assert benign_only_bound_holds(4, b=3)
+        assert benign_only_bound_holds(4, b=4)
+        assert not benign_only_bound_holds(4, b=2)
+
+
+class TestLemma2Semantics:
+    """H-maj reaches the correct decision whenever Lemma 2's bound holds.
+
+    Exhaustive check for N=4..7 over all fault allocations within the
+    bound: correct votes say `truth`, benign voters contribute eps,
+    malicious/asymmetric voters contribute the adversarial opposite.
+    """
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_adversarial_minority_outvoted(self, n):
+        for truth in (0, 1):
+            for b in range(n):
+                for ms in range(n - b):
+                    if not vote_bound_holds(n, a=0, s=ms, b=b):
+                        continue
+                    honest = n - 1 - b - ms
+                    votes = ([truth] * honest + [E] * b
+                             + [1 - truth] * ms)
+                    assert h_maj(votes) == truth, (n, truth, b, ms)

@@ -1,0 +1,84 @@
+"""Tests for the discrimination study and resilience sweep harnesses."""
+
+import pytest
+
+from repro.experiments.discrimination import (
+    UNHEALTHY_NODE,
+    discrimination_study,
+    generate_health_stream,
+    replay_filters,
+)
+from repro.experiments.resilience import (
+    capacity_frontier,
+    max_benign_within_bound,
+    run_allocation,
+)
+
+
+class TestHealthStream:
+    def test_stream_reflects_both_fault_sources(self):
+        stream = generate_health_stream(400, seed=0)
+        assert len(stream) > 350
+        unhealthy_faults = sum(1 for hv in stream
+                               if hv[UNHEALTHY_NODE - 1] == 0)
+        healthy_faults = sum(1 for hv in stream
+                             for j in range(4)
+                             if j != UNHEALTHY_NODE - 1 and hv[j] == 0)
+        # The intermittent dominates; transients appear but are rarer.
+        assert unhealthy_faults > 10
+        assert unhealthy_faults > healthy_faults
+
+    def test_stream_deterministic_per_seed(self):
+        assert generate_health_stream(120, seed=3) == \
+            generate_health_stream(120, seed=3)
+
+
+class TestReplay:
+    def test_pr_detects_without_false_positives(self):
+        stream = generate_health_stream(800, seed=0)
+        outcomes = {o.filter_name: o for o in replay_filters(stream)}
+        pr = outcomes["penalty/reward"]
+        assert pr.detected
+        assert pr.false_positive_count == 0
+
+    def test_immediate_isolates_on_first_fault(self):
+        stream = generate_health_stream(800, seed=0)
+        outcomes = {o.filter_name: o for o in replay_filters(stream)}
+        imm = outcomes["immediate"]
+        first_fault = next(i for i, hv in enumerate(stream)
+                           if hv[UNHEALTHY_NODE - 1] == 0)
+        assert imm.unhealthy_isolated_at == first_fault
+
+    def test_study_shape(self):
+        summaries = discrimination_study(repetitions=3, n_rounds=600)
+        names = {s.filter_name for s in summaries}
+        assert names == {"penalty/reward", "alpha-count", "immediate"}
+        by_name = {s.filter_name: s for s in summaries}
+        assert by_name["penalty/reward"].false_positive_rate == 0.0
+        assert by_name["immediate"].false_positive_rate > 0.0
+
+
+class TestResilienceHarness:
+    def test_bound_formula(self):
+        assert max_benign_within_bound(4, 0) == 2
+        assert max_benign_within_bound(4, 1) == 0
+        assert max_benign_within_bound(8, 2) == 2
+        assert max_benign_within_bound(3, 1) == 0
+
+    def test_single_allocation_within_bound(self):
+        point = run_allocation(5, s=1, b=1, seed=0)
+        assert point.within_bound
+        assert point.properties_hold
+
+    def test_benign_only_max_allocation(self):
+        point = run_allocation(6, s=0, b=4, seed=0)
+        assert point.within_bound and point.properties_hold
+
+    def test_allocation_validation(self):
+        with pytest.raises(ValueError):
+            run_allocation(4, s=2, b=2)
+
+    def test_capacity_frontier_shape(self):
+        frontier = capacity_frontier(n_range=(4, 6))
+        assert frontier[4] == {0: 2, 1: 0}
+        assert frontier[6] == {0: 4, 1: 2, 2: 0}

@@ -1,0 +1,37 @@
+"""Tests for the reintegration-threshold tuning harness."""
+
+import pytest
+
+from repro.experiments.reintegration_tuning import (
+    run_threshold,
+    threshold_sweep,
+)
+
+
+class TestRunThreshold:
+    @pytest.mark.slow
+    def test_small_threshold_flaps(self):
+        point = run_threshold(50, seed=0)
+        assert point.flapping_cycles >= 3
+        assert point.reintegrations >= point.isolations - 1
+
+    @pytest.mark.slow
+    def test_safe_threshold_single_cycle(self):
+        point = run_threshold(250, seed=0)
+        assert point.isolations == 1
+        assert point.reintegrations == 1
+        assert point.flapping_cycles == 0
+        # Availability: up before the strike, down through it, up after.
+        assert 0.3 < point.availability_fraction < 0.8
+
+    @pytest.mark.slow
+    def test_availability_monotone_beyond_knee(self):
+        safe = run_threshold(250, seed=0)
+        oversized = run_threshold(1500, seed=0)
+        assert oversized.availability_fraction < safe.availability_fraction
+        assert oversized.flapping_cycles == 0
+
+    @pytest.mark.slow
+    def test_sweep_returns_requested_points(self):
+        points = threshold_sweep(thresholds=(100, 300))
+        assert [p.threshold_rounds for p in points] == [100, 300]

@@ -1,0 +1,70 @@
+"""Tests for the burst-overlap model and the Table 4 sensitivity harness."""
+
+import pytest
+
+from repro.core.config import CriticalityClass as C
+from repro.experiments.sensitivity import band, phase_sweep, run_phase
+from repro.faults.injector import TransmissionContext
+from repro.faults.scenarios import BusBurst
+from repro.tt.timebase import TimeBase
+
+TB = TimeBase(4, 2.5e-3)
+
+
+def ctx(round_index, slot):
+    return TransmissionContext(time=TB.slot_start(round_index, slot),
+                               round_index=round_index, slot=slot,
+                               sender=slot, receivers=(1, 2, 3, 4),
+                               channel=0, timebase=TB)
+
+
+def hits(scenario, round_index, slot):
+    return bool(list(scenario.directives(ctx(round_index, slot))))
+
+
+class TestMinOverlap:
+    def test_default_any_overlap_corrupts(self):
+        start = TB.slot_start(0, 2) + 0.3 * TB.slot_length
+        burst = BusBurst(start, 1e-6)
+        assert hits(burst, 0, 2)
+
+    def test_marginal_clip_survives_with_threshold(self):
+        # The burst covers only the last 10% of slot 2's tx window.
+        tx_start, tx_end = TB.tx_window(0, 2)
+        start = tx_end - 0.1 * (tx_end - tx_start)
+        burst = BusBurst(start, 1e-3, min_overlap=0.5)
+        assert not hits(burst, 0, 2)
+        # But a fully covered later slot is corrupted.
+        assert hits(burst, 0, 3)
+
+    def test_threshold_boundary(self):
+        tx_start, tx_end = TB.tx_window(0, 2)
+        width = tx_end - tx_start
+        # Cover exactly 60% of the window with threshold 50%.
+        burst = BusBurst(tx_start, 0.6 * width, min_overlap=0.5)
+        assert hits(burst, 0, 2)
+        burst2 = BusBurst(tx_start, 0.4 * width, min_overlap=0.5)
+        assert not hits(burst2, 0, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BusBurst(0.0, 1e-3, min_overlap=1.0)
+
+
+class TestSensitivityHarness:
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            run_phase(1.0)
+
+    @pytest.mark.slow
+    def test_aligned_zero_overlap_matches_table4(self):
+        point = run_phase(0.0, min_overlap=0.0, horizon=27.0)
+        assert point.times[C.SC] == pytest.approx(0.520, abs=0.01)
+
+    @pytest.mark.slow
+    def test_band_spans_phases(self):
+        points = phase_sweep(phases=(0.0, 0.3), overlaps=(0.0, 0.9))
+        b = band(points, C.SR)
+        assert b["min"] < b["max"]
+        # The paper's SR value lies inside the (phase x overlap) band.
+        assert b["min"] <= 4.595 <= b["max"] + 0.05

@@ -1,0 +1,109 @@
+"""Unit tests for the injection layer's composition rules."""
+
+import pytest
+
+from repro.faults.injector import InjectionLayer, TransmissionContext
+from repro.faults.model import FaultDirective, ReceptionOutcome
+from repro.tt.timebase import TimeBase
+
+
+def make_ctx(sender=2, channel=0):
+    tb = TimeBase(4, 2.5e-3)
+    return TransmissionContext(time=tb.slot_start(0, sender), round_index=0,
+                               slot=sender, sender=sender,
+                               receivers=(1, 2, 3, 4), channel=channel,
+                               timebase=tb)
+
+
+class StaticScenario:
+    def __init__(self, *directives):
+        self._directives = directives
+
+    def directives(self, ctx):
+        return iter(self._directives)
+
+
+def test_empty_layer_is_clean():
+    layer = InjectionLayer()
+    outcome = layer.apply(make_ctx())
+    assert outcome.clean
+    assert outcome.malicious_payload is None
+    assert outcome.causes == ()
+
+
+def test_single_benign_directive():
+    layer = InjectionLayer()
+    layer.add(StaticScenario(FaultDirective.benign(cause="noise")))
+    outcome = layer.apply(make_ctx())
+    assert all(o is ReceptionOutcome.DETECTABLE
+               for o in outcome.outcomes.values())
+    assert outcome.causes == ("noise",)
+
+
+def test_asymmetric_directive_partial():
+    layer = InjectionLayer()
+    layer.add(StaticScenario(FaultDirective.asymmetric([1, 3])))
+    outcome = layer.apply(make_ctx())
+    assert outcome.outcomes[1] is ReceptionOutcome.DETECTABLE
+    assert outcome.outcomes[3] is ReceptionOutcome.DETECTABLE
+    assert outcome.outcomes[2] is ReceptionOutcome.OK
+    assert outcome.outcomes[4] is ReceptionOutcome.OK
+
+
+def test_overlapping_asymmetric_directives_union():
+    layer = InjectionLayer()
+    layer.add(StaticScenario(FaultDirective.asymmetric([1])))
+    layer.add(StaticScenario(FaultDirective.asymmetric([3])))
+    outcome = layer.apply(make_ctx())
+    detect = {r for r, o in outcome.outcomes.items()
+              if o is ReceptionOutcome.DETECTABLE}
+    assert detect == {1, 3}
+
+
+def test_detectable_dominates_malicious_per_receiver():
+    layer = InjectionLayer()
+    layer.add(StaticScenario(FaultDirective.malicious("bad")))
+    layer.add(StaticScenario(FaultDirective.asymmetric([2])))
+    outcome = layer.apply(make_ctx())
+    assert outcome.outcomes[2] is ReceptionOutcome.DETECTABLE
+    assert outcome.outcomes[1] is ReceptionOutcome.MALICIOUS
+    # The malicious payload survives because some receiver still
+    # accepts the forged frame.
+    assert outcome.malicious_payload == "bad"
+
+
+def test_malicious_payload_dropped_when_fully_masked():
+    layer = InjectionLayer()
+    layer.add(StaticScenario(FaultDirective.malicious("bad")))
+    layer.add(StaticScenario(FaultDirective.benign()))
+    outcome = layer.apply(make_ctx())
+    assert all(o is ReceptionOutcome.DETECTABLE
+               for o in outcome.outcomes.values())
+    assert outcome.malicious_payload is None
+
+
+def test_channel_filtering():
+    layer = InjectionLayer()
+    layer.add(StaticScenario(FaultDirective.benign(channel=1)))
+    assert layer.apply(make_ctx(channel=0)).clean
+    assert not layer.apply(make_ctx(channel=1)).clean
+
+
+def test_remove_scenario():
+    layer = InjectionLayer()
+    scenario = StaticScenario(FaultDirective.benign())
+    layer.add(scenario)
+    assert not layer.apply(make_ctx()).clean
+    layer.remove(scenario)
+    assert layer.apply(make_ctx()).clean
+    assert layer.scenarios == ()
+
+
+def test_causes_deduplicated_in_order_at_bus_level():
+    # The layer reports every applied cause; ordering is registration
+    # order (the bus deduplicates for the trace).
+    layer = InjectionLayer()
+    layer.add(StaticScenario(FaultDirective.benign(cause="a")))
+    layer.add(StaticScenario(FaultDirective.benign(cause="b")))
+    outcome = layer.apply(make_ctx())
+    assert outcome.causes == ("a", "b")

@@ -1,0 +1,79 @@
+"""Unit tests for the fault model primitives."""
+
+import pytest
+
+from repro.faults.model import (
+    FaultClass,
+    FaultDirective,
+    NodeGroundTruth,
+    NodeHealth,
+    ReceptionOutcome,
+    classify_broadcast,
+    worst_outcome,
+)
+
+
+class TestWorstOutcome:
+    def test_detectable_dominates_all(self):
+        assert worst_outcome(ReceptionOutcome.DETECTABLE,
+                             ReceptionOutcome.MALICIOUS) is ReceptionOutcome.DETECTABLE
+        assert worst_outcome(ReceptionOutcome.OK,
+                             ReceptionOutcome.DETECTABLE) is ReceptionOutcome.DETECTABLE
+
+    def test_malicious_dominates_ok(self):
+        assert worst_outcome(ReceptionOutcome.OK,
+                             ReceptionOutcome.MALICIOUS) is ReceptionOutcome.MALICIOUS
+
+    def test_identity(self):
+        for outcome in ReceptionOutcome:
+            assert worst_outcome(outcome, outcome) is outcome
+
+
+class TestClassifyBroadcast:
+    def test_all_ok_is_none(self):
+        outcomes = {i: ReceptionOutcome.OK for i in range(1, 5)}
+        assert classify_broadcast(outcomes) is FaultClass.NONE
+
+    def test_all_detectable_is_benign(self):
+        outcomes = {i: ReceptionOutcome.DETECTABLE for i in range(1, 5)}
+        assert classify_broadcast(outcomes) is FaultClass.SYMMETRIC_BENIGN
+
+    def test_all_malicious_is_symmetric_malicious(self):
+        outcomes = {i: ReceptionOutcome.MALICIOUS for i in range(1, 5)}
+        assert classify_broadcast(outcomes) is FaultClass.SYMMETRIC_MALICIOUS
+
+    def test_mixed_is_asymmetric(self):
+        outcomes = {1: ReceptionOutcome.OK, 2: ReceptionOutcome.DETECTABLE,
+                    3: ReceptionOutcome.OK, 4: ReceptionOutcome.OK}
+        assert classify_broadcast(outcomes) is FaultClass.ASYMMETRIC
+        outcomes[2] = ReceptionOutcome.MALICIOUS
+        assert classify_broadcast(outcomes) is FaultClass.ASYMMETRIC
+
+
+class TestFaultDirective:
+    def test_benign_detectable_by_everyone(self):
+        d = FaultDirective.benign()
+        for receiver in (1, 2, 99):
+            assert d.outcome_for(receiver) is ReceptionOutcome.DETECTABLE
+
+    def test_asymmetric_only_listed_receivers(self):
+        d = FaultDirective.asymmetric([2, 3])
+        assert d.outcome_for(2) is ReceptionOutcome.DETECTABLE
+        assert d.outcome_for(3) is ReceptionOutcome.DETECTABLE
+        assert d.outcome_for(1) is ReceptionOutcome.OK
+
+    def test_malicious_everyone_gets_payload(self):
+        d = FaultDirective.malicious(payload="bad")
+        assert d.outcome_for(1) is ReceptionOutcome.MALICIOUS
+        assert d.malicious_payload == "bad"
+
+    def test_causes_are_tagged(self):
+        assert FaultDirective.benign(cause="spike").cause == "spike"
+        assert FaultDirective.asymmetric([1], cause="sos").cause == "sos"
+
+
+def test_ground_truth_defaults():
+    gt = NodeGroundTruth(node_id=2)
+    assert gt.health is NodeHealth.HEALTHY
+    assert gt.obedient is True
+    assert gt.notes == {}

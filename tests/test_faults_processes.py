@@ -1,0 +1,126 @@
+"""Unit tests for stochastic fault processes."""
+
+import random
+
+import pytest
+
+from repro.faults.injector import TransmissionContext
+from repro.faults.processes import (
+    IntermittentSender,
+    PoissonTransients,
+    RandomSlotNoise,
+)
+from repro.tt.timebase import TimeBase
+
+TB = TimeBase(4, 2.5e-3)
+
+
+def ctx(round_index, slot):
+    return TransmissionContext(time=TB.slot_start(round_index, slot),
+                               round_index=round_index, slot=slot,
+                               sender=slot, receivers=(1, 2, 3, 4),
+                               channel=0, timebase=TB)
+
+
+def hits(scenario, round_index, slot):
+    return bool(list(scenario.directives(ctx(round_index, slot))))
+
+
+class TestPoissonTransients:
+    def test_reproducible_for_seed(self):
+        a = PoissonTransients(rate=100.0, burst_length=1e-3,
+                              rng=random.Random(1))
+        b = PoissonTransients(rate=100.0, burst_length=1e-3,
+                              rng=random.Random(1))
+        pattern_a = [hits(a, k, s) for k in range(50) for s in range(1, 5)]
+        pattern_b = [hits(b, k, s) for k in range(50) for s in range(1, 5)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a)
+
+    def test_rate_scales_hit_count(self):
+        low = PoissonTransients(rate=10.0, burst_length=1e-4,
+                                rng=random.Random(2))
+        high = PoissonTransients(rate=1000.0, burst_length=1e-4,
+                                 rng=random.Random(2))
+        count = lambda s: sum(hits(s, k, slot)
+                              for k in range(200) for slot in range(1, 5))
+        assert count(high) > count(low)
+
+    def test_arrivals_oracle_matches_horizon(self):
+        p = PoissonTransients(rate=50.0, burst_length=1e-3,
+                              rng=random.Random(3))
+        arrivals = p.arrivals_until(1.0)
+        assert all(t <= 1.0 for t in arrivals)
+        assert arrivals == sorted(arrivals)
+        # Extending the horizon only appends.
+        more = p.arrivals_until(2.0)
+        assert more[:len(arrivals)] == arrivals
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonTransients(rate=0.0, burst_length=1e-3,
+                              rng=random.Random(0))
+        with pytest.raises(ValueError):
+            PoissonTransients(rate=1.0, burst_length=0.0,
+                              rng=random.Random(0))
+
+
+class TestIntermittentSender:
+    def test_only_affects_its_sender(self):
+        s = IntermittentSender(2, mean_reappearance_rounds=5,
+                               rng=random.Random(0), first_round=0)
+        assert hits(s, 0, 2)
+        assert not hits(s, 0, 3)
+
+    def test_burst_rounds_consecutive(self):
+        s = IntermittentSender(1, mean_reappearance_rounds=1000,
+                               rng=random.Random(0), burst_rounds=3,
+                               first_round=5)
+        assert not s.is_faulty_round(4)
+        assert all(s.is_faulty_round(k) for k in (5, 6, 7))
+        assert not s.is_faulty_round(8)
+
+    def test_mean_reappearance_statistics(self):
+        s = IntermittentSender(1, mean_reappearance_rounds=20,
+                               rng=random.Random(7))
+        faulty = [k for k in range(20000) if s.is_faulty_round(k)]
+        gaps = [b - a for a, b in zip(faulty, faulty[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        # Exponential with mean 20 (+1 burst round, ceil): tolerant band.
+        assert 15 < mean_gap < 30
+
+    def test_oracle_consistent_with_directives(self):
+        s = IntermittentSender(3, mean_reappearance_rounds=4,
+                               rng=random.Random(9))
+        for k in range(100):
+            assert hits(s, k, 3) == s.is_faulty_round(k)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntermittentSender(1, mean_reappearance_rounds=0,
+                               rng=random.Random(0))
+        with pytest.raises(ValueError):
+            IntermittentSender(1, mean_reappearance_rounds=1,
+                               rng=random.Random(0), burst_rounds=0)
+
+
+class TestRandomSlotNoise:
+    def test_memoised_decisions(self):
+        noise = RandomSlotNoise(0.5, rng=random.Random(0))
+        first = hits(noise, 3, 2)
+        assert all(hits(noise, 3, 2) == first for _ in range(5))
+
+    def test_probability_extremes(self):
+        always = RandomSlotNoise(1.0, rng=random.Random(0))
+        never = RandomSlotNoise(0.0, rng=random.Random(0))
+        assert all(hits(always, k, 1) for k in range(20))
+        assert not any(hits(never, k, 1) for k in range(20))
+
+    def test_empirical_probability(self):
+        noise = RandomSlotNoise(0.3, rng=random.Random(5))
+        total = sum(hits(noise, k, s) for k in range(500) for s in range(1, 5))
+        assert 0.25 < total / 2000 < 0.35
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomSlotNoise(1.5, rng=random.Random(0))

@@ -1,0 +1,167 @@
+"""Unit tests for the deterministic fault scenarios."""
+
+import pytest
+
+from repro.faults.injector import TransmissionContext
+from repro.faults.scenarios import (
+    BurstSequence,
+    BusBurst,
+    PeriodicBurst,
+    SenderFault,
+    SlotBurst,
+    blinking_light,
+    crash,
+    every_nth_round,
+)
+from repro.tt.timebase import TimeBase
+
+TB = TimeBase(4, 2.5e-3)
+
+
+def ctx(round_index, slot, channel=0):
+    return TransmissionContext(time=TB.slot_start(round_index, slot),
+                               round_index=round_index, slot=slot,
+                               sender=slot, receivers=(1, 2, 3, 4),
+                               channel=channel, timebase=TB)
+
+
+def hits(scenario, round_index, slot):
+    return bool(list(scenario.directives(ctx(round_index, slot))))
+
+
+class TestBusBurst:
+    def test_covers_overlapping_transmissions_only(self):
+        burst = BusBurst(TB.slot_start(0, 2), TB.slot_length)
+        assert not hits(burst, 0, 1)
+        assert hits(burst, 0, 2)
+        assert not hits(burst, 0, 3)
+
+    def test_partial_overlap_still_corrupts(self):
+        # Burst that only clips the start of slot 3's transmission.
+        start = TB.slot_start(0, 3) - 1e-6
+        burst = BusBurst(start, 2e-6)
+        assert hits(burst, 0, 3)
+
+    def test_burst_inside_interframe_gap_hits_nothing(self):
+        start = TB.delivery_time(0, 1) + 1e-6
+        burst = BusBurst(start, (TB.slot_start(0, 2) - start) - 1e-6)
+        assert not any(hits(burst, 0, s) for s in range(1, 5))
+
+    def test_positive_duration_required(self):
+        with pytest.raises(ValueError):
+            BusBurst(0.0, 0.0)
+
+
+class TestSlotBurst:
+    @pytest.mark.parametrize("start_slot", [1, 2, 3, 4])
+    def test_single_slot(self, start_slot):
+        burst = SlotBurst(TB, 5, start_slot, 1)
+        for s in range(1, 5):
+            assert hits(burst, 5, s) == (s == start_slot)
+        assert not any(hits(burst, 4, s) or hits(burst, 6, s)
+                       for s in range(1, 5))
+
+    def test_two_slots_wrap_round_boundary(self):
+        burst = SlotBurst(TB, 5, 4, 2)
+        assert hits(burst, 5, 4)
+        assert hits(burst, 6, 1)
+        assert not hits(burst, 6, 2)
+
+    def test_two_full_rounds_blackout(self):
+        burst = SlotBurst(TB, 5, 1, 8)
+        assert all(hits(burst, 5, s) for s in range(1, 5))
+        assert all(hits(burst, 6, s) for s in range(1, 5))
+        assert not hits(burst, 7, 1)
+
+
+class TestPeriodicBurst:
+    def test_blinking_light_parameters(self):
+        scenario = blinking_light()
+        windows = scenario.burst_windows
+        assert len(windows) == 50
+        start0, end0 = windows[0]
+        start1, _ = windows[1]
+        assert end0 - start0 == pytest.approx(10e-3)
+        # Time to reappearance is end-to-start: 500 ms.
+        assert start1 - end0 == pytest.approx(500e-3)
+
+    def test_hits_during_burst_not_during_gap(self):
+        scenario = PeriodicBurst(start=0.0, burst_length=10e-3,
+                                 time_to_reappearance=500e-3, count=2)
+        assert hits(scenario, 0, 1)           # inside burst 1
+        assert not hits(scenario, 50, 1)      # inside the gap (t=125 ms)
+        burst2_round = TB.round_of(510e-3)
+        assert hits(scenario, burst2_round, 1)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicBurst(0.0, 1e-3, 1e-3, 0)
+
+
+class TestBurstSequence:
+    def test_lightning_bolt_shape(self):
+        scenario = BurstSequence.lightning_bolt(start=0.0)
+        windows = scenario.burst_windows
+        assert len(windows) == 12  # 1 initial + 160ms + 290ms + 9x500ms
+        lengths = [end - start for start, end in windows]
+        assert all(l == pytest.approx(40e-3) for l in lengths)
+        gaps = [windows[i + 1][0] - windows[i][1] for i in range(11)]
+        assert gaps[0] == pytest.approx(160e-3)
+        assert gaps[1] == pytest.approx(290e-3)
+        assert all(g == pytest.approx(500e-3) for g in gaps[2:])
+
+    def test_explicit_pattern(self):
+        seq = BurstSequence(1.0, [(0.0, 0.01), (0.05, 0.02)])
+        assert seq.burst_windows == [
+            (1.0, pytest.approx(1.01)),
+            (pytest.approx(1.06), pytest.approx(1.08))]
+
+
+class TestSenderFault:
+    def test_benign_only_matches_sender(self):
+        fault = SenderFault(2, kind="benign")
+        assert hits(fault, 0, 2)
+        assert not hits(fault, 0, 3)
+
+    def test_round_list_restriction(self):
+        fault = SenderFault(2, kind="benign", rounds=[3, 5])
+        assert hits(fault, 3, 2) and hits(fault, 5, 2)
+        assert not hits(fault, 4, 2)
+
+    def test_round_predicate(self):
+        fault = SenderFault(2, kind="benign", rounds=lambda k: k % 2 == 0)
+        assert hits(fault, 0, 2) and hits(fault, 4, 2)
+        assert not hits(fault, 3, 2)
+
+    def test_asymmetric_requires_receivers(self):
+        with pytest.raises(ValueError):
+            SenderFault(1, kind="asymmetric")
+
+    def test_malicious_payload_carried(self):
+        fault = SenderFault(2, kind="malicious", payload=(0, 0, 0, 0))
+        [directive] = list(fault.directives(ctx(0, 2)))
+        assert directive.is_malicious
+        assert directive.malicious_payload == (0, 0, 0, 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SenderFault(1, kind="weird")
+
+
+def test_crash_is_permanent_from_round():
+    fault = crash(3, from_round=10)
+    assert not hits(fault, 9, 3)
+    assert hits(fault, 10, 3)
+    assert hits(fault, 1000, 3)
+
+
+def test_every_nth_round_pattern():
+    fault = every_nth_round(2, period=2, start_round=6, occurrences=10)
+    expected = {6 + 2 * i for i in range(10)}
+    for k in range(0, 30):
+        assert hits(fault, k, 2) == (k in expected)
+
+
+def test_every_nth_round_validation():
+    with pytest.raises(ValueError):
+        every_nth_round(1, period=0, start_round=0, occurrences=1)

@@ -1,0 +1,49 @@
+"""Membership protocol under dynamic node scheduling.
+
+The membership variant composes the tagged dynamic mode with minority
+accusations; these tests pin the composition: clique detection and view
+agreement must survive per-round random schedules.
+"""
+
+import pytest
+
+from repro.analysis.metrics import consistency_violations
+from repro.core.config import uniform_config
+from repro.core.service import MembershipCluster
+from repro.faults.scenarios import SenderFault, crash
+
+FAULT_ROUND = 8
+
+
+def permissive():
+    return uniform_config(4, penalty_threshold=10 ** 6,
+                          reward_threshold=10 ** 6)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_benign_exclusion_with_dynamic_schedules(seed):
+    mc = MembershipCluster(permissive(), seed=seed, dynamic_schedules=True)
+    mc.cluster.add_scenario(crash(3, from_round=FAULT_ROUND))
+    mc.run_rounds(FAULT_ROUND + 14)
+    for node in (1, 2, 4):
+        assert mc.services[node].view == frozenset({1, 2, 4})
+    assert not consistency_violations(mc.trace, mc.obedient_node_ids())
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_clique_detection_with_dynamic_schedules(seed):
+    mc = MembershipCluster(permissive(), seed=seed, dynamic_schedules=True)
+    mc.cluster.add_scenario(SenderFault(
+        3, kind="asymmetric", rounds=[FAULT_ROUND], detectable_by=[1]))
+    mc.run_rounds(FAULT_ROUND + 16)
+    majority_views = {mc.services[n].view for n in (2, 3, 4)}
+    assert len(majority_views) == 1
+    assert 1 not in majority_views.pop()
+
+
+def test_fault_free_dynamic_views_stable():
+    mc = MembershipCluster(permissive(), seed=5, dynamic_schedules=True)
+    mc.run_rounds(25)
+    for node in range(1, 5):
+        assert mc.services[node].view == frozenset({1, 2, 3, 4})
+    assert not mc.trace.select(category="clique")

@@ -1,0 +1,265 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the paper's theorems and the substrate's contracts as
+properties over randomly generated inputs:
+
+* H-maj agreement/correctness under arbitrary fault allocations within
+  the Lemma 2 bound, with adversarially chosen malicious votes;
+* read alignment reconstructs the previous round for every split point;
+* p/r counter algebra: isolation iff the penalty budget is exceeded
+  without an R-long clean gap; counters never go negative; update and
+  update_single agree on arbitrary health-vector streams;
+* syndrome wire encoding round-trips;
+* schedule parameter derivation is total and consistent over the whole
+  offset domain;
+* end-to-end: a randomly placed single-slot burst is always detected,
+  consistently, for random static schedules.
+"""
+
+import math
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.alignment import read_align
+from repro.core.config import uniform_config
+from repro.core.penalty_reward import (
+    PenaltyRewardState,
+    faulty_rounds_to_isolation,
+)
+from repro.core.syndrome import EPSILON
+from repro.core.voting import BOTTOM, h_maj, vote_bound_holds
+from repro.tt.frames import decode_syndrome, encode_syndrome
+from repro.tt.schedule import params_from_offset
+from repro.tt.timebase import TimeBase
+
+# ---------------------------------------------------------------------------
+# Voting properties
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def lemma2_vote_sets(draw):
+    """A (truth, votes) pair within the Lemma 2 resilience bound.
+
+    Honest voters report `truth`; benign voters are ε; malicious voters
+    report adversarial values chosen by hypothesis.
+    """
+    n = draw(st.integers(min_value=4, max_value=12))
+    truth = draw(st.integers(min_value=0, max_value=1))
+    b = draw(st.integers(min_value=0, max_value=n - 2))
+    max_ms = (n - b - 2) // 2
+    ms = draw(st.integers(min_value=0, max_value=max(0, max_ms)))
+    assume(vote_bound_holds(n, a=0, s=ms, b=b))
+    honest = n - 1 - b - ms
+    assume(honest >= 0)
+    malicious_votes = draw(st.lists(st.integers(min_value=0, max_value=1),
+                                    min_size=ms, max_size=ms))
+    votes = [truth] * honest + [EPSILON] * b + list(malicious_votes)
+    votes = draw(st.permutations(votes))
+    return truth, votes
+
+
+@given(lemma2_vote_sets())
+def test_hmaj_agrees_with_truth_within_bound(pair):
+    truth, votes = pair
+    assert h_maj(votes) == truth
+
+
+@given(st.lists(st.sampled_from([0, 1, EPSILON]), min_size=0, max_size=15))
+def test_hmaj_total_and_in_range(votes):
+    result = h_maj(votes)
+    surviving = [v for v in votes if v is not EPSILON]
+    if not surviving:
+        assert result is BOTTOM
+    else:
+        assert result in (0, 1)
+
+
+@given(st.lists(st.sampled_from([0, 1, EPSILON]), min_size=1, max_size=15))
+def test_hmaj_permutation_invariant(votes):
+    from itertools import islice, permutations
+    baseline = h_maj(votes)
+    for perm in islice(permutations(votes), 10):
+        assert h_maj(list(perm)) == baseline
+
+
+@given(st.lists(st.sampled_from([0, 1, EPSILON]), min_size=1, max_size=12),
+       st.integers(min_value=0, max_value=1))
+def test_hmaj_adding_epsilon_never_changes_outcome(votes, _):
+    assert h_maj(votes + [EPSILON]) == h_maj(votes)
+
+
+# ---------------------------------------------------------------------------
+# Alignment properties
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=2, max_value=16), st.data())
+def test_read_align_reconstructs_previous_round(n, data):
+    l = data.draw(st.integers(min_value=0, max_value=n))
+    truth = [("prev-round", j) for j in range(n)]
+    prev = truth[:l] + [("older", j) for j in range(l, n)]
+    curr = [("newer", j) for j in range(l)] + truth[l:]
+    assert read_align(prev, curr, l) == truth
+
+
+# ---------------------------------------------------------------------------
+# Penalty/reward properties
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.lists(st.integers(min_value=0, max_value=1),
+                         min_size=3, max_size=3),
+                min_size=1, max_size=60),
+       st.integers(min_value=0, max_value=6),
+       st.integers(min_value=1, max_value=8))
+def test_pr_counters_nonnegative_and_bounded(stream, P, R):
+    config = uniform_config(3, penalty_threshold=P, reward_threshold=R)
+    pr = PenaltyRewardState(config)
+    for hv in stream:
+        pr.update(hv)
+        assert all(p >= 0 for p in pr.penalties)
+        assert all(0 <= r < R for r in pr.rewards)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                max_size=80),
+       st.integers(min_value=0, max_value=5),
+       st.integers(min_value=1, max_value=6))
+def test_pr_isolation_iff_budget_exceeded_without_reset(bits, P, R):
+    """Replay Alg. 2 against an independent specification.
+
+    Specification: scanning the health stream of one node, the penalty
+    is the count of faults since the last reset; a reset happens after
+    R consecutive clean rounds (only while penalties are pending);
+    isolation is signalled on the fault that pushes the count above P.
+    """
+    config = uniform_config(2, penalty_threshold=P, reward_threshold=R)
+    pr = PenaltyRewardState(config)
+    penalty_spec = 0
+    clean_streak = 0
+    isolated_spec = False
+    isolated_impl = False
+    for bit in bits:
+        act = pr.update([bit, 1])
+        if act[0] == 0:
+            isolated_impl = True
+        if bit == 0:
+            penalty_spec += 1
+            clean_streak = 0
+            if penalty_spec > P:
+                isolated_spec = True
+        elif penalty_spec > 0:
+            clean_streak += 1
+            if clean_streak >= R:
+                penalty_spec = 0
+                clean_streak = 0
+        assert pr.penalties[0] == penalty_spec
+        assert isolated_impl == isolated_spec
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6),
+       st.integers(min_value=1, max_value=1000))
+def test_faulty_rounds_budget_formula(P, s):
+    rounds = faulty_rounds_to_isolation(P, s)
+    assert (rounds - 1) * s <= P < rounds * s
+
+
+# ---------------------------------------------------------------------------
+# Wire encoding properties
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                max_size=64))
+def test_syndrome_encoding_roundtrip(bits):
+    data = encode_syndrome(bits)
+    assert len(data) == (len(bits) + 7) // 8
+    assert decode_syndrome(data, len(bits)) == tuple(bits)
+
+
+# ---------------------------------------------------------------------------
+# Schedule derivation properties
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=2, max_value=10),
+       st.integers(min_value=1, max_value=10),
+       st.floats(min_value=0.0, max_value=0.999999, allow_nan=False))
+def test_schedule_params_total_and_consistent(n, node_pos, frac):
+    node_id = (node_pos - 1) % n + 1
+    tb = TimeBase(n, 2.5e-3)
+    offset = frac * tb.round_length
+    params = params_from_offset(tb, node_id, offset)
+    assert 0 <= params.l <= n - 1
+    assert params.round_shift in (0, 1)
+    if params.round_shift == 1:
+        assert params.l == 0
+        assert params.send_curr_round
+    else:
+        # l equals the number of delivery instants at or before offset.
+        deliveries = sum(1 for i in range(1, n + 1)
+                         if tb.delivery_time(0, i) <= offset + 1e-12)
+        assert params.l == deliveries
+    if params.send_curr_round and params.round_shift == 0:
+        assert offset < tb.slot_start(0, node_id)
+
+
+# ---------------------------------------------------------------------------
+# TTP/C baseline properties
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=4, max_value=8),
+       st.integers(min_value=1, max_value=3),
+       st.data())
+def test_ttpc_single_fault_resolution(n, fault_round, data):
+    """Under the single-fault assumption the baseline always resolves:
+    the faulty sender is removed everywhere (including by itself) and
+    the survivors hold one consistent membership."""
+    from repro.baselines.ttpc_membership import (
+        TTPCMembershipCluster,
+        benign_sender_fault,
+    )
+    slot = data.draw(st.integers(min_value=1, max_value=n))
+    cluster = TTPCMembershipCluster(n)
+    cluster.run_rounds(fault_round + 4,
+                       benign_sender_fault(fault_round, slot, n))
+    assert cluster.consistent_membership()
+    alive = set(cluster.alive_nodes())
+    assert alive == set(range(1, n + 1)) - {slot}
+    for node in alive:
+        assert cluster.membership_of(node) == frozenset(alive)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end detection property
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=9999),
+       st.integers(min_value=1, max_value=4),
+       st.lists(st.integers(min_value=0, max_value=4), min_size=4,
+                max_size=4))
+def test_single_burst_always_detected(seed, slot, exec_afters):
+    from repro.analysis.metrics import (
+        completeness_holds,
+        consistency_violations,
+        correctness_holds,
+    )
+    from repro.core.service import DiagnosedCluster
+    from repro.faults.scenarios import SlotBurst
+
+    config = uniform_config(4, penalty_threshold=10 ** 6,
+                            reward_threshold=10 ** 6)
+    dc = DiagnosedCluster(config, seed=seed, exec_after=exec_afters)
+    dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, 6, slot, 1))
+    dc.run_rounds(14)
+    obedient = dc.obedient_node_ids()
+    assert completeness_holds(dc.trace, 6, slot, obedient)
+    correct = [j for j in range(1, 5) if j != slot]
+    assert correctness_holds(dc.trace, 6, correct, obedient)
+    assert not consistency_violations(dc.trace, obedient)

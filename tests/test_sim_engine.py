@@ -1,0 +1,147 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import EventPriority
+
+
+def test_runs_events_in_time_order():
+    engine = Engine()
+    log = []
+    engine.schedule(2.0, EventPriority.JOB, lambda: log.append("c"))
+    engine.schedule(1.0, EventPriority.JOB, lambda: log.append("a"))
+    engine.schedule(1.5, EventPriority.JOB, lambda: log.append("b"))
+    engine.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_priority_breaks_ties_at_same_time():
+    engine = Engine()
+    log = []
+    engine.schedule(1.0, EventPriority.JOB, lambda: log.append("job"))
+    engine.schedule(1.0, EventPriority.SLOT_TRANSMIT, lambda: log.append("tx"))
+    engine.schedule(1.0, EventPriority.SLOT_DELIVER, lambda: log.append("rx"))
+    engine.schedule(1.0, EventPriority.INJECTOR, lambda: log.append("inj"))
+    engine.run()
+    assert log == ["inj", "tx", "rx", "job"]
+
+
+def test_insertion_order_breaks_full_ties():
+    engine = Engine()
+    log = []
+    for i in range(10):
+        engine.schedule(1.0, EventPriority.JOB, lambda i=i: log.append(i))
+    engine.run()
+    assert log == list(range(10))
+
+
+def test_now_advances_to_event_times():
+    engine = Engine()
+    seen = []
+    engine.schedule(0.5, EventPriority.JOB, lambda: seen.append(engine.now))
+    engine.schedule(2.5, EventPriority.JOB, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [0.5, 2.5]
+    assert engine.now == 2.5
+
+
+def test_until_is_inclusive_and_advances_clock():
+    engine = Engine()
+    log = []
+    engine.schedule(1.0, EventPriority.JOB, lambda: log.append(1))
+    engine.schedule(2.0, EventPriority.JOB, lambda: log.append(2))
+    engine.run(until=1.0)
+    assert log == [1]
+    assert engine.now == 1.0
+    engine.run(until=5.0)
+    assert log == [1, 2]
+    # The clock advances to the horizon even with an empty queue.
+    assert engine.now == 5.0
+
+
+def test_schedule_in_past_rejected():
+    engine = Engine()
+    engine.schedule(1.0, EventPriority.JOB, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule(0.5, EventPriority.JOB, lambda: None)
+
+
+def test_schedule_at_now_is_allowed():
+    engine = Engine()
+    log = []
+
+    def chain():
+        engine.schedule(engine.now, EventPriority.OBSERVER,
+                        lambda: log.append("later"))
+        log.append("first")
+
+    engine.schedule(1.0, EventPriority.JOB, chain)
+    engine.run()
+    assert log == ["first", "later"]
+
+
+def test_schedule_after_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule_after(-1.0, EventPriority.JOB, lambda: None)
+
+
+def test_cancelled_events_are_skipped():
+    engine = Engine()
+    log = []
+    event = engine.schedule(1.0, EventPriority.JOB, lambda: log.append("x"))
+    engine.schedule(2.0, EventPriority.JOB, lambda: log.append("y"))
+    event.cancel()
+    executed = engine.run()
+    assert log == ["y"]
+    assert executed == 1
+
+
+def test_stop_halts_run():
+    engine = Engine()
+    log = []
+    engine.schedule(1.0, EventPriority.JOB, lambda: (log.append(1), engine.stop()))
+    engine.schedule(2.0, EventPriority.JOB, lambda: log.append(2))
+    engine.run()
+    assert log == [1]
+    assert engine.pending_events == 1
+
+
+def test_max_events_bound():
+    engine = Engine()
+    log = []
+    for i in range(5):
+        engine.schedule(float(i), EventPriority.JOB, lambda i=i: log.append(i))
+    executed = engine.run(max_events=3)
+    assert executed == 3
+    assert log == [0, 1, 2]
+
+
+def test_executed_events_counter_accumulates():
+    engine = Engine()
+    engine.schedule(1.0, EventPriority.JOB, lambda: None)
+    engine.run()
+    engine.schedule(2.0, EventPriority.JOB, lambda: None)
+    engine.run()
+    assert engine.executed_events == 2
+
+
+def test_peek_time_skips_cancelled():
+    engine = Engine()
+    e1 = engine.schedule(1.0, EventPriority.JOB, lambda: None)
+    engine.schedule(2.0, EventPriority.JOB, lambda: None)
+    e1.cancel()
+    assert engine.peek_time() == 2.0
+
+
+def test_not_reentrant():
+    engine = Engine()
+
+    def reenter():
+        engine.run()
+
+    engine.schedule(1.0, EventPriority.JOB, reenter)
+    with pytest.raises(SimulationError):
+        engine.run()

@@ -1,0 +1,73 @@
+"""Unit tests for trace recording and querying."""
+
+from repro.sim.trace import Trace
+
+
+def make_trace() -> Trace:
+    trace = Trace()
+    trace.record(0.0, "tx", node=1, slot=1, ok=True)
+    trace.record(0.1, "tx", node=2, slot=2, ok=False)
+    trace.record(0.2, "isolation", node=1, isolated=2)
+    trace.record(0.3, "tx", node=1, slot=1, ok=True)
+    return trace
+
+
+def test_record_and_len():
+    trace = make_trace()
+    assert len(trace) == 4
+
+
+def test_select_by_category():
+    trace = make_trace()
+    assert len(trace.select(category="tx")) == 3
+    assert len(trace.select(category="isolation")) == 1
+
+
+def test_select_by_node():
+    trace = make_trace()
+    assert len(trace.select(category="tx", node=1)) == 2
+
+
+def test_select_time_window():
+    trace = make_trace()
+    assert len(trace.select(since=0.1, until=0.2)) == 2
+    assert len(trace.select(since=0.15)) == 2
+    assert len(trace.select(until=0.05)) == 1
+
+
+def test_select_with_predicate():
+    trace = make_trace()
+    recs = trace.select(category="tx", predicate=lambda r: r.data["ok"])
+    assert len(recs) == 2
+
+
+def test_first_and_last_with_filters():
+    trace = make_trace()
+    first = trace.first("tx", node=1)
+    last = trace.last("tx", node=1)
+    assert first is not None and first.time == 0.0
+    assert last is not None and last.time == 0.3
+    # Filters match on data keys.
+    assert trace.first("tx", ok=False).node == 2
+    assert trace.first("tx", ok="missing-value") is None
+
+
+def test_count_with_filters():
+    trace = make_trace()
+    assert trace.count("tx") == 3
+    assert trace.count("tx", ok=True) == 2
+    assert trace.count("nonexistent") == 0
+
+
+def test_records_kept_in_insertion_order():
+    trace = make_trace()
+    times = [r.time for r in trace]
+    assert times == sorted(times)
+
+
+def test_to_dicts_roundtrip():
+    trace = make_trace()
+    dicts = trace.to_dicts()
+    assert dicts[0] == {"time": 0.0, "category": "tx", "node": 1,
+                        "slot": 1, "ok": True}
+    assert len(dicts) == 4

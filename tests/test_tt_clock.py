@@ -1,0 +1,76 @@
+"""Unit tests for the clock model and SOS fault generation."""
+
+import pytest
+
+from repro.faults.injector import TransmissionContext
+from repro.tt.clock import ClockModel, SOSClockScenario
+from repro.tt.timebase import TimeBase
+
+
+def ctx_for(sender: int, time: float = 0.0) -> TransmissionContext:
+    tb = TimeBase(4, 2.5e-3)
+    return TransmissionContext(time=time, round_index=0, slot=sender,
+                               sender=sender, receivers=(1, 2, 3, 4),
+                               channel=0, timebase=tb)
+
+
+def test_clock_deviation_linear():
+    clock = ClockModel(offset=10e-6, drift=1e-3)
+    assert clock.deviation(0.0) == pytest.approx(10e-6)
+    assert clock.deviation(1.0) == pytest.approx(10e-6 + 1e-3)
+
+
+def test_synchronised_clocks_produce_no_faults():
+    scenario = SOSClockScenario({}, acceptance_window=50e-6)
+    assert list(scenario.directives(ctx_for(1))) == []
+
+
+def test_within_window_no_fault():
+    clocks = {1: ClockModel(offset=30e-6), 2: ClockModel(offset=-10e-6)}
+    scenario = SOSClockScenario(clocks, acceptance_window=50e-6)
+    assert list(scenario.directives(ctx_for(1))) == []
+
+
+def test_sos_asymmetry_from_offsets():
+    # Sender 1 deviates +80us; receivers at -30us reject (110 > 100),
+    # receivers at +20us accept (60 < 100).
+    clocks = {
+        1: ClockModel(offset=80e-6),
+        2: ClockModel(offset=-30e-6),
+        3: ClockModel(offset=20e-6),
+    }
+    scenario = SOSClockScenario(clocks, acceptance_window=100e-6)
+    directives = list(scenario.directives(ctx_for(1)))
+    assert len(directives) == 1
+    assert directives[0].detectable_by == frozenset({2})
+    assert directives[0].cause == "sos"
+
+
+def test_sender_never_rejects_itself():
+    clocks = {1: ClockModel(offset=500e-6)}
+    scenario = SOSClockScenario(clocks, acceptance_window=50e-6)
+    directives = list(scenario.directives(ctx_for(1)))
+    # Nodes 2-4 (perfectly synchronised) all reject; node 1 does not.
+    assert directives[0].detectable_by == frozenset({2, 3, 4})
+
+
+def test_drift_crosses_window_over_time():
+    clocks = {3: ClockModel(offset=0.0, drift=1e-3)}  # 1 ms/s
+    scenario = SOSClockScenario(clocks, acceptance_window=100e-6)
+    # At t=0.05s deviation is 50us: fine.  At t=0.2s it is 200us: SOS.
+    assert list(scenario.directives(ctx_for(3, time=0.05))) == []
+    directives = list(scenario.directives(ctx_for(3, time=0.2)))
+    assert directives and directives[0].detectable_by == frozenset({1, 2, 4})
+
+
+def test_receiver_fault_direction():
+    # A drifting *receiver* rejects everyone else's frames.
+    clocks = {4: ClockModel(offset=300e-6)}
+    scenario = SOSClockScenario(clocks, acceptance_window=100e-6)
+    directives = list(scenario.directives(ctx_for(1)))
+    assert directives[0].detectable_by == frozenset({4})
+
+
+def test_acceptance_window_validation():
+    with pytest.raises(ValueError):
+        SOSClockScenario({}, acceptance_window=0.0)

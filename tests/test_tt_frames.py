@@ -1,0 +1,59 @@
+"""Unit tests for frames and the syndrome wire encoding."""
+
+import pytest
+
+from repro.tt.frames import (
+    Frame,
+    decode_syndrome,
+    encode_syndrome,
+    round_bandwidth_bits,
+    syndrome_size_bits,
+)
+
+
+def test_frame_slot_equals_sender():
+    frame = Frame(sender=3, round_index=7, payload=(1, 1, 0, 1))
+    assert frame.slot == 3
+
+
+def test_encode_decode_roundtrip_small():
+    syndrome = (1, 0, 1, 1)
+    data = encode_syndrome(syndrome)
+    assert len(data) == 1  # 4 bits fit one byte
+    assert decode_syndrome(data, 4) == syndrome
+
+
+def test_encode_decode_roundtrip_multibyte():
+    syndrome = tuple((i * 7 + 3) % 2 for i in range(21))
+    data = encode_syndrome(syndrome)
+    assert len(data) == 3  # ceil(21/8)
+    assert decode_syndrome(data, 21) == syndrome
+
+
+def test_encode_all_zeros_and_ones():
+    assert decode_syndrome(encode_syndrome((0,) * 9), 9) == (0,) * 9
+    assert decode_syndrome(encode_syndrome((1,) * 9), 9) == (1,) * 9
+
+
+def test_encode_rejects_non_binary():
+    with pytest.raises(ValueError):
+        encode_syndrome((1, 2, 0))
+
+
+def test_decode_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        decode_syndrome(b"\x00", 9)
+
+
+def test_bandwidth_matches_paper():
+    # "The bandwidth required for each diagnostic message is N = 4 bits"
+    assert syndrome_size_bits(4) == 4
+    # O(N^2) bits per round.
+    assert round_bandwidth_bits(4) == 16
+    assert round_bandwidth_bits(10) == 100
+
+
+def test_msb_first_bit_order():
+    # First syndrome element occupies the MSB of the first byte.
+    assert encode_syndrome((1, 0, 0, 0, 0, 0, 0, 0)) == b"\x80"
+    assert encode_syndrome((1, 0, 0, 0)) == b"\x80"

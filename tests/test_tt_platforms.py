@@ -1,0 +1,66 @@
+"""Tests for the platform profiles and the portability harness."""
+
+import pytest
+
+from repro.experiments.portability import (
+    diagnosed_cluster_for,
+    portability_sweep,
+    run_on_platform,
+)
+from repro.tt.platforms import (
+    FLEXRAY,
+    PLATFORMS,
+    SAFEBUS,
+    TTP_C,
+    TT_ETHERNET,
+)
+
+
+class TestProfiles:
+    def test_all_named_platforms_present(self):
+        assert set(PLATFORMS) == {"FlexRay", "TTP/C", "SAFEbus",
+                                  "TT-Ethernet"}
+
+    def test_ttpc_matches_paper_prototype(self):
+        assert TTP_C.round_length == pytest.approx(2.5e-3)
+        assert TTP_C.default_n_nodes == 4
+        assert TTP_C.n_channels == 2
+
+    def test_timebase_generation(self):
+        tb = FLEXRAY.timebase()
+        assert tb.n_slots == 8
+        assert tb.round_length == pytest.approx(5e-3)
+        tb16 = FLEXRAY.timebase(16)
+        assert tb16.n_slots == 16
+
+    def test_make_cluster(self):
+        cluster = SAFEBUS.make_cluster(seed=1)
+        assert cluster.n_nodes == 4
+        assert cluster.bus.n_channels == 2
+        cluster.run_rounds(2)
+        assert cluster.trace.count("tx") == 8
+
+
+class TestPortabilityHarness:
+    def test_diagnosed_cluster_inherits_profile(self):
+        dc = diagnosed_cluster_for(TT_ETHERNET)
+        assert dc.config.n_nodes == 8
+        assert dc.cluster.timebase.round_length == pytest.approx(10e-3)
+        assert dc.cluster.bus.n_channels == 1
+
+    @pytest.mark.parametrize("profile", list(PLATFORMS.values()),
+                             ids=lambda p: p.name)
+    def test_protocol_unchanged_on_each_platform(self, profile):
+        result = run_on_platform(profile, seed=0)
+        assert result.oracle_ok
+        assert result.latency_rounds == 3
+        assert result.message_bits == result.n_nodes
+
+    def test_sweep_covers_all_platforms(self):
+        results = portability_sweep(seed=1)
+        assert [r.platform for r in results] == \
+            ["FlexRay", "TTP/C", "SAFEbus", "TT-Ethernet"]
+        # Wall-clock latency scales with the round length.
+        by_name = {r.platform: r for r in results}
+        assert by_name["SAFEbus"].latency_ms < by_name["TTP/C"].latency_ms \
+            < by_name["TT-Ethernet"].latency_ms

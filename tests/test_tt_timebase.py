@@ -1,0 +1,110 @@
+"""Unit tests for TDMA timing arithmetic."""
+
+import pytest
+
+from repro.tt.timebase import SlotRef, TimeBase
+
+
+@pytest.fixture
+def tb() -> TimeBase:
+    return TimeBase(n_slots=4, round_length=2.5e-3, tx_fraction=0.8)
+
+
+def test_slot_length(tb):
+    assert tb.slot_length == pytest.approx(0.625e-3)
+
+
+def test_round_of_boundaries(tb):
+    assert tb.round_of(0.0) == 0
+    assert tb.round_of(2.4999e-3) == 0
+    assert tb.round_of(2.5e-3) == 1
+    assert tb.round_of(5.0e-3) == 2
+
+
+def test_slot_of(tb):
+    assert tb.slot_of(0.0) == SlotRef(0, 1)
+    assert tb.slot_of(0.7e-3) == SlotRef(0, 2)
+    assert tb.slot_of(2.5e-3) == SlotRef(1, 1)
+    assert tb.slot_of(2.5e-3 + 3 * 0.625e-3) == SlotRef(1, 4)
+
+
+def test_slot_start_end_delivery(tb):
+    assert tb.slot_start(0, 1) == 0.0
+    assert tb.slot_start(1, 2) == pytest.approx(2.5e-3 + 0.625e-3)
+    assert tb.slot_end(0, 4) == pytest.approx(2.5e-3)
+    assert tb.delivery_time(0, 1) == pytest.approx(0.8 * 0.625e-3)
+    # Delivery strictly inside the slot.
+    assert tb.slot_start(0, 2) < tb.delivery_time(0, 2) < tb.slot_end(0, 2)
+
+
+def test_last_delivery_before_round_end(tb):
+    # The inter-frame gap after slot N is where footnote-1 jobs run.
+    assert tb.delivery_time(0, 4) < tb.round_start(1)
+
+
+def test_slot_validation(tb):
+    with pytest.raises(ValueError):
+        tb.slot_start(0, 0)
+    with pytest.raises(ValueError):
+        tb.slot_end(0, 5)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        TimeBase(1, 1.0)
+    with pytest.raises(ValueError):
+        TimeBase(4, 0.0)
+    with pytest.raises(ValueError):
+        TimeBase(4, 1.0, tx_fraction=1.0)
+    with pytest.raises(ValueError):
+        TimeBase(4, 1.0, tx_fraction=0.0)
+
+
+def test_transmissions_between_single_slot(tb):
+    refs = list(tb.transmissions_between(0.0, tb.slot_length))
+    assert refs == [SlotRef(0, 1)]
+
+
+def test_transmissions_between_covers_burst(tb):
+    # A burst spanning slots 2-3 of round 0.
+    t0 = tb.slot_start(0, 2)
+    t1 = tb.slot_end(0, 3)
+    refs = list(tb.transmissions_between(t0, t1))
+    assert refs == [SlotRef(0, 2), SlotRef(0, 3)]
+
+
+def test_transmissions_between_gap_only_hits_nothing(tb):
+    # An interval entirely inside the inter-frame gap of slot 1.
+    t0 = tb.delivery_time(0, 1) + 1e-9
+    t1 = tb.slot_start(0, 2) - 1e-9
+    assert list(tb.transmissions_between(t0, t1)) == []
+
+
+def test_transmissions_between_two_rounds(tb):
+    refs = list(tb.transmissions_between(0.0, 2 * tb.round_length))
+    assert len(refs) == 8
+    assert refs[0] == SlotRef(0, 1)
+    assert refs[-1] == SlotRef(1, 4)
+
+
+def test_transmissions_between_empty_interval(tb):
+    assert list(tb.transmissions_between(1.0, 1.0)) == []
+    assert list(tb.transmissions_between(2.0, 1.0)) == []
+
+
+def test_transmissions_between_partial_overlap(tb):
+    # Interval starting mid-transmission of slot 2 still corrupts it.
+    mid = tb.slot_start(0, 2) + 0.4 * tb.slot_length
+    refs = list(tb.transmissions_between(mid, mid + 1e-6))
+    assert refs == [SlotRef(0, 2)]
+
+
+def test_duration_in_rounds(tb):
+    assert tb.duration_in_rounds(2.5e-3) == 1
+    assert tb.duration_in_rounds(2.6e-3) == 2
+    assert tb.duration_in_rounds(10e-3) == 4
+
+
+def test_slotref_global_index():
+    assert SlotRef(0, 1).global_index(4) == 0
+    assert SlotRef(2, 3).global_index(4) == 10

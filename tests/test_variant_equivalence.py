@@ -1,0 +1,140 @@
+"""Cross-variant equivalence and boundary-size tests.
+
+The three protocol variants (add-on static, add-on dynamic/tagged,
+system-level per-slot) implement the same diagnosis semantics; these
+tests pin that down:
+
+* identical verdicts for identical fault scenarios across variants;
+* the dynamic machinery degenerates to the static behaviour when the
+  schedule happens to be constant;
+* boundary cluster sizes (N = 2, 3) behave sanely (the voting column
+  shrinks to 1-2 votes).
+"""
+
+import pytest
+
+from repro.analysis.metrics import health_vectors_by_node
+from repro.core.config import uniform_config
+from repro.core.service import DiagnosedCluster, LowLatencyCluster
+from repro.faults.scenarios import SenderFault, SlotBurst
+from repro.tt.schedule import NodeSchedule, params_from_offset
+
+FAULT_ROUND = 6
+
+
+def permissive(n=4):
+    return uniform_config(n, penalty_threshold=10 ** 6,
+                          reward_threshold=10 ** 6)
+
+
+class ConstantPseudoDynamicSchedule(NodeSchedule):
+    """A schedule that reports is_static=False but never moves.
+
+    Forces the dynamic-mode machinery (history alignment + tagged
+    syndromes) onto a workload whose behaviour the static mode defines,
+    so the two implementations can be compared verdict-for-verdict.
+    """
+
+    def __init__(self, timebase, node_id, offset):
+        self._params = params_from_offset(timebase, node_id, offset)
+
+    def params(self, round_index):
+        return self._params
+
+    @property
+    def is_static(self):
+        return False
+
+
+class TestStaticDynamicEquivalence:
+    @pytest.mark.parametrize("scenario_builder", [
+        lambda tb: SlotBurst(tb, FAULT_ROUND, 2, 1),
+        lambda tb: SlotBurst(tb, FAULT_ROUND, 3, 2),
+        lambda tb: SenderFault(1, kind="benign",
+                               rounds=[FAULT_ROUND, FAULT_ROUND + 2]),
+    ])
+    def test_same_offsets_same_verdicts(self, scenario_builder):
+        def run(pseudo_dynamic):
+            dc = DiagnosedCluster(permissive(), seed=0, exec_after=1)
+            if pseudo_dynamic:
+                tb = dc.cluster.timebase
+                for node_id in range(1, 5):
+                    offset = dc.cluster.schedule.node_schedule(
+                        node_id).params(0).offset
+                    sched = ConstantPseudoDynamicSchedule(tb, node_id, offset)
+                    dc.cluster.schedule.set_node_schedule(node_id, sched)
+                    dc.cluster.nodes[node_id].schedule = sched
+            dc.cluster.add_scenario(scenario_builder(dc.cluster.timebase))
+            dc.run_rounds(FAULT_ROUND + 10)
+            return health_vectors_by_node(dc.trace)
+
+        static = run(False)
+        dynamic = run(True)
+        # Same verdict for every diagnosed round covered by both.
+        for node in static:
+            common = set(static[node]) & set(dynamic[node])
+            assert common
+            for d in common:
+                assert static[node][d] == dynamic[node][d], (node, d)
+
+
+class TestAddonLowLatencyEquivalence:
+    @pytest.mark.parametrize("slot,n_slots", [(1, 1), (2, 1), (4, 2), (1, 8)])
+    def test_per_round_verdicts_agree(self, slot, n_slots):
+        dc = DiagnosedCluster(permissive(), seed=0)
+        llc = LowLatencyCluster(permissive(), seed=0)
+        for target in (dc, llc):
+            target.cluster.add_scenario(
+                SlotBurst(target.cluster.timebase, FAULT_ROUND, slot,
+                          n_slots))
+        dc.run_rounds(FAULT_ROUND + 10)
+        llc.run_rounds(FAULT_ROUND + 10)
+
+        addon = dc.health_vectors(1)
+        for d_round, hv in addon.items():
+            for s in range(1, 5):
+                ll_verdict = llc.service(1).verdicts.get((d_round, s))
+                if ll_verdict is not None:
+                    assert hv[s - 1] == ll_verdict, (d_round, s)
+
+
+class TestBoundarySizes:
+    def test_n2_detects_benign_fault(self):
+        # N=2: each column holds a single external vote.  The bound
+        # N > b+1 fails for any fault, but benign faults still resolve
+        # through the surviving vote / collision detector (Lemma 3
+        # covers b >= N-1 = 1).
+        dc = DiagnosedCluster(permissive(2), seed=0)
+        dc.cluster.add_scenario(SenderFault(2, kind="benign",
+                                            rounds=[FAULT_ROUND]))
+        dc.run_rounds(FAULT_ROUND + 8)
+        for node in (1, 2):
+            assert dc.health_vectors(node)[FAULT_ROUND] == (1, 0)
+
+    def test_n3_single_fault(self):
+        dc = DiagnosedCluster(permissive(3), seed=0)
+        dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, FAULT_ROUND,
+                                          2, 1))
+        dc.run_rounds(FAULT_ROUND + 8)
+        for node in (1, 2, 3):
+            assert dc.health_vectors(node)[FAULT_ROUND] == (1, 0, 1)
+
+    def test_n3_blackout(self):
+        dc = DiagnosedCluster(permissive(3), seed=0)
+        dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, FAULT_ROUND,
+                                          1, 6))
+        dc.run_rounds(FAULT_ROUND + 8)
+        for node in (1, 2, 3):
+            assert dc.health_vectors(node)[FAULT_ROUND] == (0, 0, 0)
+
+
+class TestTxFractionRobustness:
+    @pytest.mark.parametrize("tx_fraction", [0.1, 0.5, 0.95])
+    def test_detection_across_frame_widths(self, tx_fraction):
+        dc = DiagnosedCluster(permissive(), seed=0,
+                              tx_fraction=tx_fraction)
+        dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, FAULT_ROUND,
+                                          2, 1))
+        dc.run_rounds(FAULT_ROUND + 8)
+        assert dc.health_vectors(1)[FAULT_ROUND] == (1, 0, 1, 1)
+        assert dc.consistent_health_history()
