@@ -9,16 +9,21 @@ campaign is available via ``repro-diag validate --reps 100``) and
 prints the per-class pass rates.
 """
 
+import os
+
 from conftest import emit
 
 from repro.analysis.reporting import render_table
-from repro.experiments.validation import run_validation_campaign
+from repro.runner.sweep import run_validation_sweep
 
 REPETITIONS = 3
+#: Worker processes for the sweep; the aggregate result is identical
+#: for any value (the sweep merges verdicts in task order).
+JOBS = min(4, os.cpu_count() or 1)
 
 
 def run_campaign():
-    return run_validation_campaign(repetitions=REPETITIONS)
+    return run_validation_sweep(repetitions=REPETITIONS, jobs=JOBS)
 
 
 def test_sec8_validation_campaign(benchmark):

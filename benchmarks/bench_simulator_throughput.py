@@ -6,7 +6,7 @@ are visible: simulated rounds per second for growing cluster sizes,
 with the full diagnostic stack running on every node.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.analysis.reporting import render_table
 from repro.core.config import uniform_config
@@ -39,16 +39,26 @@ def test_throughput_summary(benchmark):
     import time
 
     def measure():
-        rows = []
+        points = []
         for n in (4, 8, 16, 32):
             start = time.perf_counter()
             run_cluster(n)
             elapsed = time.perf_counter() - start
-            rows.append((n, ROUNDS, f"{ROUNDS / elapsed:,.0f} rounds/s",
-                         f"{ROUNDS * n / elapsed:,.0f} slots/s"))
-        return rows
+            points.append({"n_nodes": n, "rounds": ROUNDS,
+                           "rounds_per_s": round(ROUNDS / elapsed, 1),
+                           "slots_per_s": round(ROUNDS * n / elapsed, 1)})
+        return points
 
-    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    points = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [(p["n_nodes"], p["rounds"],
+             f"{p['rounds_per_s']:,.0f} rounds/s",
+             f"{p['slots_per_s']:,.0f} slots/s") for p in points]
     emit("simulator_throughput", render_table(
         ["N", "rounds simulated", "throughput", "slot throughput"],
         rows, title="Substrate throughput (full diagnostic stack)"))
+    emit_json("BENCH_simulator_throughput", {
+        "benchmark": "simulator_throughput",
+        "config": {"trace_level": 0, "fault_free": True,
+                   "rounds_per_point": ROUNDS},
+        "points": points,
+    })

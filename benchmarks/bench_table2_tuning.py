@@ -10,11 +10,14 @@ arithmetic at T = 2.5 ms): automotive P = 197 with s = 40/6/1,
 aerospace P = 17 with s = 1, R = 10^6.
 """
 
+import os
+
 from conftest import emit
 
 from repro.analysis.reporting import render_table
 from repro.core.config import CriticalityClass
-from repro.experiments.table2 import PAPER_TABLE2, table2
+from repro.experiments.table2 import PAPER_TABLE2
+from repro.runner.sweep import run_table2_sweep
 
 C = CriticalityClass
 
@@ -33,8 +36,13 @@ EXAMPLES = {
 }
 
 
+#: Worker processes; one (domain, class) measurement per task, result
+#: identical for any value.
+JOBS = min(4, os.cpu_count() or 1)
+
+
 def run_tuning():
-    return table2(seed=0)
+    return run_table2_sweep(seed=0, jobs=JOBS)
 
 
 def test_table2_tuning(benchmark):

@@ -8,7 +8,9 @@ reproduction artefacts survive the run.
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -18,3 +20,15 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print(f"\n{text}\n")
+
+
+def emit_json(name: str, payload: Any) -> None:
+    """Persist a machine-readable artefact as ``results/<name>.json``.
+
+    Sorted keys and a fixed indent keep the file stable under
+    re-emission, so the perf trajectory is diffable across commits.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")

@@ -19,9 +19,9 @@ from .analysis.reporting import render_table
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    from .experiments.validation import run_validation_campaign
+    from .runner.sweep import run_validation_sweep
 
-    summary = run_validation_campaign(repetitions=args.reps)
+    summary = run_validation_sweep(repetitions=args.reps, jobs=args.jobs)
     rows = [(cls, len(results), f"{100 * rate:.0f}%")
             for (cls, results), rate in
             zip(sorted(summary.results.items()),
@@ -34,12 +34,13 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    from .experiments.table2 import table2
+    from .runner.sweep import run_table2_sweep
 
     rows = [(r.domain, r.criticality_class.name,
              f"{r.tolerated_outage * 1e3:.0f} ms", r.measured_budget,
              r.criticality, r.penalty_threshold, f"{r.reward_threshold:.0e}")
-            for r in table2(seed=args.seed)]
+            for r in run_table2_sweep(seed=args.seed,
+                                      jobs=getattr(args, "jobs", 1))]
     print(render_table(
         ["Domain", "Class", "Tolerated outage", "Measured budget",
          "Crit. lvl (s_i)", "P", "R"],
@@ -164,6 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate", help="run the Sec. 8 validation campaign")
     p.add_argument("--reps", type=int, default=5,
                    help="repetitions per experiment class (paper: 100)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = serial; results are "
+                        "identical for any value)")
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("discrimination",
@@ -185,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
             ("demo", _cmd_demo, "run a small annotated demo cluster")):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--seed", type=int, default=0)
+        if name == "table2":
+            p.add_argument("--jobs", type=int, default=1,
+                           help="worker processes (results identical "
+                                "for any value)")
         p.set_defaults(func=func)
     return parser
 

@@ -40,8 +40,8 @@ from ..tt.node import JobContext, Node
 from .alignment import diagnosed_round, read_align, select_dissemination
 from .config import IsolationMode, ProtocolConfig
 from .penalty_reward import PenaltyRewardState
-from .syndrome import (EPSILON, DiagnosticMatrix, Row, is_valid_syndrome,
-                       parse_tagged_syndrome)
+from .syndrome import (EPSILON, DiagnosticMatrix, Row, intern_syndrome,
+                       is_valid_syndrome, parse_tagged_syndrome)
 from .voting import BOTTOM, h_maj
 
 #: Trace verbosity: 0 = decisions only, 1 = + health vectors containing
@@ -253,7 +253,10 @@ class DiagnosticService:
         if self.byzantine_rng is not None:
             out = [self.byzantine_rng.randrange(2)
                    for _ in range(self.config.n_nodes)]
-        controller.write_interface(tuple(out))
+        # Interned so that the identical syndromes a healthy cluster
+        # disseminates every round share one tuple object; the matrix
+        # aggregation detects uniform rounds by pointer comparison.
+        controller.write_interface(intern_syndrome(tuple(out)))
 
     # ------------------------------------------------------------------
     # Phase 4 — analysis
@@ -271,6 +274,21 @@ class DiagnosticService:
     def _build_matrix(self, al_dm: List[Any], al_ls: List[int]) -> DiagnosticMatrix:
         """Aggregation: the diagnostic matrix with ε rows filled in."""
         n = self.config.n_nodes
+        if 0 not in al_ls and 0 not in self.active:
+            # Fast path for the common fault-free round: every sender is
+            # active and valid, and (thanks to syndrome interning at
+            # dissemination) all received syndromes are the same tuple
+            # object.  The resulting matrix is exactly what the loop
+            # below would build — all rows are ``tuple(al_dm[m-1])``,
+            # which for a tuple input is the object itself — plus the
+            # uniform marker that lets the analysis skip the vote.
+            row0 = al_dm[0]
+            if (type(row0) is tuple and len(row0) == n
+                    and all(r is row0 for r in al_dm)
+                    and row0.count(0) + row0.count(1) == n):
+                matrix = DiagnosticMatrix.uniform(n, row0)
+                self._last_matrix = matrix
+                return matrix
         matrix = DiagnosticMatrix(n)
         for m in range(1, n + 1):
             row: Row
@@ -328,12 +346,19 @@ class DiagnosticService:
     def _analyse(self, controller, matrix: DiagnosticMatrix,
                  d_round: int, k: int) -> List[int]:
         n = self.config.n_nodes
-        cons_hv: List[int] = []
-        for j in range(1, n + 1):
-            diag = h_maj(matrix.column(j))
-            if diag is BOTTOM:
-                diag = self._bottom_fallback(controller, j, d_round)
-            cons_hv.append(diag)
+        uniform = matrix.uniform_row()
+        if uniform is not None:
+            # Uniform matrix: column j holds N-1 identical non-ε votes
+            # equal to ``uniform[j-1]``, and a strict majority of
+            # identical votes is that vote (BOTTOM is unreachable).
+            cons_hv = list(uniform)
+        else:
+            cons_hv = []
+            for j in range(1, n + 1):
+                diag = h_maj(matrix.column(j))
+                if diag is BOTTOM:
+                    diag = self._bottom_fallback(controller, j, d_round)
+                cons_hv.append(diag)
         self._last_analysis_round = k
         if self.trace_level >= TRACE_ALL or (
                 self.trace_level >= TRACE_FAULTS and 0 in cons_hv):

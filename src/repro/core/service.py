@@ -55,7 +55,12 @@ class DiagnosedCluster:
     dynamic_schedules:
         If true, every node uses a per-round random schedule (Sec. 10).
     trace_level:
-        Trace verbosity forwarded to the services.
+        Trace verbosity, forwarded both to the services and to the
+        cluster-owned :class:`~repro.sim.trace.Trace` (so level 0 also
+        suppresses per-slot bus records).
+    fast_path:
+        Forwarded to :class:`~repro.tt.cluster.Cluster`: batched
+        delivery of injection-quiescent slots (bit-identical results).
     """
 
     def __init__(self, config: ProtocolConfig,
@@ -67,11 +72,13 @@ class DiagnosedCluster:
                  byzantine_nodes: Sequence[int] = (),
                  exec_after=None,
                  dynamic_schedules: bool = False,
-                 trace_level: int = TRACE_ALL) -> None:
+                 trace_level: int = TRACE_ALL,
+                 fast_path: bool = True) -> None:
         self.config = config
         self.cluster = Cluster(config.n_nodes, round_length=round_length,
                                tx_fraction=tx_fraction, seed=seed,
-                               n_channels=n_channels)
+                               n_channels=n_channels,
+                               trace_level=trace_level, fast_path=fast_path)
         self.trace = self.cluster.trace
 
         # Schedules first (they fix l_i / send_curr_round_i and hence
@@ -206,11 +213,13 @@ class LowLatencyCluster:
                  round_length: float = PAPER_ROUND_LENGTH,
                  tx_fraction: float = 0.8, seed: int = 0,
                  n_channels: int = 1, membership: bool = False,
-                 trace_level: int = TRACE_ALL) -> None:
+                 trace_level: int = TRACE_ALL,
+                 fast_path: bool = True) -> None:
         self.config = config
         self.cluster = Cluster(config.n_nodes, round_length=round_length,
                                tx_fraction=tx_fraction, seed=seed,
-                               n_channels=n_channels)
+                               n_channels=n_channels,
+                               trace_level=trace_level, fast_path=fast_path)
         self.trace = self.cluster.trace
         self.services: Dict[int, LowLatencyDiagnosticService] = {}
         for node_id in range(1, config.n_nodes + 1):

@@ -63,6 +63,32 @@ def opinion_about(syndrome: Syndrome, node_id: int) -> Opinion:
     return syndrome[node_id - 1]
 
 
+#: Interning cache for disseminated syndromes (bounded; see
+#: :func:`intern_syndrome`).
+_INTERNED: Dict[Syndrome, Syndrome] = {}
+_INTERN_LIMIT = 4096
+
+
+def intern_syndrome(syndrome: Syndrome) -> Syndrome:
+    """Return a canonical shared tuple equal to ``syndrome``.
+
+    In a healthy cluster every node disseminates the same all-ones
+    syndrome every round; interning makes those tuples
+    reference-identical, so the diagnostic matrix can detect a uniform
+    round by pointer comparison and repeated rounds do not allocate
+    fresh tuples.  The cache is bounded to keep pathological workloads
+    (adversarial payload diversity) from growing it without limit;
+    beyond the limit tuples are returned uninterned, which is only a
+    missed optimisation.
+    """
+    cached = _INTERNED.get(syndrome)
+    if cached is not None:
+        return cached
+    if len(_INTERNED) < _INTERN_LIMIT:
+        _INTERNED[syndrome] = syndrome
+    return syndrome
+
+
 def is_valid_syndrome(payload: Any, n_nodes: int) -> bool:
     """Whether a received payload parses as a well-formed syndrome.
 
@@ -73,7 +99,10 @@ def is_valid_syndrome(payload: Any, n_nodes: int) -> bool:
     """
     if not isinstance(payload, (tuple, list)) or len(payload) != n_nodes:
         return False
-    return all(bit in (0, 1) for bit in payload)
+    # Equivalent to ``all(bit in (0, 1) for bit in payload)`` — count()
+    # uses the same __eq__ semantics (True counts as 1, 0.0 as 0) but
+    # runs the scan in C.  No entry can equal both 0 and 1.
+    return payload.count(0) + payload.count(1) == n_nodes
 
 
 def parse_tagged_syndrome(payload: Any, n_nodes: int):
@@ -100,6 +129,7 @@ class DiagnosticMatrix:
     def __init__(self, n_nodes: int) -> None:
         self.n_nodes = n_nodes
         self._rows: Dict[int, Row] = {i: EPSILON for i in range(1, n_nodes + 1)}
+        self._uniform_row: Optional[Syndrome] = None
 
     @classmethod
     def from_rows(cls, rows: Sequence[Row]) -> "DiagnosticMatrix":
@@ -108,6 +138,33 @@ class DiagnosticMatrix:
         for i, row in enumerate(rows, start=1):
             matrix.set_row(i, row)
         return matrix
+
+    @classmethod
+    def uniform(cls, n_nodes: int, row: Sequence[int]) -> "DiagnosticMatrix":
+        """Build a matrix whose every row is the same syndrome.
+
+        Fast-path constructor for the common fault-free round: the row
+        is validated once and shared across all senders, and
+        :meth:`uniform_row` lets the analysis skip the per-column vote
+        (a uniform matrix trivially yields ``cons_hv == row``).
+        """
+        row = make_syndrome(row)
+        if len(row) != n_nodes:
+            raise ValueError(
+                f"syndrome length {len(row)} != n_nodes {n_nodes}")
+        matrix = cls(n_nodes)
+        rows = matrix._rows
+        for i in range(1, n_nodes + 1):
+            rows[i] = row
+        matrix._uniform_row = row
+        return matrix
+
+    def uniform_row(self) -> Optional[Syndrome]:
+        """The shared syndrome if built via :meth:`uniform`, else ``None``.
+
+        Any subsequent :meth:`set_row` clears the marker.
+        """
+        return self._uniform_row
 
     def set_row(self, sender: int, row: Row) -> None:
         """Install the syndrome sent by ``sender`` (or ε)."""
@@ -118,6 +175,7 @@ class DiagnosticMatrix:
                 raise ValueError(
                     f"syndrome length {len(row)} != n_nodes {self.n_nodes}")
         self._rows[sender] = row
+        self._uniform_row = None
 
     def row(self, sender: int) -> Row:
         """The syndrome sent by ``sender`` (or ε)."""
@@ -171,6 +229,7 @@ __all__ = [
     "Row",
     "make_syndrome",
     "opinion_about",
+    "intern_syndrome",
     "is_valid_syndrome",
     "DiagnosticMatrix",
 ]

@@ -43,6 +43,15 @@ class Scenario(Protocol):
     Implementations return the directives affecting one transmission
     (usually zero or one).  Scenarios must be deterministic functions of
     the context and of their own (seeded) random stream.
+
+    Scenarios may additionally expose an optional probe
+    ``is_quiescent(round_index, slot, timebase) -> bool`` returning True
+    iff ``directives`` is guaranteed to yield nothing for that slot (on
+    any channel).  The bus fast path uses the probe to batch fault-free
+    slots; scenarios without it are conservatively treated as active.
+    Probes of stochastic scenarios must perform exactly the sampling
+    their ``directives`` would, so fast- and slow-path executions
+    consume identical RNG draws.
     """
 
     def directives(self, ctx: TransmissionContext) -> Iterable[FaultDirective]:
@@ -84,6 +93,27 @@ class InjectionLayer:
     @property
     def scenarios(self) -> Sequence[Scenario]:
         return tuple(self._scenarios)
+
+    def is_quiescent(self, round_index: int, slot: int,
+                     timebase: TimeBase) -> bool:
+        """True iff no scenario can affect this slot's transmission.
+
+        This is the bus fast path's gate: a quiescent slot has a known
+        all-OK outcome on every channel, so the per-channel
+        :meth:`apply` calls (and the per-receiver composition) can be
+        skipped entirely.  A scenario that does not implement the
+        optional ``is_quiescent`` probe is conservatively treated as
+        active.  The probe short-circuits on the first active scenario;
+        that is safe for RNG equivalence because the slow-path
+        :meth:`apply` that follows still queries every scenario for the
+        same (round, slot), and stochastic scenarios memoise their
+        draws per key.
+        """
+        for scenario in self._scenarios:
+            probe = getattr(scenario, "is_quiescent", None)
+            if probe is None or not probe(round_index, slot, timebase):
+                return False
+        return True
 
     def apply(self, ctx: TransmissionContext) -> InjectedOutcome:
         """Compute the injected outcome for one transmission.

@@ -27,6 +27,7 @@ import math
 from random import Random
 from typing import Iterator, List, Optional
 
+from ..tt.timebase import TimeBase
 from .injector import Scenario, TransmissionContext
 from .model import FaultDirective
 
@@ -75,6 +76,22 @@ class PoissonTransients(Scenario):
             if arrival + self.burst_length > tx_start + _EPS:
                 yield FaultDirective.benign(cause=self.cause)
                 return
+
+    def is_quiescent(self, round_index: int, slot: int,
+                     timebase: TimeBase) -> bool:
+        """True iff no sampled arrival touches this slot's tx window.
+
+        Samples lazily to exactly the horizon :meth:`directives` would,
+        so the RNG draw sequence is identical on both bus paths.
+        """
+        tx_start, tx_end = timebase.tx_window(round_index, slot)
+        self._extend_to(tx_end)
+        for arrival in self._arrivals:
+            if arrival >= tx_end - _EPS:
+                break
+            if arrival + self.burst_length > tx_start + _EPS:
+                return False
+        return True
 
 
 class IntermittentSender(Scenario):
@@ -127,6 +144,16 @@ class IntermittentSender(Scenario):
         if self.is_faulty_round(ctx.round_index):
             yield FaultDirective.benign(cause=self.cause)
 
+    def is_quiescent(self, round_index: int, slot: int,
+                     timebase: TimeBase) -> bool:
+        """True unless the sender's slot falls in a sampled faulty round.
+
+        The short-circuit keeps the memoised sampling in
+        :meth:`is_faulty_round` restricted to the sender's own slots,
+        exactly as :meth:`directives` restricts it.
+        """
+        return slot != self.sender or not self.is_faulty_round(round_index)
+
 
 class RandomSlotNoise(Scenario):
     """Each transmission is independently corrupted with probability p.
@@ -152,6 +179,14 @@ class RandomSlotNoise(Scenario):
             self._decisions[key] = self._rng.random() < self.probability
         if self._decisions[key]:
             yield FaultDirective.benign(cause=self.cause)
+
+    def is_quiescent(self, round_index: int, slot: int,
+                     timebase: TimeBase) -> bool:
+        """True iff this transmission's memoised coin flip came up clean."""
+        key = (round_index, slot)
+        if key not in self._decisions:
+            self._decisions[key] = self._rng.random() < self.probability
+        return not self._decisions[key]
 
 
 __all__ = ["PoissonTransients", "IntermittentSender", "RandomSlotNoise"]

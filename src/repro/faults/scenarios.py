@@ -68,6 +68,17 @@ class BusBurst(Scenario):
         if overlap > max(threshold, _EPS):
             yield FaultDirective.benign(cause=self.cause)
 
+    def is_quiescent(self, round_index: int, slot: int,
+                     timebase: TimeBase) -> bool:
+        """True iff the burst cannot corrupt this slot's transmission.
+
+        Exact negation of the :meth:`directives` overlap condition.
+        """
+        tx_start, tx_end = timebase.tx_window(round_index, slot)
+        overlap = min(tx_end, self.end) - max(tx_start, self.start)
+        threshold = self.min_overlap * (tx_end - tx_start)
+        return overlap <= max(threshold, _EPS)
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"BusBurst(start={self.start}, duration={self.duration})"
 
@@ -105,6 +116,11 @@ class ChannelBurst(Scenario):
         for directive in self._burst.directives(ctx):
             yield FaultDirective.benign(cause=directive.cause)
 
+    def is_quiescent(self, round_index: int, slot: int,
+                     timebase: TimeBase) -> bool:
+        """True iff the underlying burst misses this slot on its channel."""
+        return self._burst.is_quiescent(round_index, slot, timebase)
+
 
 class PeriodicBurst(Scenario):
     """Bursts repeating with a constant time to reappearance.
@@ -132,6 +148,12 @@ class PeriodicBurst(Scenario):
         """Yield the fault directives this scenario imposes on ``ctx``."""
         for burst in self.bursts:
             yield from burst.directives(ctx)
+
+    def is_quiescent(self, round_index: int, slot: int,
+                     timebase: TimeBase) -> bool:
+        """True iff every burst of the train misses this slot."""
+        return all(b.is_quiescent(round_index, slot, timebase)
+                   for b in self.bursts)
 
     @property
     def burst_windows(self) -> List[Tuple[float, float]]:
@@ -175,6 +197,12 @@ class BurstSequence(Scenario):
         """Yield the fault directives this scenario imposes on ``ctx``."""
         for burst in self.bursts:
             yield from burst.directives(ctx)
+
+    def is_quiescent(self, round_index: int, slot: int,
+                     timebase: TimeBase) -> bool:
+        """True iff every burst of the sequence misses this slot."""
+        return all(b.is_quiescent(round_index, slot, timebase)
+                   for b in self.bursts)
 
     @property
     def burst_windows(self) -> List[Tuple[float, float]]:
@@ -239,6 +267,15 @@ class SenderFault(Scenario):
             yield FaultDirective.asymmetric(self.detectable_by, cause=self.cause)
         else:
             yield FaultDirective.malicious(self.payload, cause=self.cause)
+
+    def is_quiescent(self, round_index: int, slot: int,
+                     timebase: TimeBase) -> bool:
+        """True unless this is the faulty sender's slot in an active round.
+
+        Slot ownership is the identity map (:class:`GlobalSchedule`), so
+        the slot index doubles as the sender id.
+        """
+        return slot != self.sender or not self._active(round_index)
 
 
 def crash(sender: int, from_round: int = 0) -> SenderFault:

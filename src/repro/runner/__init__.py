@@ -1,0 +1,31 @@
+"""Parallel experiment runner.
+
+The paper's evaluation is Monte Carlo at heart: hundreds of
+independent, seeded injections per experiment class (Sec. 8), plus
+per-class tuning measurements (Sec. 9).  Each run builds its own
+cluster from an explicit seed and shares no state with any other run,
+so the campaigns are embarrassingly parallel.
+
+This package fans those repetitions across worker processes while
+keeping the aggregate results *exactly* equal to the serial campaign:
+
+* :mod:`repro.runner.pool` — the generic contract: picklable tasks,
+  deterministic per-task seeds, results merged in task order (never
+  completion order);
+* :mod:`repro.runner.sweep` — pre-built decompositions of the Sec. 8
+  validation campaign and the Table 2 tuning experiment.
+
+The ``repro-diag validate --jobs N`` CLI flag and the campaign
+benchmarks are wired through these sweeps.
+"""
+
+from .pool import Task, derive_task_seeds, run_tasks
+from .sweep import run_table2_sweep, run_validation_sweep
+
+__all__ = [
+    "Task",
+    "derive_task_seeds",
+    "run_tasks",
+    "run_table2_sweep",
+    "run_validation_sweep",
+]

@@ -1,0 +1,164 @@
+"""Pre-built parallel sweeps of the paper's experiment campaigns.
+
+Each sweep decomposes a serial campaign from :mod:`repro.experiments`
+into independent :class:`~repro.runner.pool.Task` objects generated in
+exactly the serial loop order — same experiment-class names, same
+per-repetition seeds — fans them out with
+:func:`~repro.runner.pool.run_tasks`, and merges the results back in
+task order.  Consequences:
+
+* ``run_validation_sweep(reps, jobs=1)`` reproduces
+  :func:`repro.experiments.validation.run_validation_campaign`
+  exactly, and any ``jobs > 1`` reproduces ``jobs=1`` exactly;
+* likewise ``run_table2_sweep(jobs=N)`` vs
+  :func:`repro.experiments.table2.table2`.
+
+Workers return only the aggregate each campaign needs (a pass verdict,
+a counter value), keeping inter-process pickling negligible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..core.config import (
+    AEROSPACE_TOLERATED_OUTAGE,
+    AUTOMOTIVE_TOLERATED_OUTAGE,
+    PAPER_REWARD_THRESHOLD,
+)
+from ..experiments.table2 import Table2Row, measure_penalty_budget
+from ..experiments.validation import (
+    PAPER_N_NODES,
+    CampaignSummary,
+    run_burst_experiment,
+    run_clique_experiment,
+    run_malicious_experiment,
+    run_penalty_reward_experiment,
+)
+from ..tt.cluster import PAPER_ROUND_LENGTH
+from .pool import Task, run_tasks
+
+
+# ----------------------------------------------------------------------
+# Module-level workers (must be picklable for the process pool).
+# ----------------------------------------------------------------------
+def _burst_passed(n_slots: int, start_slot: int, seed: int,
+                  n_nodes: int) -> bool:
+    """Worker: one burst injection reduced to its pass verdict."""
+    return run_burst_experiment(n_slots, start_slot, seed=seed,
+                                n_nodes=n_nodes).passed
+
+
+def _penalty_reward_passed(seed: int, n_nodes: int) -> bool:
+    """Worker: one counter-update experiment reduced to its verdict."""
+    return run_penalty_reward_experiment(seed=seed, n_nodes=n_nodes).passed
+
+
+def _malicious_passed(byzantine: int, seed: int, n_nodes: int) -> bool:
+    """Worker: one malicious-node injection reduced to its verdict."""
+    return run_malicious_experiment(byzantine, seed=seed,
+                                    n_nodes=n_nodes).passed
+
+
+def _clique_passed(seed: int, n_nodes: int) -> bool:
+    """Worker: one clique-detection injection reduced to its verdict."""
+    return run_clique_experiment(seed=seed, n_nodes=n_nodes).passed
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+# ----------------------------------------------------------------------
+def validation_tasks(repetitions: int = 100,
+                     n_nodes: int = PAPER_N_NODES
+                     ) -> List[Tuple[str, Task]]:
+    """The Sec. 8 campaign as ``(experiment class, Task)`` pairs.
+
+    Generated in exactly the loop order of
+    :func:`~repro.experiments.validation.run_validation_campaign`, with
+    the same class names and the same ``seed = repetition`` assignment.
+    """
+    tasks: List[Tuple[str, Task]] = []
+    for n_slots in (1, 2, 2 * n_nodes):
+        for start_slot in range(1, n_nodes + 1):
+            cls = f"burst-{n_slots}-slot{start_slot}"
+            for rep in range(repetitions):
+                tasks.append((cls, Task(_burst_passed,
+                                        (n_slots, start_slot, rep, n_nodes))))
+    for rep in range(repetitions):
+        tasks.append(("penalty-reward",
+                      Task(_penalty_reward_passed, (rep, n_nodes))))
+    for byzantine in range(1, n_nodes + 1):
+        cls = f"malicious-node{byzantine}"
+        for rep in range(repetitions):
+            tasks.append((cls, Task(_malicious_passed,
+                                    (byzantine, rep, n_nodes))))
+    for rep in range(repetitions):
+        tasks.append(("clique-detection", Task(_clique_passed,
+                                               (rep, n_nodes))))
+    return tasks
+
+
+def run_validation_sweep(repetitions: int = 100,
+                         n_nodes: int = PAPER_N_NODES,
+                         jobs: int = 1) -> CampaignSummary:
+    """The Sec. 8 validation campaign, optionally fanned across workers.
+
+    The aggregate :class:`CampaignSummary` is identical for every
+    ``jobs`` value (and identical to the serial
+    ``run_validation_campaign``): tasks carry explicit seeds and the
+    verdicts are merged in task order.
+    """
+    tasks = validation_tasks(repetitions, n_nodes)
+    verdicts = run_tasks([task for _cls, task in tasks], jobs=jobs)
+    summary = CampaignSummary()
+    for (cls, _task), passed in zip(tasks, verdicts):
+        summary.add(cls, passed)
+    return summary
+
+
+def run_table2_sweep(seed: int = 0,
+                     round_length: float = PAPER_ROUND_LENGTH,
+                     jobs: int = 1) -> List[Table2Row]:
+    """The Sec. 9 tuning experiment, one worker per (domain, class).
+
+    Decomposes :func:`~repro.experiments.table2.table2` into its
+    independent :func:`measure_penalty_budget` calls and assembles the
+    identical row list.
+    """
+    domains = (("Automotive", AUTOMOTIVE_TOLERATED_OUTAGE),
+               ("Aerospace", AEROSPACE_TOLERATED_OUTAGE))
+    keys: List[Tuple[str, object, float]] = []
+    tasks: List[Task] = []
+    for domain, outages in domains:
+        for cls, outage in outages.items():
+            keys.append((domain, cls, outage))
+            tasks.append(Task(measure_penalty_budget, (outage,),
+                              {"seed": seed, "round_length": round_length}))
+    budgets = run_tasks(tasks, jobs=jobs)
+    measured = {(domain, cls): budget
+                for (domain, cls, _outage), budget in zip(keys, budgets)}
+
+    rows: List[Table2Row] = []
+    for domain, outages in domains:
+        penalty_threshold = max(measured[(domain, cls)] for cls in outages)
+        for cls, outage in outages.items():
+            budget = measured[(domain, cls)]
+            rows.append(Table2Row(
+                domain=domain,
+                criticality_class=cls,
+                tolerated_outage=outage,
+                measured_budget=budget,
+                criticality=math.ceil(penalty_threshold / budget),
+                penalty_threshold=penalty_threshold,
+                reward_threshold=PAPER_REWARD_THRESHOLD,
+                round_length=round_length,
+            ))
+    return rows
+
+
+__all__ = [
+    "validation_tasks",
+    "run_validation_sweep",
+    "run_table2_sweep",
+]

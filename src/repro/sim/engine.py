@@ -140,6 +140,46 @@ class Engine:
             self._running = False
         return executed
 
+    def run_batch(self, until: Optional[float] = None,
+                  max_events: Optional[int] = None) -> int:
+        """Bulk-execute events with minimal per-event overhead.
+
+        Semantically identical to :meth:`run` (same event ordering, same
+        ``until`` / ``max_events`` / ``stop`` behaviour) but the inner
+        loop hoists the queue and clock into locals and drops the
+        per-event clock-regression audit, which measurably reduces the
+        per-event cost on hot simulation paths.  :class:`Cluster` drives
+        rounds through this entry point.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        queue = self._queue
+        pop = heapq.heappop
+        try:
+            while queue:
+                if self._stopped:
+                    break
+                event = queue[0]
+                if until is not None and event.time > until:
+                    break
+                pop(queue)
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                event.callback()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and not self._stopped:
+                self.now = max(self.now, until)
+        finally:
+            self._running = False
+            self._executed_events += executed
+        return executed
+
     def stop(self) -> None:
         """Request the current ``run`` call to return after this event."""
         self._stopped = True
@@ -157,11 +197,20 @@ class Engine:
         """Total number of events executed over the engine's lifetime."""
         return self._executed_events
 
-    def peek_time(self) -> Optional[float]:
-        """Time of the next live event, or ``None`` if the queue is empty."""
+    def peek(self) -> Optional[Event]:
+        """The next live event without executing it, or ``None``.
+
+        Cancelled events at the head of the queue are discarded as a
+        side effect, exactly as :meth:`run` would skip them.
+        """
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        return self._queue[0] if self._queue else None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        event = self.peek()
+        return event.time if event is not None else None
 
 
 __all__ = ["Engine", "Event", "EventPriority", "SimulationError"]

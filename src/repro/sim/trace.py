@@ -50,11 +50,35 @@ class TraceRecord:
     data: Dict[str, Any] = field(default_factory=dict)
 
 
-class Trace:
-    """Append-only, queryable event log."""
+#: Categories still recorded when the trace runs at level 0: protocol
+#: decisions (and the injections that provoked them) are rare, cheap,
+#: and the minimum needed to interpret an experiment after the fact.
+_DECISION_CATEGORIES = frozenset(
+    {"isolation", "view", "clique", "reintegration", "fault"})
 
-    def __init__(self) -> None:
+
+class Trace:
+    """Append-only, queryable event log.
+
+    Parameters
+    ----------
+    level:
+        Recording verbosity, mirroring the protocol trace levels.  At
+        the default (2, full) every :meth:`record` call appends.  At
+        ``level <= 0`` the instance swaps :meth:`record` for a
+        decisions-only dispatch that drops per-slot categories
+        (``tx``/``rx``/``syndrome``/...) without allocating a record,
+        which is what makes ``trace_level=0`` runs allocation-free on
+        the hot path.
+    """
+
+    def __init__(self, level: int = 2) -> None:
         self._records: List[TraceRecord] = []
+        self.level = level
+        if level <= 0:
+            # Instance-level override: hot-path callers pay one dict
+            # lookup instead of a per-call level test.
+            self.record = self._record_decisions  # type: ignore[assignment]
 
     # -- recording ------------------------------------------------------
     def record(
@@ -63,8 +87,25 @@ class Trace:
         category: str,
         node: Optional[int] = None,
         **data: Any,
-    ) -> TraceRecord:
-        """Append a record and return it."""
+    ) -> Optional[TraceRecord]:
+        """Append a record and return it.
+
+        At trace level 0 only decision categories are kept and ``None``
+        is returned for dropped records.
+        """
+        rec = TraceRecord(time=time, category=category, node=node, data=dict(data))
+        self._records.append(rec)
+        return rec
+
+    def _record_decisions(
+        self,
+        time: float,
+        category: str,
+        node: Optional[int] = None,
+        **data: Any,
+    ) -> Optional[TraceRecord]:
+        if category not in _DECISION_CATEGORIES:
+            return None
         rec = TraceRecord(time=time, category=category, node=node, data=dict(data))
         self._records.append(rec)
         return rec

@@ -39,7 +39,7 @@ class Bus:
 
     def __init__(self, engine: Engine, timebase: TimeBase,
                  injection: InjectionLayer, trace: Trace,
-                 n_channels: int = 1) -> None:
+                 n_channels: int = 1, fast_path: bool = True) -> None:
         if n_channels < 1:
             raise ValueError(f"n_channels must be >= 1, got {n_channels}")
         self.engine = engine
@@ -47,15 +47,28 @@ class Bus:
         self.injection = injection
         self.trace = trace
         self.n_channels = n_channels
+        #: When true, slots the injection layer declares quiescent skip
+        #: the per-channel/per-receiver outcome machinery and deliver in
+        #: one batched event.  Bit-identical to the slow path.
+        self.fast_path = fast_path
         self._receivers: Dict[int, Any] = {}
+        self._node_ids: Tuple[int, ...] = ()
+        self._ordered: Tuple[Tuple[int, Any], ...] = ()
+        self._all_valid: Dict[int, int] = {}
 
     def attach(self, node_id: int, controller: Any) -> None:
         """Register a controller to receive every slot's delivery."""
         self._receivers[node_id] = controller
+        # Receiver-order caches, rebuilt on (rare) attach instead of on
+        # every transmit.
+        self._node_ids = tuple(sorted(self._receivers))
+        self._ordered = tuple((i, self._receivers[i]) for i in self._node_ids)
+        self._all_valid = {i: 1 for i in self._node_ids}
 
     @property
     def node_ids(self) -> Tuple[int, ...]:
-        return tuple(sorted(self._receivers))
+        """Attached node IDs in ascending order (cached at attach time)."""
+        return self._node_ids
 
     # ------------------------------------------------------------------
     def transmit(self, round_index: int, slot: int, frame: Optional[Frame]) -> None:
@@ -65,7 +78,39 @@ class Bus:
         None`` models a silent sender (crashed process or transmission
         disabled): every receiver observes a missing frame, i.e. a
         locally detectable fault.
+
+        When the fast path is enabled and the injection layer reports
+        the slot quiescent, the transmission takes
+        :meth:`transmit_quiescent` instead — same trace record, same
+        deliveries, one batched delivery event.
         """
+        if (frame is not None and self.fast_path
+                and self.injection.is_quiescent(round_index, slot,
+                                                self.timebase)):
+            self.transmit_quiescent(round_index, slot, frame.sender,
+                                    frame.payload)
+            return
+        self._transmit_slow(round_index, slot, frame)
+
+    def transmit_latched(self, round_index: int, slot: int, sender: int,
+                         payload: Any) -> None:
+        """Transmit a just-latched payload, skipping Frame allocation.
+
+        Entry point used by the cluster driver: the quiescent fast path
+        only needs the sender ID and the payload, so no :class:`Frame`
+        is materialised for it; a non-quiescent transmission builds the
+        Frame and takes the exhaustive slow path.
+        """
+        if self.fast_path and self.injection.is_quiescent(
+                round_index, slot, self.timebase):
+            self.transmit_quiescent(round_index, slot, sender, payload)
+            return
+        self._transmit_slow(round_index, slot,
+                            Frame(sender=sender, round_index=round_index,
+                                  payload=payload))
+
+    def _transmit_slow(self, round_index: int, slot: int,
+                       frame: Optional[Frame]) -> None:
         receivers = self.node_ids
         per_receiver: Dict[int, Tuple[bool, Any]] = {}
         causes: List[str] = []
@@ -128,11 +173,44 @@ class Bus:
             description=f"deliver r{round_index} s{slot}",
         )
 
+    def transmit_quiescent(self, round_index: int, slot: int,
+                           sender: int, payload: Any) -> None:
+        """Fast path for a slot with no active injection.
+
+        The outcome is known without consulting the injection layer:
+        every receiver accepts the payload on the first channel.  The
+        ``tx`` trace record carries exactly the fields the slow path
+        would produce for an all-OK broadcast, and the single batched
+        delivery event calls the controllers in the same order at the
+        same instant as the slow path's delivery loop.
+        """
+        trace = self.trace
+        if trace.level > 0:
+            trace.record(
+                self.engine.now, "tx", node=sender,
+                round_index=round_index, slot=slot,
+                sent=True, fault_class="none",
+                validity=self._all_valid, causes=(),
+            )
+        self.engine.schedule(
+            self.timebase.delivery_time(round_index, slot),
+            EventPriority.SLOT_DELIVER,
+            lambda: self._deliver_batch(round_index, slot, sender, payload),
+        )
+
+    def _deliver_batch(self, round_index: int, slot: int, sender: int,
+                       payload: Any) -> None:
+        now = self.engine.now
+        for _node_id, controller in self._ordered:
+            controller.deliver(sender=sender, round_index=round_index,
+                               slot=slot, valid=True, payload=payload,
+                               time=now)
+
     def _deliver(self, round_index: int, slot: int, sender: int,
                  per_receiver: Dict[int, Tuple[bool, Any]]) -> None:
-        for node_id in self.node_ids:
+        for node_id, controller in self._ordered:
             valid, payload = per_receiver[node_id]
-            self._receivers[node_id].deliver(
+            controller.deliver(
                 sender=sender, round_index=round_index, slot=slot,
                 valid=valid, payload=payload, time=self.engine.now)
 

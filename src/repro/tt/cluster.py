@@ -31,7 +31,6 @@ from ..sim.rng import RandomStreams
 from ..sim.trace import Trace
 from .bus import Bus
 from .controller import CommunicationController
-from .frames import Frame
 from .node import Job, Node
 from .schedule import (
     DynamicNodeSchedule,
@@ -60,18 +59,27 @@ class Cluster:
         Master seed for all stochastic components.
     n_channels:
         Bus replication degree (Sec. 3: "possibly replicated").
+    trace_level:
+        Recording level of the cluster-owned :class:`Trace` (ignored
+        when an explicit ``trace`` is supplied).  Level 0 drops
+        per-slot records without allocating them.
+    fast_path:
+        Enable the bus's batched delivery for injection-quiescent slots
+        (bit-identical results; disable only to exercise the slow path).
     """
 
     def __init__(self, n_nodes: int, round_length: float = PAPER_ROUND_LENGTH,
                  tx_fraction: float = 0.8, seed: int = 0,
-                 n_channels: int = 1, trace: Optional[Trace] = None) -> None:
+                 n_channels: int = 1, trace: Optional[Trace] = None,
+                 trace_level: int = 2, fast_path: bool = True) -> None:
         self.engine = Engine()
         self.timebase = TimeBase(n_nodes, round_length, tx_fraction)
         self.streams = RandomStreams(seed)
-        self.trace = trace if trace is not None else Trace()
+        self.trace = trace if trace is not None else Trace(level=trace_level)
         self.injection = InjectionLayer()
         self.bus = Bus(self.engine, self.timebase, self.injection,
-                       self.trace, n_channels=n_channels)
+                       self.trace, n_channels=n_channels,
+                       fast_path=fast_path)
         self.schedule = GlobalSchedule(self.timebase)
 
         self.nodes: Dict[int, Node] = {}
@@ -137,13 +145,13 @@ class Cluster:
         self._ensure_started()
         target = self._rounds_driven + n_rounds
         horizon = self.timebase.round_start(target) - self._horizon_margin
-        self.engine.run(until=horizon)
+        self.engine.run_batch(until=horizon)
         self._rounds_driven = target
 
     def run_until(self, time: float) -> None:
         """Advance the simulation to absolute ``time`` (seconds)."""
         self._ensure_started()
-        self.engine.run(until=time)
+        self.engine.run_batch(until=time)
         self._rounds_driven = max(self._rounds_driven,
                                   self.timebase.round_of(self.engine.now))
 
@@ -194,14 +202,16 @@ class Cluster:
     def _make_transmit(self, round_index: int, slot: int) -> Callable[[], None]:
         sender = self.schedule.sender_of_slot(slot)
         controller = self.nodes[sender].controller
+        bus = self.bus
 
         def transmit() -> None:
             if controller.tx_enabled:
-                frame = Frame(sender=sender, round_index=round_index,
-                              payload=controller.build_payload())
+                # transmit_latched only materialises a Frame if the
+                # transmission leaves the quiescent fast path.
+                bus.transmit_latched(round_index, slot, sender,
+                                     controller.build_payload())
             else:
-                frame = None
-            self.bus.transmit(round_index, slot, frame)
+                bus.transmit(round_index, slot, None)
 
         return transmit
 

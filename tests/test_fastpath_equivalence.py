@@ -1,0 +1,134 @@
+"""Fast-path vs slow-path bit-exactness.
+
+The batched slot delivery fast path (``Bus.transmit_quiescent`` gated
+by ``InjectionLayer.is_quiescent``) is an optimisation, not a semantic
+variant: for every seed and every scenario mix the cluster must produce
+byte-identical traces and identical health vectors whether the fast
+path is enabled or forced off.  These tests pin that contract on
+fault-free runs and on runs with deterministic and stochastic
+injections (the stochastic ones also exercise the "same RNG draws"
+requirement — a single skipped or extra draw would desynchronise every
+subsequent verdict).
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import uniform_config
+from repro.core.service import DiagnosedCluster
+from repro.faults.processes import (
+    IntermittentSender,
+    PoissonTransients,
+    RandomSlotNoise,
+)
+from repro.faults.scenarios import SenderFault, SlotBurst
+
+FAULT_ROUND = 5
+ROUNDS = 20
+
+
+def _no_scenarios(dc):
+    return ()
+
+
+def _slot_burst(dc):
+    return (SlotBurst(dc.cluster.timebase, FAULT_ROUND, 2, 1),)
+
+
+def _long_burst(dc):
+    return (SlotBurst(dc.cluster.timebase, FAULT_ROUND, 1,
+                      2 * dc.config.n_nodes),)
+
+
+def _sender_fault(dc):
+    return (SenderFault(1, kind="benign",
+                        rounds=[FAULT_ROUND, FAULT_ROUND + 2]),)
+
+
+def _stochastic_mix(dc):
+    streams = dc.cluster.streams
+    return (
+        PoissonTransients(rate=200.0, burst_length=0.5e-3,
+                          rng=streams.stream("transients")),
+        IntermittentSender(2, mean_reappearance_rounds=4,
+                           rng=streams.stream("intermittent")),
+        RandomSlotNoise(0.05, rng=streams.stream("noise")),
+    )
+
+
+SCENARIO_BUILDERS = [
+    _no_scenarios,
+    _slot_burst,
+    _long_burst,
+    _sender_fault,
+    _stochastic_mix,
+]
+
+
+def run_cluster(n_nodes, fast_path, builder, seed=0, trace_level=2):
+    config = uniform_config(n_nodes, penalty_threshold=3,
+                            reward_threshold=50)
+    dc = DiagnosedCluster(config, seed=seed, trace_level=trace_level,
+                          fast_path=fast_path)
+    for scenario in builder(dc):
+        dc.cluster.add_scenario(scenario)
+    dc.run_rounds(ROUNDS)
+    return dc
+
+
+@pytest.mark.parametrize("n_nodes", [4, 8])
+@pytest.mark.parametrize("builder", SCENARIO_BUILDERS,
+                         ids=lambda b: b.__name__.lstrip("_"))
+class TestFastSlowEquivalence:
+    def test_traces_byte_identical(self, n_nodes, builder):
+        fast = run_cluster(n_nodes, True, builder)
+        slow = run_cluster(n_nodes, False, builder)
+        fast_dicts = fast.trace.to_dicts()
+        slow_dicts = slow.trace.to_dicts()
+        assert fast_dicts == slow_dicts
+        assert (json.dumps(fast_dicts, sort_keys=True) ==
+                json.dumps(slow_dicts, sort_keys=True))
+
+    def test_health_vectors_identical(self, n_nodes, builder):
+        fast = run_cluster(n_nodes, True, builder)
+        slow = run_cluster(n_nodes, False, builder)
+        for node in range(1, n_nodes + 1):
+            assert fast.health_vectors(node) == slow.health_vectors(node)
+        assert (fast.consistent_health_history() ==
+                slow.consistent_health_history())
+
+
+@pytest.mark.parametrize("n_nodes", [4, 8])
+def test_traceless_runs_match_rounds_and_counters(n_nodes):
+    """At trace_level=0 the paths still agree on all protocol state."""
+    fast = run_cluster(n_nodes, True, _stochastic_mix, trace_level=0)
+    slow = run_cluster(n_nodes, False, _stochastic_mix, trace_level=0)
+    assert fast.cluster.rounds_completed == slow.cluster.rounds_completed
+    for node in range(1, n_nodes + 1):
+        assert (str(fast.service(node).pr.snapshot()) ==
+                str(slow.service(node).pr.snapshot()))
+        assert fast.service(node).active == slow.service(node).active
+
+
+def test_fast_path_skips_injection_machinery():
+    """Sanity: quiescent slots never reach ``InjectionLayer.apply``."""
+    calls = {True: 0, False: 0}
+
+    def counting(dc, key):
+        layer = dc.cluster.bus.injection
+        original = layer.apply
+
+        def apply(ctx):
+            calls[key] += 1
+            return original(ctx)
+
+        layer.apply = apply
+
+    config = uniform_config(4, penalty_threshold=3, reward_threshold=50)
+    for fast_path in (True, False):
+        dc = DiagnosedCluster(config, seed=0, fast_path=fast_path)
+        counting(dc, fast_path)
+        dc.run_rounds(ROUNDS)
+    assert calls[True] == 0
+    assert calls[False] > 0

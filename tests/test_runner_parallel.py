@@ -1,0 +1,83 @@
+"""Serial/parallel exactness of the experiment runner.
+
+The contract of :mod:`repro.runner` is that the worker count is purely
+an execution detail: ``jobs=1`` reproduces the serial campaign
+functions exactly, and any ``jobs > 1`` reproduces ``jobs=1`` exactly
+(explicit per-task seeds, submission-order merging).  These tests pin
+both halves of the contract plus the pool primitives themselves.
+"""
+
+import pytest
+
+from repro.experiments.table2 import table2
+from repro.experiments.validation import run_validation_campaign
+from repro.runner.pool import Task, derive_task_seeds, run_tasks
+from repro.runner.sweep import (
+    run_table2_sweep,
+    run_validation_sweep,
+    validation_tasks,
+)
+
+REPS = 2
+
+
+def _square(x):
+    return x * x
+
+
+def _boom():
+    raise RuntimeError("worker failure")
+
+
+class TestPool:
+    def test_serial_preserves_task_order(self):
+        tasks = [Task(_square, (i,)) for i in range(6)]
+        assert run_tasks(tasks, jobs=1) == [i * i for i in range(6)]
+
+    def test_parallel_preserves_task_order(self):
+        tasks = [Task(_square, (i,)) for i in range(12)]
+        assert run_tasks(tasks, jobs=4) == [i * i for i in range(12)]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="worker failure"):
+            run_tasks([Task(_boom)], jobs=2)
+        with pytest.raises(RuntimeError, match="worker failure"):
+            run_tasks([Task(_boom)], jobs=1)
+
+    def test_derived_seeds_stable_and_distinct(self):
+        seeds = derive_task_seeds(0, "burst", 8)
+        assert seeds == derive_task_seeds(0, "burst", 8)
+        assert len(set(seeds)) == len(seeds)
+        assert derive_task_seeds(0, "clique", 8) != seeds
+        assert derive_task_seeds(1, "burst", 8) != seeds
+        with pytest.raises(ValueError):
+            derive_task_seeds(0, "burst", -1)
+
+
+class TestValidationSweep:
+    def test_task_grid_matches_campaign_shape(self):
+        tasks = validation_tasks(repetitions=1, n_nodes=4)
+        classes = [cls for cls, _task in tasks]
+        # 12 burst classes + penalty-reward + 4 malicious + clique = 18.
+        assert len(set(classes)) == 18
+        assert len(tasks) == 18
+
+    def test_jobs1_matches_serial_campaign(self):
+        serial = run_validation_campaign(repetitions=REPS)
+        sweep = run_validation_sweep(repetitions=REPS, jobs=1)
+        assert sweep.results == serial.results
+        assert sweep.total_injections == serial.total_injections
+        assert sweep.all_passed == serial.all_passed
+
+    def test_jobs4_matches_jobs1(self):
+        one = run_validation_sweep(repetitions=REPS, jobs=1)
+        four = run_validation_sweep(repetitions=REPS, jobs=4)
+        assert four.results == one.results
+        assert four.pass_rates() == one.pass_rates()
+
+
+class TestTable2Sweep:
+    def test_jobs_equivalence(self):
+        serial = table2(seed=0)
+        assert run_table2_sweep(seed=0, jobs=1) == serial
+        assert run_table2_sweep(seed=0, jobs=4) == serial
