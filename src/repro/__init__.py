@@ -18,7 +18,10 @@ The library provides:
 * :mod:`repro.analysis` — metrics, the Sec. 9 tuning procedure and the
   Fig. 3 analytics;
 * :mod:`repro.experiments` — harnesses regenerating every table and
-  figure of the paper's evaluation.
+  figure of the paper's evaluation;
+* :mod:`repro.obs` — online observability: a deterministic metrics
+  registry the protocol updates while it runs, wall-clock phase
+  timing, and structured (diffable) run reports.
 
 Quickstart::
 
@@ -48,6 +51,7 @@ from .core import (
     automotive_config,
     uniform_config,
 )
+from .obs import MetricsRegistry
 from .tt import Cluster, TimeBase
 
 __version__ = "1.0.0"
@@ -66,6 +70,7 @@ __all__ = [
     "automotive_config",
     "uniform_config",
     "Cluster",
+    "MetricsRegistry",
     "TimeBase",
     "__version__",
 ]

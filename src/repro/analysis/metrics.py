@@ -6,6 +6,20 @@ state) and produce the quantities the paper reports — detection
 latency, time to isolation, availability of criticality classes, and
 the consistency/correctness/completeness oracle checks used to score
 fault-injection experiments (Sec. 8).
+
+Trace-level requirements
+------------------------
+Most of these queries only make sense when the trace actually recorded
+the inputs they scan.  A level-0 trace keeps decision records only
+(isolation, reintegration, view, clique, fault); a level-1 trace adds
+the health vectors that contain a fault, and only level 2 records
+*every* health vector.  Full-vector queries (consistency, correctness,
+completeness) would silently return wrong answers on a sparse trace —
+e.g. report "complete" because no contradicting healthy vector was
+recorded — so every function that needs a minimum level raises
+:class:`InsufficientTraceError` when the trace was recorded below it.
+For online numbers that survive ``trace_level=0``, use the
+:mod:`repro.obs` metrics registry instead.
 """
 
 from __future__ import annotations
@@ -16,8 +30,34 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..sim.trace import Trace, TraceRecord
 
 
+class InsufficientTraceError(RuntimeError):
+    """The trace was recorded at a level too low to answer the query.
+
+    Raised instead of silently returning empty/incorrect results when,
+    for example, ``consistency_violations`` is asked about a trace
+    recorded with ``trace_level=0`` (no ``cons_hv`` records at all) or
+    ``1`` (only fault-containing vectors, so agreement on healthy
+    vectors is unobservable).
+    """
+
+
+def _require_trace_level(trace: Trace, min_level: int, what: str) -> None:
+    level = getattr(trace, "level", None)
+    if level is not None and level < min_level:
+        raise InsufficientTraceError(
+            f"{what} needs a trace recorded at level >= {min_level}, "
+            f"but this trace has level {level}; re-run with "
+            f"trace_level={min_level} (or use the repro.obs metrics "
+            f"registry for online counters)")
+
+
 def health_vectors_by_node(trace: Trace) -> Dict[int, Dict[int, Tuple[int, ...]]]:
-    """``node -> diagnosed_round -> health vector`` from the trace."""
+    """``node -> diagnosed_round -> health vector`` from the trace.
+
+    Needs a level-2 trace: lower levels omit (some or all) health
+    vectors, so the mapping would be silently incomplete.
+    """
+    _require_trace_level(trace, 2, "health_vectors_by_node")
     out: Dict[int, Dict[int, Tuple[int, ...]]] = defaultdict(dict)
     for rec in trace.select(category="cons_hv"):
         out[rec.node][rec.data["diagnosed_round"]] = tuple(rec.data["cons_hv"])
@@ -30,7 +70,10 @@ def consistency_violations(trace: Trace,
 
     Returns ``[(diagnosed_round, {node: vector, ...}), ...]`` for each
     round with at least two distinct vectors among obedient nodes.
+    Needs a level-2 trace (agreement on healthy vectors is part of the
+    property).
     """
+    _require_trace_level(trace, 2, "consistency_violations")
     by_node = health_vectors_by_node(trace)
     rounds: Set[int] = set()
     for node in obedient:
@@ -47,7 +90,11 @@ def consistency_violations(trace: Trace,
 
 def diagnoses_for_round(trace: Trace, diagnosed_round: int,
                         obedient: Sequence[int]) -> Dict[int, Tuple[int, ...]]:
-    """Each obedient node's health vector for one diagnosed round."""
+    """Each obedient node's health vector for one diagnosed round.
+
+    Needs a level-2 trace (see :class:`InsufficientTraceError`).
+    """
+    _require_trace_level(trace, 2, "diagnoses_for_round")
     by_node = health_vectors_by_node(trace)
     return {node: by_node[node][diagnosed_round]
             for node in obedient
@@ -96,8 +143,12 @@ def detection_latency_rounds(trace: Trace, fault_round: int,
 
     Finds the earliest ``cons_hv`` record whose diagnosed round is
     ``fault_round`` and which marks ``faulty_slot`` faulty; the latency
-    is the analysis round minus the fault round.
+    is the analysis round minus the fault round.  Needs at least a
+    level-1 trace (fault-containing vectors are recorded from level 1
+    up; at level 0 the query cannot distinguish "not detected" from
+    "not recorded").
     """
+    _require_trace_level(trace, 1, "detection_latency_rounds")
     for rec in trace.select(category="cons_hv"):
         if (rec.data["diagnosed_round"] == fault_round
                 and rec.data["cons_hv"][faulty_slot - 1] == 0):
@@ -140,6 +191,7 @@ def view_changes(trace: Trace, node_id: Optional[int] = None) -> List[TraceRecor
 
 
 __all__ = [
+    "InsufficientTraceError",
     "health_vectors_by_node",
     "consistency_violations",
     "diagnoses_for_round",

@@ -6,7 +6,14 @@ Installed as ``repro-diag``.  Subcommands map to the evaluation:
 * ``repro-diag table2``              — the Sec. 9 tuning experiment;
 * ``repro-diag table4``              — abnormal-transient time-to-isolation;
 * ``repro-diag figure3``             — the reward-threshold tradeoff;
-* ``repro-diag demo``                — a small annotated cluster run.
+* ``repro-diag demo``                — a small annotated cluster run;
+* ``repro-diag stats``               — a metered run printing the online
+  metrics report (works at trace level 0).
+
+``validate``, ``table2`` and ``stats`` accept ``--metrics-out PATH`` to
+write a deterministic JSON run report (see :mod:`repro.obs`): the file
+is byte-identical across repeated runs and across ``--jobs`` values,
+so it can be diffed against a checked-in golden copy.
 """
 
 from __future__ import annotations
@@ -18,10 +25,27 @@ from typing import List, Optional
 from .analysis.reporting import render_table
 
 
+def _write_metrics_report(path: str, command: str, params: dict,
+                          snapshot: dict) -> None:
+    """Write a deterministic run report and confirm on stdout.
+
+    ``params`` must stay semantic (seeds, sizes, reps) — never worker
+    counts — so the file is byte-diffable across ``--jobs`` values.
+    """
+    from .obs import run_report, write_report
+
+    write_report(path, run_report(command, params, snapshot))
+    print(f"metrics report written to {path}")
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .runner.sweep import run_validation_sweep
 
-    summary = run_validation_sweep(repetitions=args.reps, jobs=args.jobs)
+    if args.metrics_out:
+        summary, snapshot = run_validation_sweep(
+            repetitions=args.reps, jobs=args.jobs, with_metrics=True)
+    else:
+        summary = run_validation_sweep(repetitions=args.reps, jobs=args.jobs)
     rows = [(cls, len(results), f"{100 * rate:.0f}%")
             for (cls, results), rate in
             zip(sorted(summary.results.items()),
@@ -30,21 +54,33 @@ def _cmd_validate(args: argparse.Namespace) -> int:
                        title=f"Sec. 8 validation campaign "
                              f"({summary.total_injections} injections)"))
     print(f"all passed: {summary.all_passed}")
+    if args.metrics_out:
+        _write_metrics_report(args.metrics_out, "validate",
+                              {"reps": args.reps}, snapshot)
     return 0 if summary.all_passed else 1
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     from .runner.sweep import run_table2_sweep
 
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        table_rows, snapshot = run_table2_sweep(
+            seed=args.seed, jobs=getattr(args, "jobs", 1), with_metrics=True)
+    else:
+        table_rows = run_table2_sweep(seed=args.seed,
+                                      jobs=getattr(args, "jobs", 1))
     rows = [(r.domain, r.criticality_class.name,
              f"{r.tolerated_outage * 1e3:.0f} ms", r.measured_budget,
              r.criticality, r.penalty_threshold, f"{r.reward_threshold:.0e}")
-            for r in run_table2_sweep(seed=args.seed,
-                                      jobs=getattr(args, "jobs", 1))]
+            for r in table_rows]
     print(render_table(
         ["Domain", "Class", "Tolerated outage", "Measured budget",
          "Crit. lvl (s_i)", "P", "R"],
         rows, title="Table 2: experimental tuning of the p/r algorithm"))
+    if metrics_out:
+        _write_metrics_report(metrics_out, "table2",
+                              {"seed": args.seed}, snapshot)
     return 0
 
 
@@ -142,6 +178,46 @@ def _cmd_discrimination(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .core import DiagnosedCluster, uniform_config
+    from .obs import MetricsRegistry, render_text, render_timings
+
+    registry = MetricsRegistry(timing=args.timing)
+    config = uniform_config(args.nodes, penalty_threshold=3,
+                            reward_threshold=50)
+    # trace_level=0: the point of this command is that the metrics
+    # registry observes the protocol online, with the trace dark.
+    dc = DiagnosedCluster(config, seed=args.seed, trace_level=0,
+                          metrics=registry)
+    target = 2 if args.nodes >= 2 else 1
+    if args.scenario == "burst":
+        from .faults import SlotBurst
+        dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, round_index=5,
+                                          slot=target, n_slots=2))
+    elif args.scenario == "crash":
+        from .faults import crash
+        dc.cluster.add_scenario(crash(target, from_round=6))
+    elif args.scenario == "noise":
+        from .faults import RandomSlotNoise
+        dc.cluster.add_scenario(RandomSlotNoise(
+            probability=0.05, rng=dc.cluster.streams.stream("stats-noise")))
+    dc.run_rounds(args.rounds)
+
+    snapshot = registry.snapshot()
+    print(render_text(snapshot,
+                      title=f"stats: N={args.nodes}, {args.rounds} rounds, "
+                            f"scenario={args.scenario}, seed={args.seed}"))
+    if args.timing:
+        print()
+        print(render_timings(registry.timings_snapshot()))
+    if args.metrics_out:
+        _write_metrics_report(args.metrics_out, "stats",
+                              {"nodes": args.nodes, "rounds": args.rounds,
+                               "seed": args.seed,
+                               "scenario": args.scenario}, snapshot)
+    return 0
+
+
 def _cmd_timeline(args: argparse.Namespace) -> int:
     from .analysis.timeline import render_timeline
     from .core import DiagnosedCluster, uniform_config
@@ -168,7 +244,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (1 = serial; results are "
                         "identical for any value)")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="write a deterministic JSON metrics report "
+                        "(byte-identical across runs and --jobs values)")
     p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("stats", help="run a metered cluster and print the "
+                                     "online metrics report")
+    p.add_argument("--nodes", type=int, default=4, help="cluster size")
+    p.add_argument("--rounds", type=int, default=50,
+                   help="TDMA rounds to simulate")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scenario", choices=("fault-free", "burst", "crash",
+                                          "noise"), default="fault-free",
+                   help="optional fault process to inject")
+    p.add_argument("--timing", action="store_true",
+                   help="also collect wall-clock phase timings "
+                        "(nondeterministic; excluded from --metrics-out)")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="write a deterministic JSON metrics report")
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("discrimination",
                        help="healthy/unhealthy filter comparison")
@@ -193,6 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--jobs", type=int, default=1,
                            help="worker processes (results identical "
                                 "for any value)")
+            p.add_argument("--metrics-out", metavar="PATH", default=None,
+                           help="write a deterministic JSON metrics report")
         p.set_defaults(func=func)
     return parser
 

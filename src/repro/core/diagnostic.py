@@ -42,7 +42,7 @@ from .config import IsolationMode, ProtocolConfig
 from .penalty_reward import PenaltyRewardState
 from .syndrome import (EPSILON, DiagnosticMatrix, Row, intern_syndrome,
                        is_valid_syndrome, parse_tagged_syndrome)
-from .voting import BOTTOM, h_maj
+from .voting import BOTTOM, h_maj, h_maj_explain
 
 #: Trace verbosity: 0 = decisions only, 1 = + health vectors containing
 #: faults, 2 = everything (syndromes, all health vectors, counters).
@@ -72,12 +72,18 @@ class DiagnosticService:
         when this service isolates a node.
     trace_level:
         Verbosity of trace recording (see module constants).
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; when enabled the
+        service counts votes, Eqn. 1 branch outcomes, health-vector
+        transitions, isolations and reintegrations online (independent
+        of ``trace_level``).
     """
 
     def __init__(self, config: ProtocolConfig, node: Node, trace: Trace,
                  byzantine_rng: Optional[Random] = None,
                  on_isolation: Optional[IsolationCallback] = None,
-                 trace_level: int = TRACE_ALL) -> None:
+                 trace_level: int = TRACE_ALL,
+                 metrics: Optional[Any] = None) -> None:
         if config.n_nodes != node.controller.n_nodes:
             raise ValueError("config.n_nodes does not match the cluster size")
         self.config = config
@@ -102,12 +108,31 @@ class DiagnosticService:
         self._own_ls_by_round: Dict[int, Tuple[int, ...]] = {}
         # Protocol outputs.
         self.active: List[int] = [1] * n
-        self.pr = PenaltyRewardState(config)
+        self.pr = PenaltyRewardState(config, metrics=metrics)
         # Extension hook (reintegration policy etc.).
         self.post_update_hooks: List[Callable[["DiagnosticService", List[int], int], None]] = []
         self._last_analysis_round: Optional[int] = None
         self._last_matrix: Optional[DiagnosticMatrix] = None
         self._now: float = 0.0
+        # Online observability: instruments resolved once, updates
+        # guarded by one cached boolean on the per-round paths.
+        self.metrics = metrics
+        self._m_on = metrics is not None and metrics.enabled
+        self._timing_on = self._m_on and metrics.timing
+        self._prev_cons_hv: Optional[List[int]] = None
+        if self._m_on:
+            self._m_hmaj_calls = metrics.counter("vote.hmaj_calls")
+            self._m_hmaj_majority = metrics.counter("vote.hmaj_majority")
+            self._m_hmaj_default = metrics.counter("vote.hmaj_default_healthy")
+            self._m_hmaj_bottom = metrics.counter("vote.hmaj_bottom")
+            self._m_analysis_rounds = metrics.counter("diag.analysis_rounds")
+            self._m_uniform_rounds = metrics.counter(
+                "diag.uniform_shortcut_rounds")
+            self._m_hv_transitions = metrics.counter("diag.hv_transitions")
+            self._m_isolations = metrics.counter("diag.isolations")
+            self._m_reintegrations = metrics.counter("diag.reintegrations")
+            self._m_eps_rows = metrics.histogram(
+                "diag.matrix_epsilon_rows", (0, 1, 2, 4, 8, 16, 32))
 
     # ------------------------------------------------------------------
     # Job protocol
@@ -345,13 +370,40 @@ class DiagnosticService:
 
     def _analyse(self, controller, matrix: DiagnosticMatrix,
                  d_round: int, k: int) -> List[int]:
+        if self._timing_on:
+            with self.metrics.timer("diag.analysis"):
+                return self._analyse_impl(controller, matrix, d_round, k)
+        return self._analyse_impl(controller, matrix, d_round, k)
+
+    def _analyse_impl(self, controller, matrix: DiagnosticMatrix,
+                      d_round: int, k: int) -> List[int]:
         n = self.config.n_nodes
+        m_on = self._m_on
         uniform = matrix.uniform_row()
         if uniform is not None:
             # Uniform matrix: column j holds N-1 identical non-ε votes
             # equal to ``uniform[j-1]``, and a strict majority of
             # identical votes is that vote (BOTTOM is unreachable).
             cons_hv = list(uniform)
+            if m_on:
+                self._m_analysis_rounds.inc()
+                self._m_uniform_rounds.inc()
+                self._m_eps_rows.observe(0)
+        elif m_on:
+            self._m_analysis_rounds.inc()
+            self._m_hmaj_calls.inc(n)
+            self._m_eps_rows.observe(matrix.epsilon_rows())
+            cons_hv = []
+            for j in range(1, n + 1):
+                diag, reason = h_maj_explain(matrix.column(j))
+                if reason == "majority":
+                    self._m_hmaj_majority.inc()
+                elif reason == "bottom":
+                    self._m_hmaj_bottom.inc()
+                    diag = self._bottom_fallback(controller, j, d_round)
+                else:
+                    self._m_hmaj_default.inc()
+                cons_hv.append(diag)
         else:
             cons_hv = []
             for j in range(1, n + 1):
@@ -359,6 +411,11 @@ class DiagnosticService:
                 if diag is BOTTOM:
                     diag = self._bottom_fallback(controller, j, d_round)
                 cons_hv.append(diag)
+        if m_on:
+            prev = self._prev_cons_hv
+            if prev is not None and prev != cons_hv:
+                self._m_hv_transitions.inc()
+            self._prev_cons_hv = list(cons_hv)
         self._last_analysis_round = k
         if self.trace_level >= TRACE_ALL or (
                 self.trace_level >= TRACE_FAULTS and 0 in cons_hv):
@@ -388,7 +445,11 @@ class DiagnosticService:
     # Phase 5 — update counters
     # ------------------------------------------------------------------
     def _update_counters(self, controller, cons_hv: List[int], k: int) -> None:
-        curr_act = self.pr.update(cons_hv)
+        if self._timing_on:
+            with self.metrics.timer("diag.pr_update"):
+                curr_act = self.pr.update(cons_hv)
+        else:
+            curr_act = self.pr.update(cons_hv)
         newly_isolated = [j for j in range(1, self.config.n_nodes + 1)
                           if self.active[j - 1] == 1 and curr_act[j - 1] == 0]
         self.active = [a and c for a, c in zip(self.active, curr_act)]
@@ -408,6 +469,8 @@ class DiagnosticService:
             controller.set_sender_status(j, SenderStatus.OBSERVED)
         if j == self.node_id and self.config.effective_halt_on_self_isolation:
             controller.disable_transmission()
+        if self._m_on:
+            self._m_isolations.inc()
         self.trace.record(self._now, "isolation", node=self.node_id,
                           round_index=k, isolated=j,
                           penalty=self.pr.penalties[j - 1])
@@ -427,6 +490,8 @@ class DiagnosticService:
         self.node.controller.set_sender_status(j, SenderStatus.ACTIVE)
         if j == self.node_id:
             self.node.controller.enable_transmission()
+        if self._m_on:
+            self._m_reintegrations.inc()
         self.trace.record(self._now, "reintegration", node=self.node_id,
                           round_index=k, reintegrated=j)
 

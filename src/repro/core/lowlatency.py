@@ -29,7 +29,7 @@ accusations, giving a membership service with two-round latency.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..sim.trace import Trace
 from ..tt.controller import DIAG_CHANNEL, SenderStatus
@@ -48,7 +48,8 @@ class LowLatencyDiagnosticService:
 
     def __init__(self, config: ProtocolConfig, node: Node, trace: Trace,
                  membership: bool = False,
-                 trace_level: int = TRACE_ALL) -> None:
+                 trace_level: int = TRACE_ALL,
+                 metrics: Optional[Any] = None) -> None:
         if config.n_nodes != node.controller.n_nodes:
             raise ValueError("config.n_nodes does not match the cluster size")
         self.config = config
@@ -57,6 +58,11 @@ class LowLatencyDiagnosticService:
         self.trace = trace
         self.trace_level = trace_level
         self.membership = membership
+        self.metrics = metrics
+        self._m_on = metrics is not None and metrics.enabled
+        if self._m_on:
+            self._m_slot_analyses = metrics.counter("lowlat.slot_analyses")
+            self._m_isolations = metrics.counter("diag.isolations")
 
         n = config.n_nodes
         #: Local opinion on the most recent completed instance of each
@@ -67,7 +73,7 @@ class LowLatencyDiagnosticService:
         #: External opinions per diagnosed (round, slot) per reporter.
         self._reports: Dict[SlotKey, Dict[int, int]] = {}
         self.active: List[int] = [1] * n
-        self.pr = PenaltyRewardState(config)
+        self.pr = PenaltyRewardState(config, metrics=metrics)
         self._accused: Set[int] = set()
         self.view: FrozenSet[int] = frozenset(range(1, n + 1))
         self.view_history: List[Tuple[Optional[SlotKey], FrozenSet[int]]] = [
@@ -131,6 +137,8 @@ class LowLatencyDiagnosticService:
             else:
                 diag = self._vbits.get(target, 1)
         self.verdicts[target] = diag
+        if self._m_on:
+            self._m_slot_analyses.inc()
         if self.trace_level >= TRACE_ALL or (
                 self.trace_level >= TRACE_FAULTS and diag == 0):
             self.trace.record(self._now, "cons_slot", node=self.node_id,
@@ -175,6 +183,8 @@ class LowLatencyDiagnosticService:
             controller.set_sender_status(j, SenderStatus.OBSERVED)
         if j == self.node_id and self.config.effective_halt_on_self_isolation:
             controller.disable_transmission()
+        if self._m_on:
+            self._m_isolations.inc()
         self.trace.record(self._now, "isolation", node=self.node_id,
                           diagnosed_round=target[0], slot=target[1],
                           isolated=j, penalty=self.pr.penalties[j - 1])

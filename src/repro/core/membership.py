@@ -55,6 +55,11 @@ class MembershipService(DiagnosticService):
         #: ``(round, view)`` history, starting with the initial view.
         self.view_history: List[Tuple[Optional[int], FrozenSet[int]]] = [
             (None, self.view)]
+        if self._m_on:
+            self._m_view_changes = self.metrics.counter(
+                "membership.view_changes")
+            self._m_accusations = self.metrics.counter(
+                "membership.clique_accusations")
 
     # ------------------------------------------------------------------
     def _post_analysis(self, al_dm: List[Any], al_ls: List[int],
@@ -80,6 +85,8 @@ class MembershipService(DiagnosticService):
                 accused.append(j)
                 al_ls[j - 1] = 0
         if accused:
+            if self._m_on:
+                self._m_accusations.inc(len(accused))
             self.trace.record(self._now, "clique", node=self.node_id,
                               round_index=k, accused=tuple(accused))
 
@@ -90,6 +97,8 @@ class MembershipService(DiagnosticService):
             self.view = frozenset(new_view)
             self.view_id += 1
             self.view_history.append((k, self.view))
+            if self._m_on:
+                self._m_view_changes.inc()
             self.trace.record(self._now, "view", node=self.node_id,
                               round_index=k, view=tuple(sorted(self.view)),
                               view_id=self.view_id)

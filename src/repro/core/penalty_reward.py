@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Any, List, Optional, Sequence
 
 from .config import ProtocolConfig
 
@@ -36,10 +36,13 @@ class PenaltyRewardState:
 
     The instance is deterministic: identical inputs produce identical
     counter evolutions, which tests use to assert the consistency of
-    isolation decisions across nodes.
+    isolation decisions across nodes.  ``metrics`` (an optional
+    :class:`repro.obs.MetricsRegistry`) counts counter movements
+    online; the fault-free path stays one boolean test per update.
     """
 
     config: ProtocolConfig
+    metrics: Optional[Any] = None
     penalties: List[int] = field(init=False)
     rewards: List[int] = field(init=False)
 
@@ -47,6 +50,13 @@ class PenaltyRewardState:
         n = self.config.n_nodes
         self.penalties = [0] * n
         self.rewards = [0] * n
+        metrics = self.metrics
+        self._m_on = metrics is not None and metrics.enabled
+        if self._m_on:
+            self._m_penalty = metrics.counter("pr.penalty_increments")
+            self._m_reward = metrics.counter("pr.reward_increments")
+            self._m_forget = metrics.counter("pr.forget_resets")
+            self._m_isolate = metrics.counter("pr.isolation_verdicts")
 
     def update(self, cons_hv: Sequence[int]) -> List[int]:
         """One round of Alg. 2.
@@ -62,17 +72,26 @@ class PenaltyRewardState:
             raise ValueError(
                 f"cons_hv must have {cfg.n_nodes} entries, got {len(cons_hv)}")
         curr_act = [1] * cfg.n_nodes
+        m_on = self._m_on
         for idx in range(cfg.n_nodes):
             if cons_hv[idx] == 0:
                 self.penalties[idx] += cfg.criticalities[idx]
                 self.rewards[idx] = 0
+                if m_on:
+                    self._m_penalty.inc()
                 if self.penalties[idx] > cfg.penalty_threshold:
                     curr_act[idx] = 0
+                    if m_on:
+                        self._m_isolate.inc()
             elif self.penalties[idx] > 0:
                 self.rewards[idx] += 1
+                if m_on:
+                    self._m_reward.inc()
                 if self.rewards[idx] >= cfg.reward_threshold:
                     self.penalties[idx] = 0
                     self.rewards[idx] = 0
+                    if m_on:
+                        self._m_forget.inc()
         return curr_act
 
     def update_single(self, node_id: int, faulty: bool) -> int:
@@ -84,16 +103,25 @@ class PenaltyRewardState:
         """
         cfg = self.config
         idx = node_id - 1
+        m_on = self._m_on
         if faulty:
             self.penalties[idx] += cfg.criticalities[idx]
             self.rewards[idx] = 0
+            if m_on:
+                self._m_penalty.inc()
             if self.penalties[idx] > cfg.penalty_threshold:
+                if m_on:
+                    self._m_isolate.inc()
                 return 0
         elif self.penalties[idx] > 0:
             self.rewards[idx] += 1
+            if m_on:
+                self._m_reward.inc()
             if self.rewards[idx] >= cfg.reward_threshold:
                 self.penalties[idx] = 0
                 self.rewards[idx] = 0
+                if m_on:
+                    self._m_forget.inc()
         return 1
 
     def counters_of(self, node_id: int) -> tuple:

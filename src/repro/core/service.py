@@ -61,6 +61,11 @@ class DiagnosedCluster:
     fast_path:
         Forwarded to :class:`~repro.tt.cluster.Cluster`: batched
         delivery of injection-quiescent slots (bit-identical results).
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` shared by the whole
+        stack (engine, bus, every per-node service); query it via
+        :meth:`metrics_snapshot`.  Works at any ``trace_level``,
+        including 0.
     """
 
     def __init__(self, config: ProtocolConfig,
@@ -73,12 +78,15 @@ class DiagnosedCluster:
                  exec_after=None,
                  dynamic_schedules: bool = False,
                  trace_level: int = TRACE_ALL,
-                 fast_path: bool = True) -> None:
+                 fast_path: bool = True,
+                 metrics=None) -> None:
         self.config = config
+        self.metrics = metrics
         self.cluster = Cluster(config.n_nodes, round_length=round_length,
                                tx_fraction=tx_fraction, seed=seed,
                                n_channels=n_channels,
-                               trace_level=trace_level, fast_path=fast_path)
+                               trace_level=trace_level, fast_path=fast_path,
+                               metrics=metrics)
         self.trace = self.cluster.trace
 
         # Schedules first (they fix l_i / send_curr_round_i and hence
@@ -107,7 +115,7 @@ class DiagnosedCluster:
                    if node_id in byzantine else None)
             service = service_cls(config, self.cluster.node(node_id),
                                   self.trace, byzantine_rng=rng,
-                                  trace_level=trace_level)
+                                  trace_level=trace_level, metrics=metrics)
             self.cluster.install_job(node_id, service)
             self.services[node_id] = service
 
@@ -121,6 +129,17 @@ class DiagnosedCluster:
     def run_until(self, time: float) -> None:
         """Advance the simulation to absolute ``time`` (seconds)."""
         self.cluster.run_until(time)
+
+    def metrics_snapshot(self) -> dict:
+        """The deterministic metrics snapshot of this run.
+
+        Empty (but well-formed) when the cluster was built without a
+        metrics registry.
+        """
+        if self.metrics is None:
+            from ..obs.registry import empty_snapshot
+            return empty_snapshot()
+        return self.metrics.snapshot()
 
     # ------------------------------------------------------------------
     # Cross-node queries
@@ -214,22 +233,33 @@ class LowLatencyCluster:
                  tx_fraction: float = 0.8, seed: int = 0,
                  n_channels: int = 1, membership: bool = False,
                  trace_level: int = TRACE_ALL,
-                 fast_path: bool = True) -> None:
+                 fast_path: bool = True,
+                 metrics=None) -> None:
         self.config = config
+        self.metrics = metrics
         self.cluster = Cluster(config.n_nodes, round_length=round_length,
                                tx_fraction=tx_fraction, seed=seed,
                                n_channels=n_channels,
-                               trace_level=trace_level, fast_path=fast_path)
+                               trace_level=trace_level, fast_path=fast_path,
+                               metrics=metrics)
         self.trace = self.cluster.trace
         self.services: Dict[int, LowLatencyDiagnosticService] = {}
         for node_id in range(1, config.n_nodes + 1):
             self.services[node_id] = LowLatencyDiagnosticService(
                 config, self.cluster.node(node_id), self.trace,
-                membership=membership, trace_level=trace_level)
+                membership=membership, trace_level=trace_level,
+                metrics=metrics)
 
     def run_rounds(self, n_rounds: int) -> None:
         """Advance the simulation by ``n_rounds`` complete rounds."""
         self.cluster.run_rounds(n_rounds)
+
+    def metrics_snapshot(self) -> dict:
+        """The deterministic metrics snapshot of this run."""
+        if self.metrics is None:
+            from ..obs.registry import empty_snapshot
+            return empty_snapshot()
+        return self.metrics.snapshot()
 
     def service(self, node_id: int) -> LowLatencyDiagnosticService:
         """The low-latency service installed on one node."""

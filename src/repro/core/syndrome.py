@@ -201,6 +201,15 @@ class DiagnosticMatrix:
                 column.append(opinion_about(row, accused))
         return column
 
+    def epsilon_rows(self) -> int:
+        """Number of rows that are ε (missing/corrupted syndromes).
+
+        Zero in a fault-free round; the observability layer histograms
+        this per analysis as a cheap proxy for syndrome-channel health.
+        """
+        rows = self._rows
+        return sum(1 for i in rows if rows[i] is EPSILON)
+
     def render(self) -> str:
         """Human-readable rendering in the style of the paper's Table 1."""
         header = "accuser | " + " ".join(f"{j:>2}" for j in range(1, self.n_nodes + 1))

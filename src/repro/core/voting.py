@@ -73,6 +73,28 @@ def h_maj(votes: Sequence[Vote]) -> Optional[Opinion]:
     return 1
 
 
+def h_maj_explain(votes: Sequence[Vote]):
+    """Like :func:`h_maj`, but also names the branch of Eqn. 1 taken.
+
+    Returns ``(decision, reason)`` with ``reason`` one of ``"bottom"``
+    (all votes ε), ``"majority"`` (a strict majority survived the ε
+    exclusion) or ``"default"`` (no strict majority; the protocol
+    defaults to "not faulty").  The decision always equals
+    ``h_maj(votes)``; the metered analysis path uses this variant so
+    the observability layer can count fallbacks without a second vote.
+    """
+    for v in votes:
+        if v is not EPSILON and v not in (0, 1):
+            raise ValueError(f"votes must be 0, 1 or ε, got {v!r}")
+    surviving = excl(votes)
+    if not surviving:
+        return BOTTOM, "bottom"
+    majority = maj(surviving)
+    if majority is not None:
+        return majority, "majority"
+    return 1, "default"
+
+
 def vote_bound_holds(n: int, a: int, s: int, b: int) -> bool:
     """Lemma 2's resilience condition: ``N > 2a + 2s + b + 1`` and ``a <= 1``.
 
@@ -93,6 +115,7 @@ __all__ = [
     "excl",
     "maj",
     "h_maj",
+    "h_maj_explain",
     "vote_bound_holds",
     "benign_only_bound_holds",
 ]

@@ -51,19 +51,22 @@ PAPER_TABLE2 = {
 
 def measure_penalty_budget(tolerated_outage: float, seed: int = 0,
                            n_nodes: int = 4,
-                           round_length: float = PAPER_ROUND_LENGTH) -> int:
+                           round_length: float = PAPER_ROUND_LENGTH,
+                           metrics=None) -> int:
     """Measure a class's penalty budget on the simulated cluster.
 
     Injects a continuous burst starting at a round boundary and reads
     node 1's penalty counter (criticality 1) at every node when the
     tolerated outage has elapsed, mirroring the paper's measurement.
-    The returned budget is the *consistent* counter value (asserting
-    all nodes agree).
+    The runs use ``trace_level=0`` (the counters are read directly from
+    the services), so a ``metrics`` registry is the only way to observe
+    the protocol's behaviour online here.  The returned budget is the
+    *consistent* counter value (asserting all nodes agree).
     """
     config = uniform_config(n_nodes, penalty_threshold=10 ** 9,
                             reward_threshold=10 ** 9)
     dc = DiagnosedCluster(config, seed=seed, round_length=round_length,
-                          trace_level=0)
+                          trace_level=0, metrics=metrics)
     tb = dc.cluster.timebase
     start_round = 6
     fault_start = tb.round_start(start_round)

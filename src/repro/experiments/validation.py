@@ -83,14 +83,15 @@ def expected_faulty_slots(n_nodes: int, start_slot: int,
 
 def run_burst_experiment(n_slots: int, start_slot: int, seed: int = 0,
                          n_nodes: int = PAPER_N_NODES,
-                         round_length: float = PAPER_ROUND_LENGTH) -> BurstResult:
+                         round_length: float = PAPER_ROUND_LENGTH,
+                         metrics=None) -> BurstResult:
     """One injection of a burst of ``n_slots`` slots from ``start_slot``.
 
     Bursts of 1 or 2 slots exercise the Lemma 2 regime; a burst of two
     whole rounds (``n_slots = 2 * n_nodes``) is the Lemma 3 blackout.
     """
     dc = DiagnosedCluster(_default_config(n_nodes), seed=seed,
-                          round_length=round_length)
+                          round_length=round_length, metrics=metrics)
     dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, FAULT_ROUND,
                                       start_slot, n_slots))
     expected = expected_faulty_slots(n_nodes, start_slot, n_slots)
@@ -135,15 +136,15 @@ class PenaltyRewardResult:
 
 
 def run_penalty_reward_experiment(target: int = 2, seed: int = 0,
-                                  n_nodes: int = PAPER_N_NODES
-                                  ) -> PenaltyRewardResult:
+                                  n_nodes: int = PAPER_N_NODES,
+                                  metrics=None) -> PenaltyRewardResult:
     """Fault in ``target``'s slot every second round for 20 rounds.
 
     "Hence, either the penalty or the reward counter should be
     increased at every round" (Sec. 8).
     """
     config = _default_config(n_nodes)
-    dc = DiagnosedCluster(config, seed=seed)
+    dc = DiagnosedCluster(config, seed=seed, metrics=metrics)
     dc.cluster.add_scenario(every_nth_round(target, period=2,
                                             start_round=FAULT_ROUND,
                                             occurrences=10))
@@ -189,14 +190,15 @@ class MaliciousResult:
 
 def run_malicious_experiment(byzantine: int, seed: int = 0,
                              n_nodes: int = PAPER_N_NODES,
-                             n_rounds: int = 30) -> MaliciousResult:
+                             n_rounds: int = 30,
+                             metrics=None) -> MaliciousResult:
     """One node broadcasts random local syndromes for the whole run.
 
     "Its presence is not supposed to induce the other nodes to diagnose
     correct nodes as faulty" (Sec. 8).
     """
     dc = DiagnosedCluster(_default_config(n_nodes), seed=seed,
-                          byzantine_nodes=[byzantine])
+                          byzantine_nodes=[byzantine], metrics=metrics)
     dc.run_rounds(n_rounds)
     obedient = dc.obedient_node_ids()
     consistent = not consistency_violations(dc.trace, obedient)
@@ -230,7 +232,8 @@ class CliqueResult:
 
 
 def run_clique_experiment(disturbed_sender: int = 3, seed: int = 0,
-                          n_nodes: int = PAPER_N_NODES) -> CliqueResult:
+                          n_nodes: int = PAPER_N_NODES,
+                          metrics=None) -> CliqueResult:
     """Reproduce the paper's clique injection.
 
     The disturbance node sits between Node 1 and the rest of the
@@ -238,7 +241,7 @@ def run_clique_experiment(disturbed_sender: int = 3, seed: int = 0,
     only Node 1 misses that frame, forming a minority clique {1}.
     """
     config = _default_config(n_nodes)
-    mc = MembershipCluster(config, seed=seed)
+    mc = MembershipCluster(config, seed=seed, metrics=metrics)
     mc.cluster.add_scenario(SenderFault(
         disturbed_sender, kind="asymmetric", rounds=[FAULT_ROUND],
         detectable_by=[1], cause="disturbance-node"))

@@ -1,0 +1,45 @@
+"""Protocol observability: online metrics, phase timing, run reports.
+
+The protocol stack (engine, bus, diagnostic/membership services,
+penalty/reward counters, parallel runner) updates a
+:class:`~repro.obs.registry.MetricsRegistry` *while it runs*, so every
+experiment can emit a deterministic, diffable run report even at
+``trace_level=0`` where the trace records nothing.  See
+``docs/observability.md`` for the metric catalogue and usage.
+"""
+
+from .export import (
+    REPORT_SCHEMA,
+    load_report,
+    render_json,
+    render_text,
+    render_timings,
+    run_report,
+    write_report,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    empty_snapshot,
+    merge_snapshots,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "empty_snapshot",
+    "merge_snapshots",
+    "REPORT_SCHEMA",
+    "run_report",
+    "render_json",
+    "render_text",
+    "render_timings",
+    "write_report",
+    "load_report",
+]

@@ -1,0 +1,119 @@
+"""Structured run reports: deterministic JSON plus a text renderer.
+
+Every experiment entry point that collects metrics can emit a *run
+report*: a JSON document with a schema tag, the semantic parameters of
+the run (never execution details like worker counts) and the merged
+metrics snapshot.  The JSON is stable-formatted — sorted keys, fixed
+indent, trailing newline — so reports are byte-diffable across runs,
+across ``--jobs`` values and across commits, and CI can compare a
+fresh report against a checked-in golden file with plain ``diff``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..analysis.reporting import render_table
+
+#: Report schema identifier; bump on incompatible layout changes.
+REPORT_SCHEMA = "repro-obs-report/1"
+
+
+def run_report(command: str, params: Dict[str, Any],
+               metrics: Dict[str, Dict],
+               timings: Optional[Dict[str, Dict[str, float]]] = None
+               ) -> Dict[str, Any]:
+    """Assemble a structured run report.
+
+    ``params`` must contain only *semantic* inputs (seeds, sizes,
+    repetition counts) — anything that changes the simulated behaviour
+    — and never execution details (worker counts, host names), so two
+    equivalent runs produce byte-identical reports.  ``timings`` is
+    optional and nondeterministic; leave it out of any report that is
+    diffed against a golden file.
+    """
+    report: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "command": command,
+        "params": dict(params),
+        "metrics": metrics,
+    }
+    if timings is not None:
+        report["timings"] = timings
+    return report
+
+
+def render_json(report: Dict[str, Any]) -> str:
+    """Stable JSON rendering (sorted keys, indent 2, trailing newline)."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def write_report(path: str, report: Dict[str, Any]) -> None:
+    """Write a report to ``path`` in the stable JSON format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_json(report))
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read a report previously written with :func:`write_report`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def render_text(snapshot: Dict[str, Dict], title: Optional[str] = None) -> str:
+    """Human-readable rendering of a metrics snapshot.
+
+    One table per instrument kind, in the same fixed-width style as the
+    benchmark output.
+    """
+    parts = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        parts.append(render_table(
+            ["counter", "value"], sorted(counters.items()),
+            title=title or "metrics"))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        parts.append(render_table(["gauge", "value"], sorted(gauges.items())))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name, hist in sorted(histograms.items()):
+            labels = [f"<={b:g}" for b in hist["bounds"]] + [
+                f">{hist['bounds'][-1]:g}"]
+            cells = " ".join(f"{label}:{count}"
+                             for label, count in zip(labels, hist["buckets"])
+                             if count)
+            rows.append((name, hist["count"], cells or "-"))
+        parts.append(render_table(["histogram", "n", "buckets"], rows))
+    if not parts:
+        return title + ": no metrics recorded" if title else \
+            "no metrics recorded"
+    return "\n\n".join(parts)
+
+
+def render_timings(timings: Dict[str, Dict[str, float]]) -> str:
+    """Table of accumulated wall-clock phase timings."""
+    rows = []
+    for name, cell in sorted(timings.items()):
+        count = cell["count"]
+        total = cell["seconds"]
+        mean_us = (1e6 * total / count) if count else 0.0
+        rows.append((name, count, f"{total * 1e3:.2f} ms",
+                     f"{mean_us:.1f} us"))
+    if not rows:
+        return "no phase timings recorded (enable with timing=True)"
+    return render_table(["phase", "calls", "total", "mean"], rows,
+                        title="wall-clock phase timings (nondeterministic)")
+
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "run_report",
+    "render_json",
+    "write_report",
+    "load_report",
+    "render_text",
+    "render_timings",
+]

@@ -1,0 +1,310 @@
+"""Lightweight online metrics: counters, gauges, fixed-bucket histograms.
+
+The protocol layers update a :class:`MetricsRegistry` *online* while a
+simulation runs, so the quantitative behaviour of a run (votes taken,
+fallbacks, isolations, fast-path slot counts, ...) is observable even
+when the trace records nothing (``trace_level=0``) — production
+diagnosis systems expose their own health instead of relying on
+post-hoc log scraping.
+
+Design constraints, in order:
+
+1. **Determinism.**  A metrics snapshot is a pure function of the
+   simulated behaviour: plain integer counters, integer gauges and
+   histograms with *fixed, declared bucket bounds*, exported with
+   sorted keys.  Two runs of the same seed produce byte-identical
+   snapshots, and snapshots merge commutatively (sums of integers), so
+   a process-pool sweep yields the same merged report for every worker
+   count and merge order.  Wall-clock *timings* are inherently
+   nondeterministic and therefore live in a separate side channel
+   (:meth:`MetricsRegistry.timings_snapshot`) that is excluded from
+   :meth:`MetricsRegistry.snapshot`.
+2. **Zero overhead when disabled.**  Mirroring the ``Trace`` fast-off
+   pattern, a disabled registry hands out shared null instruments whose
+   methods are no-ops, and exposes :attr:`MetricsRegistry.enabled` so
+   per-slot hot paths can skip instrumentation with one cached boolean
+   test.  The module-level :data:`NULL_REGISTRY` is the default wired
+   through the whole stack.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins instantaneous value.
+
+    Gauges are summed when snapshots are merged (see
+    :func:`merge_snapshots`), so across a sweep a gauge reads as a
+    total (e.g. total rounds simulated); keep gauge values integral so
+    the merge stays order-independent.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        """Overwrite the gauge value."""
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` to the gauge (a gauge may move both ways)."""
+        self.value += n
+
+
+class Histogram:
+    """A histogram over fixed, declared bucket bounds.
+
+    ``bounds = (b0, b1, ..., bk)`` defines ``k + 2`` buckets: values
+    ``v <= b0``, ``b0 < v <= b1``, ..., ``v > bk`` (the overflow
+    bucket).  Only bucket *counts* are stored — no floating-point sums
+    — so snapshots are deterministic and merge by integer addition.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"bucket bounds must be sorted, got {bounds!r}")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled registries."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    count = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: int) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullTimer:
+    """Shared no-op context manager for disabled timing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class _Timer:
+    """Accumulates wall-clock time into a ``[count, seconds]`` cell."""
+
+    __slots__ = ("_cell", "_t0")
+
+    def __init__(self, cell: List[float]) -> None:
+        self._cell = cell
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        cell = self._cell
+        cell[0] += 1
+        cell[1] += perf_counter() - self._t0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Named instruments with deterministic snapshot/merge semantics.
+
+    Parameters
+    ----------
+    enabled:
+        When false, every ``counter``/``gauge``/``histogram`` request
+        returns the shared null instrument and :meth:`snapshot` is
+        empty; the protocol layers additionally consult
+        :attr:`enabled` to skip instrumentation branches entirely.
+    timing:
+        Opt-in wall-clock phase timing.  Off by default because timing
+        results are nondeterministic; they never appear in
+        :meth:`snapshot` (only in :meth:`timings_snapshot`).
+    """
+
+    def __init__(self, enabled: bool = True, timing: bool = False) -> None:
+        self.enabled = enabled
+        self.timing = bool(timing and enabled)
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timings: Dict[str, List[float]] = {}
+
+    # -- instrument registration ---------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first request)."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first request)."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        """The histogram named ``name`` with fixed ``bounds``.
+
+        Re-registration with different bounds is a bug and raises.
+        """
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(name, bounds)
+        elif hist.bounds != tuple(bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{hist.bounds}, got {tuple(bounds)}")
+        return hist
+
+    def timer(self, name: str):
+        """Context manager accumulating wall-clock time under ``name``.
+
+        A shared no-op when timing is disabled; hot paths should still
+        guard on :attr:`timing` to avoid the call entirely.
+        """
+        if not self.timing:
+            return _NULL_TIMER
+        cell = self._timings.get(name)
+        if cell is None:
+            cell = self._timings[name] = [0, 0.0]
+        return _Timer(cell)
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """The deterministic state of every instrument, sorted by name.
+
+        The result is a plain (picklable, JSON-friendly) dict; timings
+        are deliberately excluded — see :meth:`timings_snapshot`.
+        """
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {"bounds": list(h.bounds), "buckets": list(h.buckets),
+                    "count": h.count}
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def timings_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Accumulated wall-clock phase timings (nondeterministic)."""
+        return {
+            name: {"count": int(cell[0]), "seconds": cell[1]}
+            for name, cell in sorted(self._timings.items())
+        }
+
+
+def empty_snapshot() -> Dict[str, Dict]:
+    """The snapshot of a registry that observed nothing."""
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Dict]]) -> Dict[str, Dict]:
+    """Merge snapshots by integer addition (order-independent).
+
+    Counters, gauges and histogram buckets are summed; histograms with
+    the same name must declare identical bounds.  Because every merge
+    operation is commutative and associative on integers, the merged
+    snapshot is independent of worker scheduling and merge order —
+    the property the parallel runner's determinism contract needs.
+    """
+    merged = empty_snapshot()
+    counters = merged["counters"]
+    gauges = merged["gauges"]
+    histograms = merged["histograms"]
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0) + value
+        for name, hist in snap.get("histograms", {}).items():
+            existing = histograms.get(name)
+            if existing is None:
+                histograms[name] = {"bounds": list(hist["bounds"]),
+                                    "buckets": list(hist["buckets"]),
+                                    "count": hist["count"]}
+                continue
+            if existing["bounds"] != list(hist["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} merged with mismatched bounds: "
+                    f"{existing['bounds']} vs {list(hist['bounds'])}")
+            existing["buckets"] = [a + b for a, b in
+                                   zip(existing["buckets"], hist["buckets"])]
+            existing["count"] += hist["count"]
+    merged["counters"] = dict(sorted(counters.items()))
+    merged["gauges"] = dict(sorted(gauges.items()))
+    merged["histograms"] = dict(sorted(histograms.items()))
+    return merged
+
+
+#: Shared disabled registry: the default everywhere a ``metrics``
+#: argument is omitted, so unmetered runs pay (at most) one boolean
+#: test per instrumented site.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "empty_snapshot",
+    "merge_snapshots",
+]

@@ -12,6 +12,13 @@ equivalence therefore needs only two rules, which this module encodes:
 
 ``jobs <= 1`` executes in-process and is the reference semantics; any
 ``jobs > 1`` must — and does — produce the identical result list.
+
+The same two rules make *metrics* deterministic across worker counts:
+a worker meters its run through a process-local
+:class:`repro.obs.MetricsRegistry` and ships the snapshot home as part
+of its result; the caller merges snapshots in submission order with
+:func:`repro.obs.merge_snapshots` (commutative integer addition), so
+the merged report is byte-identical for every ``jobs`` value.
 """
 
 from __future__ import annotations

@@ -14,7 +14,10 @@ task order.  Consequences:
   :func:`repro.experiments.table2.table2`.
 
 Workers return only the aggregate each campaign needs (a pass verdict,
-a counter value), keeping inter-process pickling negligible.
+a counter value — plus, with ``collect_metrics``, the run's metrics
+snapshot), keeping inter-process pickling negligible.  Snapshots are
+merged with :func:`repro.obs.merge_snapshots` in task-submission order,
+so the merged report is identical for every ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -36,95 +39,158 @@ from ..experiments.validation import (
     run_malicious_experiment,
     run_penalty_reward_experiment,
 )
+from ..obs.registry import MetricsRegistry, merge_snapshots
 from ..tt.cluster import PAPER_ROUND_LENGTH
 from .pool import Task, run_tasks
 
 
 # ----------------------------------------------------------------------
 # Module-level workers (must be picklable for the process pool).
+#
+# With ``collect_metrics`` each worker meters its run through a fresh
+# in-process registry and returns ``(verdict, snapshot)`` — the
+# snapshot is a plain dict of ints, so the pickling cost stays small.
 # ----------------------------------------------------------------------
 def _burst_passed(n_slots: int, start_slot: int, seed: int,
-                  n_nodes: int) -> bool:
+                  n_nodes: int, collect_metrics: bool = False):
     """Worker: one burst injection reduced to its pass verdict."""
-    return run_burst_experiment(n_slots, start_slot, seed=seed,
-                                n_nodes=n_nodes).passed
-
-
-def _penalty_reward_passed(seed: int, n_nodes: int) -> bool:
-    """Worker: one counter-update experiment reduced to its verdict."""
-    return run_penalty_reward_experiment(seed=seed, n_nodes=n_nodes).passed
-
-
-def _malicious_passed(byzantine: int, seed: int, n_nodes: int) -> bool:
-    """Worker: one malicious-node injection reduced to its verdict."""
-    return run_malicious_experiment(byzantine, seed=seed,
+    if not collect_metrics:
+        return run_burst_experiment(n_slots, start_slot, seed=seed,
                                     n_nodes=n_nodes).passed
+    registry = MetricsRegistry()
+    passed = run_burst_experiment(n_slots, start_slot, seed=seed,
+                                  n_nodes=n_nodes, metrics=registry).passed
+    return passed, registry.snapshot()
 
 
-def _clique_passed(seed: int, n_nodes: int) -> bool:
+def _penalty_reward_passed(seed: int, n_nodes: int,
+                           collect_metrics: bool = False):
+    """Worker: one counter-update experiment reduced to its verdict."""
+    if not collect_metrics:
+        return run_penalty_reward_experiment(seed=seed,
+                                             n_nodes=n_nodes).passed
+    registry = MetricsRegistry()
+    passed = run_penalty_reward_experiment(seed=seed, n_nodes=n_nodes,
+                                           metrics=registry).passed
+    return passed, registry.snapshot()
+
+
+def _malicious_passed(byzantine: int, seed: int, n_nodes: int,
+                      collect_metrics: bool = False):
+    """Worker: one malicious-node injection reduced to its verdict."""
+    if not collect_metrics:
+        return run_malicious_experiment(byzantine, seed=seed,
+                                        n_nodes=n_nodes).passed
+    registry = MetricsRegistry()
+    passed = run_malicious_experiment(byzantine, seed=seed, n_nodes=n_nodes,
+                                      metrics=registry).passed
+    return passed, registry.snapshot()
+
+
+def _clique_passed(seed: int, n_nodes: int, collect_metrics: bool = False):
     """Worker: one clique-detection injection reduced to its verdict."""
-    return run_clique_experiment(seed=seed, n_nodes=n_nodes).passed
+    if not collect_metrics:
+        return run_clique_experiment(seed=seed, n_nodes=n_nodes).passed
+    registry = MetricsRegistry()
+    passed = run_clique_experiment(seed=seed, n_nodes=n_nodes,
+                                   metrics=registry).passed
+    return passed, registry.snapshot()
+
+
+def _penalty_budget_with_metrics(tolerated_outage: float, seed: int,
+                                 round_length: float):
+    """Worker: one metered penalty-budget measurement."""
+    registry = MetricsRegistry()
+    budget = measure_penalty_budget(tolerated_outage, seed=seed,
+                                    round_length=round_length,
+                                    metrics=registry)
+    return budget, registry.snapshot()
 
 
 # ----------------------------------------------------------------------
 # Sweeps
 # ----------------------------------------------------------------------
 def validation_tasks(repetitions: int = 100,
-                     n_nodes: int = PAPER_N_NODES
+                     n_nodes: int = PAPER_N_NODES,
+                     collect_metrics: bool = False
                      ) -> List[Tuple[str, Task]]:
     """The Sec. 8 campaign as ``(experiment class, Task)`` pairs.
 
     Generated in exactly the loop order of
     :func:`~repro.experiments.validation.run_validation_campaign`, with
     the same class names and the same ``seed = repetition`` assignment.
+    With ``collect_metrics`` each task returns ``(passed, snapshot)``
+    instead of a bare verdict.
     """
+    kwargs = {"collect_metrics": True} if collect_metrics else {}
     tasks: List[Tuple[str, Task]] = []
     for n_slots in (1, 2, 2 * n_nodes):
         for start_slot in range(1, n_nodes + 1):
             cls = f"burst-{n_slots}-slot{start_slot}"
             for rep in range(repetitions):
                 tasks.append((cls, Task(_burst_passed,
-                                        (n_slots, start_slot, rep, n_nodes))))
+                                        (n_slots, start_slot, rep, n_nodes),
+                                        dict(kwargs))))
     for rep in range(repetitions):
         tasks.append(("penalty-reward",
-                      Task(_penalty_reward_passed, (rep, n_nodes))))
+                      Task(_penalty_reward_passed, (rep, n_nodes),
+                           dict(kwargs))))
     for byzantine in range(1, n_nodes + 1):
         cls = f"malicious-node{byzantine}"
         for rep in range(repetitions):
             tasks.append((cls, Task(_malicious_passed,
-                                    (byzantine, rep, n_nodes))))
+                                    (byzantine, rep, n_nodes),
+                                    dict(kwargs))))
     for rep in range(repetitions):
         tasks.append(("clique-detection", Task(_clique_passed,
-                                               (rep, n_nodes))))
+                                               (rep, n_nodes),
+                                               dict(kwargs))))
     return tasks
 
 
 def run_validation_sweep(repetitions: int = 100,
                          n_nodes: int = PAPER_N_NODES,
-                         jobs: int = 1) -> CampaignSummary:
+                         jobs: int = 1,
+                         with_metrics: bool = False):
     """The Sec. 8 validation campaign, optionally fanned across workers.
 
     The aggregate :class:`CampaignSummary` is identical for every
     ``jobs`` value (and identical to the serial
     ``run_validation_campaign``): tasks carry explicit seeds and the
     verdicts are merged in task order.
+
+    With ``with_metrics`` every injection is metered through its own
+    registry and the call returns ``(summary, merged_snapshot)``; the
+    snapshots are merged in task-submission order, and since snapshot
+    merging is commutative integer addition the merged report is also
+    byte-identical across ``jobs`` values.
     """
-    tasks = validation_tasks(repetitions, n_nodes)
-    verdicts = run_tasks([task for _cls, task in tasks], jobs=jobs)
+    tasks = validation_tasks(repetitions, n_nodes,
+                             collect_metrics=with_metrics)
+    results = run_tasks([task for _cls, task in tasks], jobs=jobs)
     summary = CampaignSummary()
-    for (cls, _task), passed in zip(tasks, verdicts):
+    if with_metrics:
+        for (cls, _task), (passed, _snap) in zip(tasks, results):
+            summary.add(cls, passed)
+        merged = merge_snapshots(snap for _passed, snap in results)
+        return summary, merged
+    for (cls, _task), passed in zip(tasks, results):
         summary.add(cls, passed)
     return summary
 
 
 def run_table2_sweep(seed: int = 0,
                      round_length: float = PAPER_ROUND_LENGTH,
-                     jobs: int = 1) -> List[Table2Row]:
+                     jobs: int = 1,
+                     with_metrics: bool = False):
     """The Sec. 9 tuning experiment, one worker per (domain, class).
 
     Decomposes :func:`~repro.experiments.table2.table2` into its
     independent :func:`measure_penalty_budget` calls and assembles the
-    identical row list.
+    identical row list.  With ``with_metrics`` returns
+    ``(rows, merged_snapshot)``; the budget measurements run at
+    ``trace_level=0``, so the metrics snapshot is the only online
+    observability these runs have.
     """
     domains = (("Automotive", AUTOMOTIVE_TOLERATED_OUTAGE),
                ("Aerospace", AEROSPACE_TOLERATED_OUTAGE))
@@ -133,9 +199,19 @@ def run_table2_sweep(seed: int = 0,
     for domain, outages in domains:
         for cls, outage in outages.items():
             keys.append((domain, cls, outage))
-            tasks.append(Task(measure_penalty_budget, (outage,),
-                              {"seed": seed, "round_length": round_length}))
-    budgets = run_tasks(tasks, jobs=jobs)
+            if with_metrics:
+                tasks.append(Task(_penalty_budget_with_metrics,
+                                  (outage, seed, round_length)))
+            else:
+                tasks.append(Task(measure_penalty_budget, (outage,),
+                                  {"seed": seed,
+                                   "round_length": round_length}))
+    results = run_tasks(tasks, jobs=jobs)
+    if with_metrics:
+        merged = merge_snapshots(snap for _budget, snap in results)
+        budgets = [budget for budget, _snap in results]
+    else:
+        budgets = results
     measured = {(domain, cls): budget
                 for (domain, cls, _outage), budget in zip(keys, budgets)}
 
@@ -154,6 +230,8 @@ def run_table2_sweep(seed: int = 0,
                 reward_threshold=PAPER_REWARD_THRESHOLD,
                 round_length=round_length,
             ))
+    if with_metrics:
+        return rows, merged
     return rows
 
 

@@ -44,12 +44,20 @@ class Engine:
         Current simulation time in seconds.  Starts at 0.0.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[Any] = None) -> None:
         self.now: float = 0.0
         self._queue: List[Event] = []
         self._running = False
         self._stopped = False
         self._executed_events = 0
+        # Optional online observability (repro.obs.MetricsRegistry);
+        # kept as a duck-typed argument so the engine stays importable
+        # without the obs package.
+        self._metrics = metrics
+        self._m_on = metrics is not None and metrics.enabled
+        self._timing_on = self._m_on and metrics.timing
+        self._m_events = (metrics.counter("engine.events_executed")
+                          if self._m_on else None)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -138,6 +146,8 @@ class Engine:
                 self.now = max(self.now, until)
         finally:
             self._running = False
+            if self._m_on:
+                self._m_events.inc(executed)
         return executed
 
     def run_batch(self, until: Optional[float] = None,
@@ -151,6 +161,13 @@ class Engine:
         per-event cost on hot simulation paths.  :class:`Cluster` drives
         rounds through this entry point.
         """
+        if self._timing_on:
+            with self._metrics.timer("engine.run"):
+                return self._run_batch(until, max_events)
+        return self._run_batch(until, max_events)
+
+    def _run_batch(self, until: Optional[float],
+                   max_events: Optional[int]) -> int:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
@@ -178,6 +195,8 @@ class Engine:
         finally:
             self._running = False
             self._executed_events += executed
+            if self._m_on:
+                self._m_events.inc(executed)
         return executed
 
     def stop(self) -> None:

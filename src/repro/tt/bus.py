@@ -39,7 +39,8 @@ class Bus:
 
     def __init__(self, engine: Engine, timebase: TimeBase,
                  injection: InjectionLayer, trace: Trace,
-                 n_channels: int = 1, fast_path: bool = True) -> None:
+                 n_channels: int = 1, fast_path: bool = True,
+                 metrics: Optional[Any] = None) -> None:
         if n_channels < 1:
             raise ValueError(f"n_channels must be >= 1, got {n_channels}")
         self.engine = engine
@@ -55,6 +56,23 @@ class Bus:
         self._node_ids: Tuple[int, ...] = ()
         self._ordered: Tuple[Tuple[int, Any], ...] = ()
         self._all_valid: Dict[int, int] = {}
+        # Online observability (repro.obs): instruments resolved once,
+        # per-slot updates guarded by one cached boolean so disabled
+        # metrics cost a single truth test on the hot path.
+        self._metrics = metrics
+        self._m_on = metrics is not None and metrics.enabled
+        self._timing_on = self._m_on and metrics.timing
+        if self._m_on:
+            self._m_slots_total = metrics.counter("bus.slots_total")
+            self._m_slots_fast = metrics.counter("bus.slots_fast_path")
+            self._m_slots_slow = metrics.counter("bus.slots_slow_path")
+            self._m_slots_silent = metrics.counter("bus.slots_silent")
+        if self._timing_on:
+            # Mirror the Trace fast-off idiom in reverse: only a timed
+            # bus pays the wrapper, via instance-attribute rebinding.
+            self.transmit = self._transmit_timed  # type: ignore[assignment]
+            self.transmit_latched = (  # type: ignore[assignment]
+                self._transmit_latched_timed)
 
     def attach(self, node_id: int, controller: Any) -> None:
         """Register a controller to receive every slot's delivery."""
@@ -109,8 +127,23 @@ class Bus:
                             Frame(sender=sender, round_index=round_index,
                                   payload=payload))
 
+    def _transmit_timed(self, round_index: int, slot: int,
+                        frame: Optional[Frame]) -> None:
+        with self._metrics.timer("bus.transmit"):
+            Bus.transmit(self, round_index, slot, frame)
+
+    def _transmit_latched_timed(self, round_index: int, slot: int,
+                                sender: int, payload: Any) -> None:
+        with self._metrics.timer("bus.transmit"):
+            Bus.transmit_latched(self, round_index, slot, sender, payload)
+
     def _transmit_slow(self, round_index: int, slot: int,
                        frame: Optional[Frame]) -> None:
+        if self._m_on:
+            self._m_slots_total.inc()
+            self._m_slots_slow.inc()
+            if frame is None:
+                self._m_slots_silent.inc()
         receivers = self.node_ids
         per_receiver: Dict[int, Tuple[bool, Any]] = {}
         causes: List[str] = []
@@ -184,6 +217,9 @@ class Bus:
         delivery event calls the controllers in the same order at the
         same instant as the slow path's delivery loop.
         """
+        if self._m_on:
+            self._m_slots_total.inc()
+            self._m_slots_fast.inc()
         trace = self.trace
         if trace.level > 0:
             trace.record(

@@ -22,7 +22,7 @@ The driver schedules, for each round ``k``:
 from __future__ import annotations
 
 from random import Random
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..faults.injector import InjectionLayer, Scenario
 from ..sim.engine import Engine
@@ -66,20 +66,26 @@ class Cluster:
     fast_path:
         Enable the bus's batched delivery for injection-quiescent slots
         (bit-identical results; disable only to exercise the slow path).
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` shared by the
+        engine, the bus and (when the caller wires them) the diagnostic
+        services.  ``None`` keeps the whole stack unmetered.
     """
 
     def __init__(self, n_nodes: int, round_length: float = PAPER_ROUND_LENGTH,
                  tx_fraction: float = 0.8, seed: int = 0,
                  n_channels: int = 1, trace: Optional[Trace] = None,
-                 trace_level: int = 2, fast_path: bool = True) -> None:
-        self.engine = Engine()
+                 trace_level: int = 2, fast_path: bool = True,
+                 metrics: Optional[Any] = None) -> None:
+        self.metrics = metrics
+        self.engine = Engine(metrics=metrics)
         self.timebase = TimeBase(n_nodes, round_length, tx_fraction)
         self.streams = RandomStreams(seed)
         self.trace = trace if trace is not None else Trace(level=trace_level)
         self.injection = InjectionLayer()
         self.bus = Bus(self.engine, self.timebase, self.injection,
                        self.trace, n_channels=n_channels,
-                       fast_path=fast_path)
+                       fast_path=fast_path, metrics=metrics)
         self.schedule = GlobalSchedule(self.timebase)
 
         self.nodes: Dict[int, Node] = {}
@@ -147,6 +153,8 @@ class Cluster:
         horizon = self.timebase.round_start(target) - self._horizon_margin
         self.engine.run_batch(until=horizon)
         self._rounds_driven = target
+        if self.metrics is not None and self.metrics.enabled:
+            self.metrics.counter("cluster.rounds_driven").inc(n_rounds)
 
     def run_until(self, time: float) -> None:
         """Advance the simulation to absolute ``time`` (seconds)."""

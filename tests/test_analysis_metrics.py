@@ -3,14 +3,17 @@
 import pytest
 
 from repro.analysis.metrics import (
+    InsufficientTraceError,
     availability_seconds,
     completeness_holds,
     consistency_violations,
     correctness_holds,
     detection_latency_rounds,
     first_isolation_time,
+    diagnoses_for_round,
     health_vectors_by_node,
     isolation_round,
+    view_changes,
 )
 from repro.sim.trace import Trace
 
@@ -122,3 +125,79 @@ class TestAvailability:
         trace = Trace()
         trace.record(15.0, "isolation", node=2, isolated=1)
         assert availability_seconds(trace, 1, horizon=10.0) == 10.0
+
+
+class TestTraceLevelGuards:
+    """Queries that need vectors the trace did not record must raise.
+
+    The alternative — returning an empty mapping or ``None`` — reads as
+    "no violations / not detected", which is exactly the wrong answer
+    on a sparse trace.  See :class:`InsufficientTraceError`.
+    """
+
+    def run_cluster(self, trace_level):
+        from repro.core.config import uniform_config
+        from repro.core.service import DiagnosedCluster
+        from repro.faults.scenarios import SlotBurst
+
+        config = uniform_config(4, penalty_threshold=10 ** 6,
+                                reward_threshold=10 ** 6)
+        dc = DiagnosedCluster(config, seed=0, trace_level=trace_level)
+        dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, 6, 2, 1))
+        dc.run_rounds(14)
+        return dc
+
+    @pytest.mark.parametrize("level", [0, 1])
+    def test_full_vector_queries_raise_below_level_2(self, level):
+        dc = self.run_cluster(level)
+        with pytest.raises(InsufficientTraceError, match="level >= 2"):
+            health_vectors_by_node(dc.trace)
+        with pytest.raises(InsufficientTraceError):
+            consistency_violations(dc.trace, dc.obedient_node_ids())
+        with pytest.raises(InsufficientTraceError):
+            diagnoses_for_round(dc.trace, 6, dc.obedient_node_ids())
+        # Oracles delegate to diagnoses_for_round and inherit the guard.
+        with pytest.raises(InsufficientTraceError):
+            completeness_holds(dc.trace, 6, 2, dc.obedient_node_ids())
+        with pytest.raises(InsufficientTraceError):
+            correctness_holds(dc.trace, 6, [1, 3, 4],
+                              dc.obedient_node_ids())
+
+    def test_detection_latency_needs_level_1(self):
+        dc0 = self.run_cluster(0)
+        with pytest.raises(InsufficientTraceError, match="level >= 1"):
+            detection_latency_rounds(dc0.trace, 6, 2)
+        # Level 1 records fault-containing vectors: the query works.
+        dc1 = self.run_cluster(1)
+        assert detection_latency_rounds(dc1.trace, 6, 2) is not None
+
+    def test_level_2_trace_satisfies_every_guard(self):
+        dc = self.run_cluster(2)
+        obedient = dc.obedient_node_ids()
+        assert health_vectors_by_node(dc.trace)
+        assert consistency_violations(dc.trace, obedient) == []
+        assert completeness_holds(dc.trace, 6, 2, obedient)
+        assert detection_latency_rounds(dc.trace, 6, 2) is not None
+
+    def test_decision_queries_never_guarded(self):
+        # Decision categories (isolation, reintegration, view) are
+        # recorded at every level, so these stay usable on level 0.
+        dc = self.run_cluster(0)
+        assert first_isolation_time(dc.trace, 1) is None
+        assert isolation_round(dc.trace, 1) is None
+        assert availability_seconds(dc.trace, 1, horizon=0.05) == 0.05
+        assert view_changes(dc.trace) == []
+
+    def test_error_message_points_at_obs_registry(self):
+        dc = self.run_cluster(0)
+        with pytest.raises(InsufficientTraceError, match="repro.obs"):
+            health_vectors_by_node(dc.trace)
+
+    def test_manual_trace_without_level_attribute_passes(self):
+        # Duck-typed traces (no ``level``) are trusted as fully
+        # recorded — the guard only fires on an explicit low level.
+        class Bare:
+            def select(self, category=None, node=None):
+                return []
+
+        assert health_vectors_by_node(Bare()) == {}

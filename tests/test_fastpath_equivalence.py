@@ -132,3 +132,123 @@ def test_fast_path_skips_injection_machinery():
         dc.run_rounds(ROUNDS)
     assert calls[True] == 0
     assert calls[False] > 0
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzz: random scenario mixes, fast vs slow, serial vs pool
+# ---------------------------------------------------------------------------
+#
+# Each case seed deterministically derives a cluster size, a mix of
+# 1-3 fault scenarios (deterministic and stochastic) and their
+# parameters.  For every case the fast and slow paths must produce
+# byte-identical traces and — because metering is purely observational
+# — identical metrics snapshots, except for the two counters that
+# *describe the execution strategy itself* (``bus.slots_fast_path`` /
+# ``bus.slots_slow_path``), which are expected to differ and are
+# excluded from the comparison.  A subset of cases is additionally run
+# through the process pool to pin ``jobs=1 == jobs=4``.
+
+import random as _random
+
+from repro.faults.scenarios import crash
+from repro.obs import MetricsRegistry
+from repro.runner.pool import Task, run_tasks
+
+FUZZ_CASES = 50
+FUZZ_NODES = (4, 8, 16)
+FUZZ_ROUNDS = 10
+#: Counters describing *how* the run executed rather than *what* the
+#: protocol did; legitimately different between fast and slow runs.
+EXECUTION_COUNTERS = frozenset(
+    {"bus.slots_fast_path", "bus.slots_slow_path"})
+
+
+def _fuzz_scenarios(dc, case_seed):
+    """Deterministic random scenario mix for one fuzz case."""
+    rng = _random.Random(case_seed)
+    n = dc.config.n_nodes
+    tb = dc.cluster.timebase
+    streams = dc.cluster.streams
+    scenarios = []
+    for i in range(rng.randint(1, 3)):
+        kind = rng.choice(("slot-burst", "long-burst", "sender", "crash",
+                           "poisson", "intermittent", "noise"))
+        if kind == "slot-burst":
+            scenarios.append(SlotBurst(tb, rng.randint(2, 6),
+                                       rng.randint(1, n), rng.randint(1, n)))
+        elif kind == "long-burst":
+            scenarios.append(SlotBurst(tb, rng.randint(2, 5), 1,
+                                       rng.randint(n, 2 * n)))
+        elif kind == "sender":
+            first = rng.randint(2, 6)
+            scenarios.append(SenderFault(
+                rng.randint(1, n), kind="benign",
+                rounds=[first, first + rng.randint(1, 3)]))
+        elif kind == "crash":
+            scenarios.append(crash(rng.randint(1, n),
+                                   from_round=rng.randint(3, 7)))
+        elif kind == "poisson":
+            scenarios.append(PoissonTransients(
+                rate=rng.choice((50.0, 200.0)), burst_length=0.5e-3,
+                rng=streams.stream(f"fuzz-poisson-{i}")))
+        elif kind == "intermittent":
+            scenarios.append(IntermittentSender(
+                rng.randint(1, n),
+                mean_reappearance_rounds=rng.randint(2, 6),
+                rng=streams.stream(f"fuzz-intermittent-{i}")))
+        else:
+            scenarios.append(RandomSlotNoise(
+                rng.choice((0.02, 0.08)),
+                rng=streams.stream(f"fuzz-noise-{i}")))
+    return scenarios
+
+
+def _run_fuzz_case(case_seed, fast_path):
+    n_nodes = FUZZ_NODES[case_seed % len(FUZZ_NODES)]
+    config = uniform_config(n_nodes, penalty_threshold=3,
+                            reward_threshold=50)
+    registry = MetricsRegistry()
+    dc = DiagnosedCluster(config, seed=case_seed, trace_level=2,
+                          fast_path=fast_path, metrics=registry)
+    for scenario in _fuzz_scenarios(dc, case_seed):
+        dc.cluster.add_scenario(scenario)
+    dc.run_rounds(FUZZ_ROUNDS)
+    return (json.dumps(dc.trace.to_dicts(), sort_keys=True),
+            registry.snapshot())
+
+
+def _semantic(snapshot):
+    """A snapshot with the execution-strategy counters dropped."""
+    return {**snapshot,
+            "counters": {name: value
+                         for name, value in snapshot["counters"].items()
+                         if name not in EXECUTION_COUNTERS}}
+
+
+def _fuzz_worker(case_seed):
+    """Picklable pool worker: one fast-path metered fuzz case."""
+    return _run_fuzz_case(case_seed, True)
+
+
+@pytest.mark.parametrize("case_seed", range(FUZZ_CASES))
+def test_fuzz_fast_slow_differential(case_seed):
+    fast_trace, fast_snap = _run_fuzz_case(case_seed, True)
+    slow_trace, slow_snap = _run_fuzz_case(case_seed, False)
+    assert fast_trace == slow_trace
+    assert _semantic(fast_snap) == _semantic(slow_snap)
+    # The strategy counters must still partition the same slot total.
+    fast_c, slow_c = fast_snap["counters"], slow_snap["counters"]
+    assert fast_c["bus.slots_total"] == slow_c["bus.slots_total"]
+    assert (fast_c.get("bus.slots_fast_path", 0)
+            + fast_c.get("bus.slots_slow_path", 0)
+            == slow_c.get("bus.slots_fast_path", 0)
+            + slow_c.get("bus.slots_slow_path", 0))
+    assert slow_c.get("bus.slots_fast_path", 0) == 0
+
+
+def test_fuzz_jobs_invariant():
+    """The first ten fuzz cases through the pool: jobs=1 == jobs=4."""
+    seeds = list(range(10))
+    serial = run_tasks([Task(_fuzz_worker, (s,)) for s in seeds], jobs=1)
+    parallel = run_tasks([Task(_fuzz_worker, (s,)) for s in seeds], jobs=4)
+    assert serial == parallel

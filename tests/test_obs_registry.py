@@ -1,0 +1,277 @@
+"""Unit tests for the metrics registry and report export.
+
+The registry's contract is determinism first: snapshots are pure
+functions of observed behaviour, histograms store only integer bucket
+counts over fixed declared bounds, merging is commutative integer
+addition, and wall-clock timings never leak into the deterministic
+snapshot.  These tests pin each clause plus the zero-overhead plumbing
+(null instruments, ``NULL_REGISTRY``).
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    REPORT_SCHEMA,
+    MetricsRegistry,
+    empty_snapshot,
+    load_report,
+    merge_snapshots,
+    render_json,
+    render_text,
+    render_timings,
+    run_report,
+    write_report,
+)
+from repro.obs.registry import _NULL_INSTRUMENT, _NULL_TIMER
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+class TestInstruments:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        c.inc()
+        c.inc(4)
+        assert reg.snapshot()["counters"] == {"a": 5}
+
+    def test_counter_identity_per_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a") is not reg.counter("b")
+
+    def test_gauge_set_and_inc(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(7)
+        g.inc(-2)
+        assert reg.snapshot()["gauges"] == {"g": 5}
+
+    def test_histogram_bucketing(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(0, 2, 4))
+        # v <= 0 | 0 < v <= 2 | 2 < v <= 4 | v > 4
+        for v in (0, 0, 1, 2, 3, 5, 100):
+            h.observe(v)
+        snap = reg.snapshot()["histograms"]["h"]
+        assert snap == {"bounds": [0, 2, 4], "buckets": [2, 2, 1, 2],
+                        "count": 7}
+
+    def test_histogram_rejects_unsorted_or_empty_bounds(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", bounds=(3, 1))
+        with pytest.raises(ValueError):
+            reg.histogram("empty", bounds=())
+
+    def test_histogram_reregistration_same_bounds_ok(self):
+        reg = MetricsRegistry()
+        h1 = reg.histogram("h", bounds=(1, 2))
+        h2 = reg.histogram("h", bounds=(1, 2))
+        assert h1 is h2
+
+    def test_histogram_reregistration_different_bounds_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1, 2))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("h", bounds=(1, 3))
+
+
+# ---------------------------------------------------------------------------
+# Disabled registry / null instruments
+# ---------------------------------------------------------------------------
+class TestDisabled:
+    def test_disabled_registry_hands_out_shared_null(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("x") is _NULL_INSTRUMENT
+        assert reg.gauge("y") is _NULL_INSTRUMENT
+        assert reg.histogram("z", bounds=(1,)) is _NULL_INSTRUMENT
+        assert reg.timer("t") is _NULL_TIMER
+
+    def test_null_instrument_is_inert(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x")
+        c.inc()
+        c.set(9)
+        c.observe(3.0)
+        with reg.timer("t"):
+            pass
+        assert reg.snapshot() == empty_snapshot()
+        assert reg.timings_snapshot() == {}
+
+    def test_null_registry_is_disabled(self):
+        assert not NULL_REGISTRY.enabled
+        assert not NULL_REGISTRY.timing
+        assert NULL_REGISTRY.snapshot() == empty_snapshot()
+
+    def test_timing_requires_enabled(self):
+        assert not MetricsRegistry(enabled=False, timing=True).timing
+        assert MetricsRegistry(timing=True).timing
+        assert not MetricsRegistry().timing
+
+
+# ---------------------------------------------------------------------------
+# Timings stay out of the deterministic snapshot
+# ---------------------------------------------------------------------------
+class TestTimings:
+    def test_timer_accumulates(self):
+        reg = MetricsRegistry(timing=True)
+        for _ in range(3):
+            with reg.timer("phase"):
+                pass
+        timings = reg.timings_snapshot()
+        assert timings["phase"]["count"] == 3
+        assert timings["phase"]["seconds"] >= 0.0
+
+    def test_timings_excluded_from_snapshot(self):
+        reg = MetricsRegistry(timing=True)
+        with reg.timer("phase"):
+            reg.counter("c").inc()
+        snap = reg.snapshot()
+        assert "timings" not in snap
+        assert snap == {"counters": {"c": 1}, "gauges": {},
+                        "histograms": {}}
+
+    def test_timer_noop_when_timing_off(self):
+        reg = MetricsRegistry()  # enabled, timing off
+        with reg.timer("phase"):
+            pass
+        assert reg.timings_snapshot() == {}
+
+
+# ---------------------------------------------------------------------------
+# Snapshot merging
+# ---------------------------------------------------------------------------
+def _snap(counters=None, gauges=None, histograms=None):
+    return {"counters": counters or {}, "gauges": gauges or {},
+            "histograms": histograms or {}}
+
+
+class TestMerge:
+    def test_merge_sums_counters_and_gauges(self):
+        merged = merge_snapshots([
+            _snap(counters={"a": 1, "b": 2}, gauges={"g": 5}),
+            _snap(counters={"a": 10}, gauges={"g": 1, "h": 3}),
+        ])
+        assert merged["counters"] == {"a": 11, "b": 2}
+        assert merged["gauges"] == {"g": 6, "h": 3}
+
+    def test_merge_sums_histogram_buckets(self):
+        h1 = {"bounds": [1, 2], "buckets": [1, 0, 2], "count": 3}
+        h2 = {"bounds": [1, 2], "buckets": [0, 4, 1], "count": 5}
+        merged = merge_snapshots([_snap(histograms={"h": h1}),
+                                  _snap(histograms={"h": h2})])
+        assert merged["histograms"]["h"] == {
+            "bounds": [1, 2], "buckets": [1, 4, 3], "count": 8}
+
+    def test_merge_rejects_mismatched_bounds(self):
+        h1 = {"bounds": [1, 2], "buckets": [0, 0, 0], "count": 0}
+        h2 = {"bounds": [1, 3], "buckets": [0, 0, 0], "count": 0}
+        with pytest.raises(ValueError, match="mismatched bounds"):
+            merge_snapshots([_snap(histograms={"h": h1}),
+                             _snap(histograms={"h": h2})])
+
+    def test_merge_order_independent(self):
+        snaps = [
+            _snap(counters={"a": i, "b": 2 * i}, gauges={"g": i},
+                  histograms={"h": {"bounds": [1], "buckets": [i, i + 1],
+                                    "count": 2 * i + 1}})
+            for i in range(5)
+        ]
+        forward = merge_snapshots(snaps)
+        backward = merge_snapshots(reversed(snaps))
+        assert forward == backward
+        assert (json.dumps(forward, sort_keys=True) ==
+                json.dumps(backward, sort_keys=True))
+
+    def test_merge_does_not_mutate_inputs(self):
+        h = {"bounds": [1], "buckets": [1, 2], "count": 3}
+        snap = _snap(counters={"a": 1}, histograms={"h": h})
+        merge_snapshots([snap, snap])
+        assert snap["counters"] == {"a": 1}
+        assert h["buckets"] == [1, 2] and h["count"] == 3
+
+    def test_merge_empty_iterable(self):
+        assert merge_snapshots([]) == empty_snapshot()
+
+    def test_merge_sorts_keys(self):
+        merged = merge_snapshots([_snap(counters={"z": 1}),
+                                  _snap(counters={"a": 1})])
+        assert list(merged["counters"]) == ["a", "z"]
+
+
+# ---------------------------------------------------------------------------
+# Snapshot determinism from identical observation sequences
+# ---------------------------------------------------------------------------
+def test_snapshot_keys_sorted_regardless_of_registration_order():
+    reg1 = MetricsRegistry()
+    reg1.counter("b").inc()
+    reg1.counter("a").inc()
+    reg2 = MetricsRegistry()
+    reg2.counter("a").inc()
+    reg2.counter("b").inc()
+    assert (json.dumps(reg1.snapshot(), sort_keys=False) ==
+            json.dumps(reg2.snapshot(), sort_keys=False))
+    assert list(reg1.snapshot()["counters"]) == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# Run reports
+# ---------------------------------------------------------------------------
+class TestReports:
+    def test_report_shape_and_schema(self):
+        report = run_report("validate", {"reps": 2},
+                            _snap(counters={"a": 1}))
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["command"] == "validate"
+        assert report["params"] == {"reps": 2}
+        assert "timings" not in report
+
+    def test_report_timings_optional(self):
+        report = run_report("stats", {}, empty_snapshot(),
+                            timings={"p": {"count": 1, "seconds": 0.5}})
+        assert report["timings"]["p"]["count"] == 1
+
+    def test_render_json_stable_format(self):
+        report = run_report("x", {"b": 1, "a": 2}, empty_snapshot())
+        text = render_json(report)
+        assert text.endswith("\n")
+        assert text == json.dumps(report, sort_keys=True, indent=2) + "\n"
+        # Key order in the source dict must not matter.
+        shuffled = dict(reversed(list(report.items())))
+        assert render_json(shuffled) == text
+
+    def test_write_load_roundtrip(self, tmp_path):
+        report = run_report("x", {"seed": 3}, _snap(counters={"c": 9}))
+        path = tmp_path / "report.json"
+        write_report(str(path), report)
+        assert load_report(str(path)) == report
+        # Two writes of the same report are byte-identical.
+        path2 = tmp_path / "report2.json"
+        write_report(str(path2), report)
+        assert path.read_bytes() == path2.read_bytes()
+
+    def test_render_text_mentions_every_instrument(self):
+        snap = _snap(counters={"bus.slots_total": 48},
+                     gauges={"g": 2},
+                     histograms={"h": {"bounds": [0, 2],
+                                       "buckets": [3, 0, 1], "count": 4}})
+        text = render_text(snap, title="run metrics")
+        assert "bus.slots_total" in text and "48" in text
+        assert "g" in text
+        assert "h" in text and "<=0:3" in text and ">2:1" in text
+        assert "run metrics" in text
+
+    def test_render_text_empty(self):
+        assert "no metrics" in render_text(empty_snapshot())
+        assert "t: no metrics" in render_text(empty_snapshot(), title="t")
+
+    def test_render_timings(self):
+        text = render_timings({"bus.transmit": {"count": 4,
+                                                "seconds": 0.002}})
+        assert "bus.transmit" in text and "4" in text
+        assert "no phase timings" in render_timings({})
