@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench examples reproduce clean
+.PHONY: install test test-fast bench bench-all examples reproduce clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -13,7 +13,13 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
 
+# Quick benchmark smoke: reduced rounds, publishes the headline
+# BENCH_simulator_throughput.json at the repo root (same job CI runs).
 bench:
+	REPRO_BENCH_ROUNDS=50 PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/bench_simulator_throughput.py --benchmark-only -s
+
+bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 examples:

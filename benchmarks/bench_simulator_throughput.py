@@ -3,24 +3,50 @@
 Not a paper artefact — this measures the reproduction substrate itself
 so regressions in the discrete-event engine or the protocol hot path
 are visible: simulated rounds per second for growing cluster sizes,
-with the full diagnostic stack running on every node.
+with the full diagnostic stack running on every node, plus a
+sustained-fault point comparing the bitset analysis plane against the
+tuple reference plane (same traces, different representation).
+
+``REPRO_BENCH_ROUNDS`` scales the per-point round count down for smoke
+runs (CI uses 50; the default 200 is the tracked-artefact setting).
 """
+
+import os
+import time
 
 from conftest import emit, emit_json
 
 from repro.analysis.reporting import render_table
 from repro.core.config import uniform_config
 from repro.core.service import DiagnosedCluster
+from repro.faults.scenarios import crash
 
-ROUNDS = 200
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "200"))
+
+#: N=64 stresses the packed representation where tuple churn hurt most;
+#: smaller points track the substrate overheads.
+POINTS = (4, 8, 16, 32, 64)
+SUSTAINED_N = 16
 
 
-def run_cluster(n_nodes: int) -> None:
+def run_cluster(n_nodes: int, bitset: bool = True,
+                sustained_fault: bool = False) -> None:
     config = uniform_config(n_nodes, penalty_threshold=10 ** 6,
                             reward_threshold=10 ** 6)
-    dc = DiagnosedCluster(config, seed=0, trace_level=0)
+    dc = DiagnosedCluster(config, seed=0, trace_level=0, bitset=bitset)
+    if sustained_fault:
+        # A never-isolated crashed sender keeps one ε row in every
+        # matrix, defeating the uniform shortcut: every round runs the
+        # full column analysis, which is what this point measures.
+        dc.cluster.add_scenario(crash(2, from_round=2))
     dc.run_rounds(ROUNDS)
     assert dc.cluster.rounds_completed == ROUNDS
+
+
+def _rounds_per_s(n_nodes: int, **kwargs) -> float:
+    start = time.perf_counter()
+    run_cluster(n_nodes, **kwargs)
+    return ROUNDS / (time.perf_counter() - start)
 
 
 def test_throughput_n4(benchmark):
@@ -36,23 +62,33 @@ def test_throughput_n16(benchmark):
 
 
 def test_throughput_summary(benchmark):
-    import time
-
     def measure():
         points = []
-        for n in (4, 8, 16, 32):
-            start = time.perf_counter()
-            run_cluster(n)
-            elapsed = time.perf_counter() - start
+        for n in POINTS:
+            rps = _rounds_per_s(n)
             points.append({"n_nodes": n, "rounds": ROUNDS,
-                           "rounds_per_s": round(ROUNDS / elapsed, 1),
-                           "slots_per_s": round(ROUNDS * n / elapsed, 1)})
-        return points
+                           "rounds_per_s": round(rps, 1),
+                           "slots_per_s": round(rps * n, 1)})
+        sustained = {
+            "n_nodes": SUSTAINED_N, "rounds": ROUNDS,
+            "scenario": "crash(2) never isolated; one ε row per matrix",
+            "tuple_rounds_per_s": round(_rounds_per_s(
+                SUSTAINED_N, bitset=False, sustained_fault=True), 1),
+            "bitset_rounds_per_s": round(_rounds_per_s(
+                SUSTAINED_N, bitset=True, sustained_fault=True), 1),
+        }
+        sustained["speedup"] = round(
+            sustained["bitset_rounds_per_s"]
+            / sustained["tuple_rounds_per_s"], 2)
+        return points, sustained
 
-    points = benchmark.pedantic(measure, rounds=1, iterations=1)
+    points, sustained = benchmark.pedantic(measure, rounds=1, iterations=1)
     rows = [(p["n_nodes"], p["rounds"],
              f"{p['rounds_per_s']:,.0f} rounds/s",
              f"{p['slots_per_s']:,.0f} slots/s") for p in points]
+    rows.append((f"{SUSTAINED_N} (faulty)", ROUNDS,
+                 f"{sustained['bitset_rounds_per_s']:,.0f} rounds/s",
+                 f"{sustained['speedup']}x vs tuple plane"))
     emit("simulator_throughput", render_table(
         ["N", "rounds simulated", "throughput", "slot throughput"],
         rows, title="Substrate throughput (full diagnostic stack)"))
@@ -61,4 +97,5 @@ def test_throughput_summary(benchmark):
         "config": {"trace_level": 0, "fault_free": True,
                    "rounds_per_point": ROUNDS},
         "points": points,
-    })
+        "sustained_fault": sustained,
+    }, to_root=True)

@@ -13,6 +13,7 @@ import pathlib
 from typing import Any
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 def emit(name: str, text: str) -> None:
@@ -22,13 +23,17 @@ def emit(name: str, text: str) -> None:
     print(f"\n{text}\n")
 
 
-def emit_json(name: str, payload: Any) -> None:
+def emit_json(name: str, payload: Any, to_root: bool = False) -> None:
     """Persist a machine-readable artefact as ``results/<name>.json``.
 
     Sorted keys and a fixed indent keep the file stable under
     re-emission, so the perf trajectory is diffable across commits.
+    With ``to_root`` the file is additionally published at the
+    repository root (headline artefacts tracked in git, e.g.
+    ``BENCH_simulator_throughput.json``).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8")
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    (RESULTS_DIR / f"{name}.json").write_text(text, encoding="utf-8")
+    if to_root:
+        (REPO_ROOT / f"{name}.json").write_text(text, encoding="utf-8")

@@ -16,6 +16,12 @@ Modules map to the paper's sections:
 """
 
 from .alignment import diagnosed_round, read_align, select_dissemination
+from .bitmatrix import (
+    AnalysisCache,
+    BitDiagnosticMatrix,
+    pack_syndrome,
+    unpack_syndrome,
+)
 from .config import (
     AEROSPACE_PENALTY_THRESHOLD,
     AUTOMOTIVE_CRITICALITY_LEVELS,
@@ -48,8 +54,20 @@ from .service import (
     MembershipCluster,
     attach_reintegration_everywhere,
 )
-from .syndrome import EPSILON, DiagnosticMatrix, make_syndrome
-from .voting import BOTTOM, benign_only_bound_holds, h_maj, vote_bound_holds
+from .syndrome import (
+    EPSILON,
+    DiagnosticMatrix,
+    clear_intern_cache,
+    intern_cache_stats,
+    make_syndrome,
+)
+from .voting import (
+    BOTTOM,
+    benign_only_bound_holds,
+    h_maj,
+    h_maj_counts,
+    vote_bound_holds,
+)
 
 __all__ = [
     "diagnosed_round",
@@ -88,8 +106,15 @@ __all__ = [
     "EPSILON",
     "DiagnosticMatrix",
     "make_syndrome",
+    "clear_intern_cache",
+    "intern_cache_stats",
+    "AnalysisCache",
+    "BitDiagnosticMatrix",
+    "pack_syndrome",
+    "unpack_syndrome",
     "BOTTOM",
     "h_maj",
+    "h_maj_counts",
     "vote_bound_holds",
     "benign_only_bound_holds",
 ]

@@ -38,6 +38,7 @@ from ..sim.trace import Trace
 from ..tt.controller import DIAG_CHANNEL, SenderStatus
 from ..tt.node import JobContext, Node
 from .alignment import diagnosed_round, read_align, select_dissemination
+from .bitmatrix import AnalysisCache, BitDiagnosticMatrix, pack_syndrome_cached
 from .config import IsolationMode, ProtocolConfig
 from .penalty_reward import PenaltyRewardState
 from .syndrome import (EPSILON, DiagnosticMatrix, Row, intern_syndrome,
@@ -77,13 +78,25 @@ class DiagnosticService:
         service counts votes, Eqn. 1 branch outcomes, health-vector
         transitions, isolations and reintegrations online (independent
         of ``trace_level``).
+    bitset:
+        Run the analysis phase on the packed bitmask representation
+        (:mod:`repro.core.bitmatrix`) with per-round memoisation —
+        bit-identical to the tuple path (pinned by the differential
+        fuzz); disable only to exercise the reference semantics.
+    analysis_cache:
+        Optional :class:`~repro.core.bitmatrix.AnalysisCache` shared by
+        all services of one cluster so identical matrices are analysed
+        once per round cluster-wide; a private cache is created when
+        omitted and ``bitset`` is on.
     """
 
     def __init__(self, config: ProtocolConfig, node: Node, trace: Trace,
                  byzantine_rng: Optional[Random] = None,
                  on_isolation: Optional[IsolationCallback] = None,
                  trace_level: int = TRACE_ALL,
-                 metrics: Optional[Any] = None) -> None:
+                 metrics: Optional[Any] = None,
+                 bitset: bool = True,
+                 analysis_cache: Optional[AnalysisCache] = None) -> None:
         if config.n_nodes != node.controller.n_nodes:
             raise ValueError("config.n_nodes does not match the cluster size")
         self.config = config
@@ -114,6 +127,12 @@ class DiagnosticService:
         self._last_analysis_round: Optional[int] = None
         self._last_matrix: Optional[DiagnosticMatrix] = None
         self._now: float = 0.0
+        # Bitset analysis plane (on by default; tuple path kept as the
+        # reference semantics and escape hatch).
+        self._bitset = bool(bitset)
+        if self._bitset and analysis_cache is None:
+            analysis_cache = AnalysisCache(metrics)
+        self._analysis_cache = analysis_cache if self._bitset else None
         # Online observability: instruments resolved once, updates
         # guarded by one cached boolean on the per-round paths.
         self.metrics = metrics
@@ -133,6 +152,11 @@ class DiagnosticService:
             self._m_reintegrations = metrics.counter("diag.reintegrations")
             self._m_eps_rows = metrics.histogram(
                 "diag.matrix_epsilon_rows", (0, 1, 2, 4, 8, 16, 32))
+            self._m_popcount_votes = metrics.counter("vote.popcount_votes")
+            self._m_intern_evict = metrics.counter(
+                "syndrome.intern_evictions")
+        else:
+            self._m_intern_evict = None
 
     # ------------------------------------------------------------------
     # Job protocol
@@ -281,7 +305,8 @@ class DiagnosticService:
         # Interned so that the identical syndromes a healthy cluster
         # disseminates every round share one tuple object; the matrix
         # aggregation detects uniform rounds by pointer comparison.
-        controller.write_interface(intern_syndrome(tuple(out)))
+        controller.write_interface(
+            intern_syndrome(tuple(out), self._m_intern_evict))
 
     # ------------------------------------------------------------------
     # Phase 4 — analysis
@@ -296,7 +321,7 @@ class DiagnosticService:
         return (diagnosed_round(k, self.config.all_send_curr_round)
                 >= self.config.startup_rounds)
 
-    def _build_matrix(self, al_dm: List[Any], al_ls: List[int]) -> DiagnosticMatrix:
+    def _build_matrix(self, al_dm: List[Any], al_ls: List[int]):
         """Aggregation: the diagnostic matrix with ε rows filled in."""
         n = self.config.n_nodes
         if 0 not in al_ls and 0 not in self.active:
@@ -311,9 +336,21 @@ class DiagnosticService:
             if (type(row0) is tuple and len(row0) == n
                     and all(r is row0 for r in al_dm)
                     and row0.count(0) + row0.count(1) == n):
-                matrix = DiagnosticMatrix.uniform(n, row0)
+                matrix = (BitDiagnosticMatrix.uniform(n, row0)
+                          if self._bitset else
+                          DiagnosticMatrix.uniform(n, row0))
                 self._last_matrix = matrix
                 return matrix
+        if self._bitset:
+            bit_matrix = BitDiagnosticMatrix(n)
+            for m in range(1, n + 1):
+                if (al_ls[m - 1] == 0 or self.active[m - 1] == 0
+                        or not is_valid_syndrome(al_dm[m - 1], n)):
+                    continue  # row stays ε
+                bit_matrix.set_row_bits(
+                    m, pack_syndrome_cached(tuple(al_dm[m - 1])))
+            self._last_matrix = bit_matrix
+            return bit_matrix
         matrix = DiagnosticMatrix(n)
         for m in range(1, n + 1):
             row: Row
@@ -329,8 +366,7 @@ class DiagnosticService:
         self._last_matrix = matrix
         return matrix
 
-    def _build_tagged_matrix(self, controller, d_round: int,
-                             k: int) -> DiagnosticMatrix:
+    def _build_tagged_matrix(self, controller, d_round: int, k: int):
         """Aggregation for the dynamic variant: match syndromes by tag.
 
         Scans each sender's buffered deliveries of rounds ``k-1`` and
@@ -339,7 +375,8 @@ class DiagnosticService:
         malformed payload, isolated sender) contributes ε.
         """
         n = self.config.n_nodes
-        matrix = DiagnosticMatrix(n)
+        matrix = (BitDiagnosticMatrix(n) if self._bitset
+                  else DiagnosticMatrix(n))
         for m in range(1, n + 1):
             row: Row = EPSILON
             if self.active[m - 1]:
@@ -389,6 +426,8 @@ class DiagnosticService:
                 self._m_analysis_rounds.inc()
                 self._m_uniform_rounds.inc()
                 self._m_eps_rows.observe(0)
+        elif self._bitset:
+            cons_hv = self._analyse_bitset(controller, matrix, d_round)
         elif m_on:
             self._m_analysis_rounds.inc()
             self._m_hmaj_calls.inc(n)
@@ -423,6 +462,39 @@ class DiagnosticService:
                               node=self.node_id, round_index=k,
                               diagnosed_round=d_round, cons_hv=tuple(cons_hv))
         return cons_hv
+
+    def _analyse_bitset(self, controller, matrix: BitDiagnosticMatrix,
+                        d_round: int) -> List[int]:
+        """Analysis on the packed plane with per-round memoisation.
+
+        Counter-for-counter equivalent to the tuple loops in
+        :meth:`_analyse_impl`: the memoised entry carries the Eqn. 1
+        branch tallies, so cache hits meter exactly like a
+        recomputation would, and the ⊥ fallback — node-local by Lemma 3
+        — is applied per node *after* the shared lookup.
+        """
+        n = self.config.n_nodes
+        cache = self._analysis_cache
+        key = matrix.key()
+        entry = cache.lookup(d_round, key)
+        if entry is None:
+            entry = matrix.analyse()
+            cache.store(key, entry)
+            if self._m_on:
+                self._m_popcount_votes.inc(n)
+        decisions, reasons, n_bottom, n_majority, n_default = entry
+        if self._m_on:
+            self._m_analysis_rounds.inc()
+            self._m_hmaj_calls.inc(n)
+            self._m_eps_rows.observe(matrix.epsilon_rows())
+            self._m_hmaj_majority.inc(n_majority)
+            self._m_hmaj_bottom.inc(n_bottom)
+            self._m_hmaj_default.inc(n_default)
+        if n_bottom == 0:
+            return list(decisions)
+        return [self._bottom_fallback(controller, j + 1, d_round)
+                if reasons[j] == "bottom" else decisions[j]
+                for j in range(n)]
 
     def _bottom_fallback(self, controller, j: int, d_round: int) -> int:
         """Decision when no external syndrome survived (Lemma 3).

@@ -31,7 +31,6 @@ from __future__ import annotations
 from typing import Any, Callable, FrozenSet, List, Optional, Tuple
 
 from .diagnostic import DiagnosticService
-from .syndrome import EPSILON
 
 ViewCallback = Callable[[int, int, FrozenSet[int]], None]
 
@@ -69,21 +68,19 @@ class MembershipService(DiagnosticService):
         n = self.config.n_nodes
         al_ls = list(al_ls)
         accused = []
-        matrix = self._last_matrix
-        for j in range(1, n + 1):
-            row = matrix.row(j)
-            if row is EPSILON:
-                # The disseminator failed benignly: it is already being
-                # accused by every node's local detection mechanisms.
-                continue
+        # ε rows never enter the mask: those disseminators failed
+        # benignly and are already being accused by every node's local
+        # detection mechanisms.  Both matrix representations implement
+        # the same predicate; the bitset one is a single XOR per row.
+        mask = self._last_matrix.disagree_mask(cons_hv)
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            j = low.bit_length()
             if self.active[j - 1] == 0:
                 continue
-            disagree = any(
-                m != j and row[m - 1] != cons_hv[m - 1]
-                for m in range(1, n + 1))
-            if disagree:
-                accused.append(j)
-                al_ls[j - 1] = 0
+            accused.append(j)
+            al_ls[j - 1] = 0
         if accused:
             if self._m_on:
                 self._m_accusations.inc(len(accused))

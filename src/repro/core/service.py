@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from ..sim.trace import TraceRecord
 from ..tt.cluster import PAPER_ROUND_LENGTH, Cluster
+from .bitmatrix import AnalysisCache
 from .config import ProtocolConfig
 from .diagnostic import TRACE_ALL, DiagnosticService
 from .lowlatency import LowLatencyDiagnosticService
@@ -66,6 +67,11 @@ class DiagnosedCluster:
         stack (engine, bus, every per-node service); query it via
         :meth:`metrics_snapshot`.  Works at any ``trace_level``,
         including 0.
+    bitset:
+        Run every service's analysis phase on the packed bitmask
+        representation with one :class:`~repro.core.bitmatrix.AnalysisCache`
+        shared cluster-wide (bit-identical results; default on).  Set
+        ``False`` to fall back to the tuple reference path.
     """
 
     def __init__(self, config: ProtocolConfig,
@@ -79,7 +85,8 @@ class DiagnosedCluster:
                  dynamic_schedules: bool = False,
                  trace_level: int = TRACE_ALL,
                  fast_path: bool = True,
-                 metrics=None) -> None:
+                 metrics=None,
+                 bitset: bool = True) -> None:
         self.config = config
         self.metrics = metrics
         self.cluster = Cluster(config.n_nodes, round_length=round_length,
@@ -110,12 +117,18 @@ class DiagnosedCluster:
 
         self.services: Dict[int, DiagnosticService] = {}
         byzantine = frozenset(byzantine_nodes)
+        # One analysis memo for the whole cluster: Sec. 5 consistency
+        # means the N per-node analyses of one round mostly see the
+        # same matrix, so the first node computes and the rest reuse.
+        analysis_cache = AnalysisCache(metrics) if bitset else None
         for node_id in range(1, config.n_nodes + 1):
             rng = (self.cluster.streams.stream(f"byzantine-{node_id}")
                    if node_id in byzantine else None)
             service = service_cls(config, self.cluster.node(node_id),
                                   self.trace, byzantine_rng=rng,
-                                  trace_level=trace_level, metrics=metrics)
+                                  trace_level=trace_level, metrics=metrics,
+                                  bitset=bitset,
+                                  analysis_cache=analysis_cache)
             self.cluster.install_job(node_id, service)
             self.services[node_id] = service
 
@@ -234,7 +247,8 @@ class LowLatencyCluster:
                  n_channels: int = 1, membership: bool = False,
                  trace_level: int = TRACE_ALL,
                  fast_path: bool = True,
-                 metrics=None) -> None:
+                 metrics=None,
+                 bitset: bool = True) -> None:
         self.config = config
         self.metrics = metrics
         self.cluster = Cluster(config.n_nodes, round_length=round_length,
@@ -248,7 +262,7 @@ class LowLatencyCluster:
             self.services[node_id] = LowLatencyDiagnosticService(
                 config, self.cluster.node(node_id), self.trace,
                 membership=membership, trace_level=trace_level,
-                metrics=metrics)
+                metrics=metrics, bitset=bitset)
 
     def run_rounds(self, n_rounds: int) -> None:
         """Advance the simulation by ``n_rounds`` complete rounds."""

@@ -51,11 +51,23 @@ Row = Union[Syndrome, _Epsilon]
 
 
 def make_syndrome(bits: Sequence[int]) -> Syndrome:
-    """Validate and freeze a local syndrome."""
-    for bit in bits:
+    """Validate and freeze a local syndrome.
+
+    Entries are normalised to canonical ``int`` 0/1: values that merely
+    *compare equal* to 0/1 (``True``, ``1.0``) would otherwise leak
+    into traces and serialise differently (``true`` vs ``1`` in JSON),
+    breaking byte-identity contracts downstream.
+    """
+    out = tuple(bits)
+    needs_normalising = False
+    for bit in out:
         if bit not in (0, 1):
             raise ValueError(f"syndrome entries must be 0/1, got {bit!r}")
-    return tuple(bits)
+        if type(bit) is not int:
+            needs_normalising = True
+    if needs_normalising:
+        return tuple(1 if bit == 1 else 0 for bit in out)
+    return out
 
 
 def opinion_about(syndrome: Syndrome, node_id: int) -> Opinion:
@@ -63,30 +75,72 @@ def opinion_about(syndrome: Syndrome, node_id: int) -> Opinion:
     return syndrome[node_id - 1]
 
 
-#: Interning cache for disseminated syndromes (bounded; see
-#: :func:`intern_syndrome`).
-_INTERNED: Dict[Syndrome, Syndrome] = {}
+#: Interning caches for disseminated syndromes, scoped per syndrome
+#: length so clusters of different N never compete for the same budget
+#: (bounded; see :func:`intern_syndrome`).
+_INTERNED: Dict[int, Dict[Syndrome, Syndrome]] = {}
 _INTERN_LIMIT = 4096
+_INTERN_EVICTIONS = 0
 
 
-def intern_syndrome(syndrome: Syndrome) -> Syndrome:
+def intern_syndrome(syndrome: Syndrome, evictions=None) -> Syndrome:
     """Return a canonical shared tuple equal to ``syndrome``.
 
     In a healthy cluster every node disseminates the same all-ones
     syndrome every round; interning makes those tuples
     reference-identical, so the diagnostic matrix can detect a uniform
     round by pointer comparison and repeated rounds do not allocate
-    fresh tuples.  The cache is bounded to keep pathological workloads
-    (adversarial payload diversity) from growing it without limit;
-    beyond the limit tuples are returned uninterned, which is only a
-    missed optimisation.
+    fresh tuples.
+
+    The cache is scoped **per syndrome length**: a long-lived process
+    that simulates clusters of different N keeps one bounded cache per
+    N instead of letting one size exhaust the budget of another.  When
+    a length's cache fills up (adversarial payload diversity), that
+    epoch is dropped wholesale and interning restarts — only a missed
+    optimisation, counted in :func:`intern_cache_stats` and, when the
+    caller passes a counter-like ``evictions`` instrument, in the
+    observability layer (``syndrome.intern_evictions``).
     """
-    cached = _INTERNED.get(syndrome)
+    global _INTERN_EVICTIONS
+    by_length = _INTERNED.get(len(syndrome))
+    if by_length is None:
+        by_length = _INTERNED[len(syndrome)] = {}
+    cached = by_length.get(syndrome)
     if cached is not None:
         return cached
-    if len(_INTERNED) < _INTERN_LIMIT:
-        _INTERNED[syndrome] = syndrome
+    if len(by_length) >= _INTERN_LIMIT:
+        by_length.clear()
+        _INTERN_EVICTIONS += 1
+        if evictions is not None:
+            evictions.inc()
+    by_length[syndrome] = syndrome
     return syndrome
+
+
+def clear_intern_cache(length: Optional[int] = None) -> None:
+    """Drop interned syndromes — all lengths, or one specific length.
+
+    Call from cluster teardown (or tests) to return the process to a
+    cold-cache state; interning restarts transparently afterwards.
+    """
+    if length is None:
+        _INTERNED.clear()
+    else:
+        _INTERNED.pop(length, None)
+
+
+def intern_cache_stats() -> Dict[str, int]:
+    """Occupancy and saturation of the interning caches.
+
+    ``lengths`` is the number of distinct syndrome lengths seen,
+    ``entries`` the total interned tuples across them, ``evictions``
+    the number of epoch resets since process start.
+    """
+    return {
+        "lengths": len(_INTERNED),
+        "entries": sum(len(c) for c in _INTERNED.values()),
+        "evictions": _INTERN_EVICTIONS,
+    }
 
 
 def is_valid_syndrome(payload: Any, n_nodes: int) -> bool:
@@ -130,6 +184,10 @@ class DiagnosticMatrix:
         self.n_nodes = n_nodes
         self._rows: Dict[int, Row] = {i: EPSILON for i in range(1, n_nodes + 1)}
         self._uniform_row: Optional[Syndrome] = None
+        # Columns are pure functions of the rows; cache them so one
+        # analysis (or repeated inspection) stops re-scanning the rows
+        # N times.  Invalidated by set_row.
+        self._columns: Dict[int, List[Union[Opinion, _Epsilon]]] = {}
 
     @classmethod
     def from_rows(cls, rows: Sequence[Row]) -> "DiagnosticMatrix":
@@ -176,6 +234,8 @@ class DiagnosticMatrix:
                     f"syndrome length {len(row)} != n_nodes {self.n_nodes}")
         self._rows[sender] = row
         self._uniform_row = None
+        if self._columns:
+            self._columns.clear()
 
     def row(self, sender: int) -> Row:
         """The syndrome sent by ``sender`` (or ε)."""
@@ -188,8 +248,14 @@ class DiagnosticMatrix:
         The paper discards the accused node's opinion about itself
         ("considered unreliable ... to tolerate asymmetric faults"), so
         the column is an ``(N-1)``-tuple in sender-ID order.
+
+        The returned list is cached on the matrix (and invalidated by
+        :meth:`set_row`); callers must treat it as read-only.
         """
         self._check_node(accused)
+        cached = self._columns.get(accused)
+        if cached is not None:
+            return cached
         column: List[Union[Opinion, _Epsilon]] = []
         for sender in range(1, self.n_nodes + 1):
             if sender == accused:
@@ -199,7 +265,30 @@ class DiagnosticMatrix:
                 column.append(EPSILON)
             else:
                 column.append(opinion_about(row, accused))
+        self._columns[accused] = column
         return column
+
+    def disagree_mask(self, cons_hv: Sequence[int]) -> int:
+        """Bitmask of senders whose row disagrees with ``cons_hv``.
+
+        Bit ``j-1`` is set iff sender ``j``'s syndrome differs from the
+        consistent health vector in any position other than ``j`` (the
+        self-opinion is unreliable and ignored).  ε rows never disagree
+        — their senders are already being accused by local detection.
+        The membership variant's minority-accusation scan is exactly
+        this predicate.
+        """
+        n = self.n_nodes
+        mask = 0
+        for j in range(1, n + 1):
+            row = self._rows[j]
+            if row is EPSILON:
+                continue
+            for m in range(1, n + 1):
+                if m != j and row[m - 1] != cons_hv[m - 1]:
+                    mask |= 1 << (j - 1)
+                    break
+        return mask
 
     def epsilon_rows(self) -> int:
         """Number of rows that are ε (missing/corrupted syndromes).
@@ -239,6 +328,8 @@ __all__ = [
     "make_syndrome",
     "opinion_about",
     "intern_syndrome",
+    "clear_intern_cache",
+    "intern_cache_stats",
     "is_valid_syndrome",
     "DiagnosticMatrix",
 ]

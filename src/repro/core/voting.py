@@ -95,6 +95,27 @@ def h_maj_explain(votes: Sequence[Vote]):
     return 1, "default"
 
 
+def h_maj_counts(ones: int, zeros: int):
+    """H-maj from vote *tallies* instead of a vote list.
+
+    ``ones``/``zeros`` are the numbers of surviving (non-ε) 1 and 0
+    votes — exactly ``excl(V, ε)`` summarised by two popcounts.  Returns
+    the same ``(decision, reason)`` pair as :func:`h_maj_explain`; the
+    bitset diagnostic core (:mod:`repro.core.bitmatrix`) decides every
+    column from ``int.bit_count()`` tallies through this function, so
+    the two representations cannot drift apart.
+    """
+    if ones < 0 or zeros < 0:
+        raise ValueError(f"vote tallies must be >= 0, got {ones}/{zeros}")
+    if ones == 0 and zeros == 0:
+        return BOTTOM, "bottom"
+    if ones > zeros:
+        return 1, "majority"
+    if zeros > ones:
+        return 0, "majority"
+    return 1, "default"
+
+
 def vote_bound_holds(n: int, a: int, s: int, b: int) -> bool:
     """Lemma 2's resilience condition: ``N > 2a + 2s + b + 1`` and ``a <= 1``.
 
@@ -115,6 +136,7 @@ __all__ = [
     "excl",
     "maj",
     "h_maj",
+    "h_maj_counts",
     "h_maj_explain",
     "vote_bound_holds",
     "benign_only_bound_holds",

@@ -190,12 +190,19 @@ class Bus:
                 outcome_map[r] = composed
 
         sender_id = frame.sender if frame is not None else slot
+        # Intern the common all-valid validity map: Trace.record keeps
+        # nested dicts by reference, so slow-path slots whose injections
+        # all missed share one dict with the fast path instead of
+        # retaining a fresh N-entry dict per trace record.
+        validity = {r: int(v) for r, (v, _p) in per_receiver.items()}
+        if validity == self._all_valid:
+            validity = self._all_valid
         self.trace.record(
             self.engine.now, "tx", node=sender_id,
             round_index=round_index, slot=slot,
             sent=frame is not None,
             fault_class=classify_broadcast(outcome_map).value,
-            validity={r: int(v) for r, (v, _p) in per_receiver.items()},
+            validity=validity,
             causes=tuple(dict.fromkeys(causes)),
         )
 

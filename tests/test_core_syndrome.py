@@ -109,3 +109,129 @@ class TestDiagnosticMatrix:
         assert len(lines) == 2 + 4  # header, separator, four rows
         # The self-opinion is rendered as '-'.
         assert " -" in lines[2]
+
+
+class TestMakeSyndromeNormalisation:
+    def test_bools_normalise_to_ints(self):
+        s = make_syndrome([True, False, 1, 0])
+        assert s == (1, 0, 1, 0)
+        assert all(type(bit) is int for bit in s)
+
+    def test_floats_normalise_to_ints(self):
+        s = make_syndrome([1.0, 0.0])
+        assert s == (1, 0)
+        assert all(type(bit) is int for bit in s)
+
+    def test_json_serialises_as_numbers(self):
+        import json
+        assert json.dumps(make_syndrome([True, False])) == "[1, 0]"
+
+    def test_validation_precedes_normalisation(self):
+        # [True, 2] must raise, not silently coerce the 2.
+        with pytest.raises(ValueError):
+            make_syndrome([True, 2])
+
+    def test_all_int_input_is_returned_unchanged(self):
+        bits = (1, 0, 1)
+        assert make_syndrome(bits) is bits
+
+
+class TestInternCache:
+    def setup_method(self):
+        from repro.core.syndrome import clear_intern_cache
+        clear_intern_cache()
+
+    def teardown_method(self):
+        from repro.core.syndrome import clear_intern_cache
+        clear_intern_cache()
+
+    def test_interns_to_one_object(self):
+        from repro.core.syndrome import intern_syndrome
+        a = intern_syndrome(tuple([1, 0, 1, 1]))
+        b = intern_syndrome(tuple([1, 0, 1, 1]))
+        assert a is b
+
+    def test_scoped_per_length(self):
+        from repro.core.syndrome import intern_cache_stats, intern_syndrome
+        intern_syndrome((1, 0))
+        intern_syndrome((1, 0, 1))
+        stats = intern_cache_stats()
+        assert stats["lengths"] == 2
+        assert stats["entries"] == 2
+
+    def test_clear_single_length(self):
+        from repro.core.syndrome import (clear_intern_cache,
+                                         intern_cache_stats, intern_syndrome)
+        intern_syndrome((1, 0))
+        intern_syndrome((1, 0, 1))
+        clear_intern_cache(2)
+        stats = intern_cache_stats()
+        assert stats["lengths"] == 1
+        assert stats["entries"] == 1
+
+    def test_saturation_evicts_only_that_length(self):
+        import itertools
+
+        import repro.core.syndrome as syn
+
+        class Counter:
+            calls = 0
+
+            def inc(self, n=1):
+                Counter.calls += n
+
+        counter = Counter()
+        syn.intern_syndrome((1, 0, 1), counter)  # other length, untouched
+        before = syn.intern_cache_stats()["evictions"]
+        limit = syn._INTERN_LIMIT
+        for bits in itertools.islice(itertools.product((0, 1), repeat=13),
+                                     limit + 1):
+            syn.intern_syndrome(bits, counter)
+        stats = syn.intern_cache_stats()
+        assert stats["evictions"] == before + 1
+        assert Counter.calls == 1
+        # The length-3 cache survived the length-13 eviction.
+        assert syn.intern_syndrome((1, 0, 1)) is not None
+        assert stats["lengths"] == 2
+
+
+class TestColumnCache:
+    def test_column_is_cached(self):
+        m = DiagnosticMatrix.from_rows([
+            (1, 0, 1, 1),
+            (1, 1, 1, 1),
+            (0, 1, 1, 1),
+            (1, 1, 1, 0),
+        ])
+        assert m.column(2) is m.column(2)
+
+    def test_set_row_invalidates(self):
+        m = DiagnosticMatrix.from_rows([
+            (1, 0, 1, 1),
+            (1, 1, 1, 1),
+            (0, 1, 1, 1),
+            (1, 1, 1, 0),
+        ])
+        assert m.column(2) == [0, 1, 1]
+        m.set_row(3, (1, 0, 1, 1))
+        assert m.column(2) == [0, 0, 1]
+
+
+class TestDisagreeMask:
+    def test_matches_naive_predicate(self):
+        m = DiagnosticMatrix.from_rows([
+            (1, 1, 0, 0),
+            (1, 1, 0, 0),
+            EPSILON,
+            (1, 1, 1, 1),   # disagrees with cons_hv at columns 3/4
+        ])
+        cons_hv = [1, 1, 0, 0]
+        assert m.disagree_mask(cons_hv) == 0b1000
+
+    def test_self_opinion_ignored(self):
+        m = DiagnosticMatrix.from_rows([
+            (0, 1, 1),      # only deviates in its own column
+            (1, 1, 1),
+            (1, 1, 1),
+        ])
+        assert m.disagree_mask([1, 1, 1]) == 0

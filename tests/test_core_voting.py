@@ -122,3 +122,31 @@ class TestLemma2Semantics:
                     votes = ([truth] * honest + [E] * b
                              + [1 - truth] * ms)
                     assert h_maj(votes) == truth, (n, truth, b, ms)
+
+
+class TestHMajCounts:
+    def test_matches_h_maj_explain_exhaustively(self):
+        from itertools import product
+
+        from repro.core.voting import h_maj_counts, h_maj_explain
+
+        for votes in product((0, 1, E), repeat=5):
+            ones = sum(1 for v in votes if v == 1 and v is not E)
+            zeros = sum(1 for v in votes if v == 0)
+            assert h_maj_counts(ones, zeros) == h_maj_explain(votes)
+
+    def test_rejects_negative_tallies(self):
+        from repro.core.voting import h_maj_counts
+
+        with pytest.raises(ValueError):
+            h_maj_counts(-1, 2)
+        with pytest.raises(ValueError):
+            h_maj_counts(2, -1)
+
+    def test_branches(self):
+        from repro.core.voting import h_maj_counts
+
+        assert h_maj_counts(0, 0) == (BOTTOM, "bottom")
+        assert h_maj_counts(3, 1) == (1, "majority")
+        assert h_maj_counts(1, 3) == (0, "majority")
+        assert h_maj_counts(2, 2) == (1, "default")

@@ -150,6 +150,7 @@ def test_fast_path_skips_injection_machinery():
 
 import random as _random
 
+from repro.core.service import LowLatencyCluster, MembershipCluster
 from repro.faults.scenarios import crash
 from repro.obs import MetricsRegistry
 from repro.runner.pool import Task, run_tasks
@@ -161,6 +162,11 @@ FUZZ_ROUNDS = 10
 #: protocol did; legitimately different between fast and slow runs.
 EXECUTION_COUNTERS = frozenset(
     {"bus.slots_fast_path", "bus.slots_slow_path"})
+#: Superset also covering the bitset-analysis strategy counters, which
+#: legitimately differ between ``bitset=True`` and ``bitset=False``.
+STRATEGY_COUNTERS = EXECUTION_COUNTERS | frozenset(
+    {"vote.cache_hit", "vote.cache_miss", "vote.popcount_votes",
+     "syndrome.intern_evictions"})
 
 
 def _fuzz_scenarios(dc, case_seed):
@@ -218,16 +224,49 @@ def _run_fuzz_case(case_seed, fast_path):
 
 
 def _semantic(snapshot):
-    """A snapshot with the execution-strategy counters dropped."""
+    """A snapshot with all strategy counters dropped."""
     return {**snapshot,
             "counters": {name: value
                          for name, value in snapshot["counters"].items()
-                         if name not in EXECUTION_COUNTERS}}
+                         if name not in STRATEGY_COUNTERS}}
 
 
 def _fuzz_worker(case_seed):
     """Picklable pool worker: one fast-path metered fuzz case."""
     return _run_fuzz_case(case_seed, True)
+
+
+VARIANT_KINDS = ("base", "membership", "lowlatency")
+
+
+def _run_variant_case(case_seed, kind, bitset, fast_path=True):
+    """One metered fuzz case on a chosen cluster kind and data plane."""
+    n_nodes = FUZZ_NODES[case_seed % len(FUZZ_NODES)]
+    config = uniform_config(n_nodes, penalty_threshold=3,
+                            reward_threshold=50)
+    registry = MetricsRegistry()
+    if kind == "base":
+        dc = DiagnosedCluster(config, seed=case_seed, trace_level=2,
+                              fast_path=fast_path, metrics=registry,
+                              bitset=bitset)
+    elif kind == "membership":
+        dc = MembershipCluster(config, seed=case_seed, trace_level=2,
+                               fast_path=fast_path, metrics=registry,
+                               bitset=bitset)
+    else:
+        dc = LowLatencyCluster(config, seed=case_seed, trace_level=2,
+                               fast_path=fast_path, metrics=registry,
+                               membership=True, bitset=bitset)
+    for scenario in _fuzz_scenarios(dc, case_seed):
+        dc.cluster.add_scenario(scenario)
+    dc.run_rounds(FUZZ_ROUNDS)
+    return (json.dumps(dc.trace.to_dicts(), sort_keys=True),
+            registry.snapshot())
+
+
+def _variant_worker(case_seed, kind):
+    """Picklable pool worker: one bitset variant fuzz case."""
+    return _run_variant_case(case_seed, kind, True)
 
 
 @pytest.mark.parametrize("case_seed", range(FUZZ_CASES))
@@ -252,3 +291,42 @@ def test_fuzz_jobs_invariant():
     serial = run_tasks([Task(_fuzz_worker, (s,)) for s in seeds], jobs=1)
     parallel = run_tasks([Task(_fuzz_worker, (s,)) for s in seeds], jobs=4)
     assert serial == parallel
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzz: bitset vs tuple data plane, per cluster kind
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", VARIANT_KINDS)
+@pytest.mark.parametrize("case_seed", range(0, FUZZ_CASES, 2))
+def test_fuzz_bitset_tuple_differential(case_seed, kind):
+    """bitset=True and bitset=False agree byte-for-byte on every kind."""
+    bit_trace, bit_snap = _run_variant_case(case_seed, kind, True)
+    tup_trace, tup_snap = _run_variant_case(case_seed, kind, False)
+    assert bit_trace == tup_trace
+    assert _semantic(bit_snap) == _semantic(tup_snap)
+    # The tuple plane must not touch the bitset strategy counters.
+    tup_c = tup_snap["counters"]
+    assert tup_c.get("vote.cache_hit", 0) == 0
+    assert tup_c.get("vote.popcount_votes", 0) == 0
+
+
+@pytest.mark.parametrize("case_seed", (1, 6, 11))
+def test_fuzz_bitset_fastpath_matrix(case_seed):
+    """All four bitset × fast-path combinations agree semantically."""
+    results = {
+        (bitset, fast_path): _run_variant_case(case_seed, "base", bitset,
+                                               fast_path=fast_path)
+        for bitset in (True, False) for fast_path in (True, False)}
+    reference_trace, reference_snap = results[(True, True)]
+    for combo, (trace, snap) in results.items():
+        assert trace == reference_trace, combo
+        assert _semantic(snap) == _semantic(reference_snap), combo
+
+
+def test_fuzz_variants_jobs_invariant():
+    """Variant fuzz cases through the pool: jobs=1 == jobs=4."""
+    tasks = [Task(_variant_worker, (s, kind))
+             for s in (0, 1, 2) for kind in VARIANT_KINDS]
+    assert (run_tasks(tasks, jobs=1) == run_tasks(tasks, jobs=4))
