@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-all examples reproduce clean
+.PHONY: install test test-fast lint bench bench-all examples reproduce clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	ruff check .
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"

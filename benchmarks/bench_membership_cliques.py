@@ -10,7 +10,7 @@ modified diagnostic protocol".
 from conftest import emit
 
 from repro.analysis.reporting import render_table
-from repro.experiments.validation import FAULT_ROUND, run_clique_experiment
+from repro.experiments.validation import run_clique_experiment
 
 
 def run_clique_sweep():

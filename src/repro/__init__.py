@@ -21,20 +21,30 @@ The library provides:
   figure of the paper's evaluation;
 * :mod:`repro.obs` — online observability: a deterministic metrics
   registry the protocol updates while it runs, wall-clock phase
-  timing, and structured (diffable) run reports.
+  timing, and structured (diffable) run reports;
+* :mod:`repro.spec` — declarative, JSON-round-trippable run
+  specifications: one :class:`~repro.spec.RunSpec` describes any
+  cluster variant, scenario set and reducer, and one build path
+  assembles and executes it (serially, in worker pools, or from the
+  ``repro-diag run`` CLI).
 
 Quickstart::
 
-    from repro import DiagnosedCluster, uniform_config
-    from repro.faults import SlotBurst
+    from repro.spec import (ClusterSpec, ProtocolSpec, RunSpec,
+                            ScenarioSpec, execute)
 
-    config = uniform_config(n_nodes=4, penalty_threshold=3,
-                            reward_threshold=50)
-    dc = DiagnosedCluster(config, seed=1)
-    dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase,
-                                      round_index=5, slot=2, n_slots=1))
-    dc.run_rounds(12)
-    print(dc.health_vectors(node_id=1))
+    spec = RunSpec(
+        protocol=ProtocolSpec(n_nodes=4, penalty_threshold=3,
+                              reward_threshold=50,
+                              criticalities=(1, 1, 1, 1)),
+        cluster=ClusterSpec(seed=1),
+        scenarios=(ScenarioSpec("SlotBurst",
+                                {"round_index": 5, "slot": 2,
+                                 "n_slots": 1}),),
+        n_rounds=12,
+    )
+    print(execute(spec))          # {'digest': ..., 'consistent': True, ...}
+    print(spec.to_json())         # lossless: RunSpec.from_json round-trips
 """
 
 from .core import (
@@ -52,9 +62,17 @@ from .core import (
     uniform_config,
 )
 from .obs import MetricsRegistry
+from .spec import (
+    ClusterSpec,
+    ProtocolSpec,
+    RunSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    VariantSpec,
+)
 from .tt import Cluster, TimeBase
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CriticalityClass",
@@ -70,7 +88,13 @@ __all__ = [
     "automotive_config",
     "uniform_config",
     "Cluster",
+    "ClusterSpec",
     "MetricsRegistry",
+    "ProtocolSpec",
+    "RunSpec",
+    "ScenarioSpec",
+    "ScheduleSpec",
     "TimeBase",
+    "VariantSpec",
     "__version__",
 ]

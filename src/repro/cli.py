@@ -8,20 +8,28 @@ Installed as ``repro-diag``.  Subcommands map to the evaluation:
 * ``repro-diag figure3``             — the reward-threshold tradeoff;
 * ``repro-diag demo``                — a small annotated cluster run;
 * ``repro-diag stats``               — a metered run printing the online
-  metrics report (works at trace level 0).
+  metrics report (works at trace level 0);
+* ``repro-diag spec EXPERIMENT``     — emit an experiment's serialized
+  :class:`~repro.spec.RunSpec` JSON (a single object or an array);
+* ``repro-diag run PATH``            — execute RunSpec JSON from a file
+  or stdin (``-``), e.g.
+  ``repro-diag spec validate --reps 1 | repro-diag run -``.
 
-``validate``, ``table2`` and ``stats`` accept ``--metrics-out PATH`` to
-write a deterministic JSON run report (see :mod:`repro.obs`): the file
-is byte-identical across repeated runs and across ``--jobs`` values,
-so it can be diffed against a checked-in golden copy.
+``validate``, ``table2``, ``stats`` and ``run`` accept
+``--metrics-out PATH`` to write a deterministic JSON run report (see
+:mod:`repro.obs`): the file is byte-identical across repeated runs and
+across ``--jobs`` values, so it can be diffed against a checked-in
+golden copy.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .analysis.reporting import render_table
 
 
@@ -111,15 +119,27 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
-    from .core import DiagnosedCluster, uniform_config
-    from .faults import SlotBurst
+def _demo_spec(seed: int):
+    """The demo run (4 nodes, 1-slot burst in round 5 / slot 2) as a spec."""
+    from .core import uniform_config
+    from .spec import ClusterSpec, ProtocolSpec, RunSpec, ScenarioSpec
 
     config = uniform_config(4, penalty_threshold=3, reward_threshold=50)
-    dc = DiagnosedCluster(config, seed=args.seed)
-    dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, round_index=5,
-                                      slot=2, n_slots=1))
-    dc.run_rounds(14)
+    return RunSpec(
+        protocol=ProtocolSpec.from_config(config),
+        cluster=ClusterSpec(seed=seed),
+        scenarios=(ScenarioSpec("SlotBurst",
+                                {"round_index": 5, "slot": 2, "n_slots": 1}),),
+        n_rounds=14,
+    )
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .spec import build
+
+    spec = _demo_spec(args.seed)
+    dc = build(spec)
+    dc.run_rounds(spec.n_rounds)
     rows = []
     for d_round, hv in sorted(dc.health_vectors(1).items()):
         rows.append((d_round, " ".join(map(str, hv))))
@@ -178,30 +198,43 @@ def _cmd_discrimination(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    from .core import DiagnosedCluster, uniform_config
-    from .obs import MetricsRegistry, render_text, render_timings
+def _stats_spec(nodes: int, rounds: int, seed: int, scenario: str):
+    """The stats run as a spec (trace dark, metrics as the only eyes)."""
+    from .core import uniform_config
+    from .faults.scenarios import crash
+    from .spec import ClusterSpec, ProtocolSpec, RunSpec, ScenarioSpec
 
-    registry = MetricsRegistry(timing=args.timing)
-    config = uniform_config(args.nodes, penalty_threshold=3,
-                            reward_threshold=50)
+    config = uniform_config(nodes, penalty_threshold=3, reward_threshold=50)
+    target = 2 if nodes >= 2 else 1
+    scenarios = ()
+    if scenario == "burst":
+        scenarios = (ScenarioSpec("SlotBurst",
+                                  {"round_index": 5, "slot": target,
+                                   "n_slots": 2}),)
+    elif scenario == "crash":
+        scenarios = (ScenarioSpec.from_scenario(crash(target, from_round=6)),)
+    elif scenario == "noise":
+        scenarios = (ScenarioSpec("RandomSlotNoise",
+                                  {"probability": 0.05,
+                                   "rng_stream": "stats-noise"}),)
     # trace_level=0: the point of this command is that the metrics
     # registry observes the protocol online, with the trace dark.
-    dc = DiagnosedCluster(config, seed=args.seed, trace_level=0,
-                          metrics=registry)
-    target = 2 if args.nodes >= 2 else 1
-    if args.scenario == "burst":
-        from .faults import SlotBurst
-        dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, round_index=5,
-                                          slot=target, n_slots=2))
-    elif args.scenario == "crash":
-        from .faults import crash
-        dc.cluster.add_scenario(crash(target, from_round=6))
-    elif args.scenario == "noise":
-        from .faults import RandomSlotNoise
-        dc.cluster.add_scenario(RandomSlotNoise(
-            probability=0.05, rng=dc.cluster.streams.stream("stats-noise")))
-    dc.run_rounds(args.rounds)
+    return RunSpec(
+        protocol=ProtocolSpec.from_config(config),
+        cluster=ClusterSpec(seed=seed, trace_level=0),
+        scenarios=scenarios,
+        n_rounds=rounds,
+    )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry, render_text, render_timings
+    from .spec import build
+
+    registry = MetricsRegistry(timing=args.timing)
+    spec = _stats_spec(args.nodes, args.rounds, args.seed, args.scenario)
+    dc = build(spec, metrics=registry)
+    dc.run_rounds(spec.n_rounds)
 
     snapshot = registry.snapshot()
     print(render_text(snapshot,
@@ -218,17 +251,100 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_timeline(args: argparse.Namespace) -> int:
-    from .analysis.timeline import render_timeline
-    from .core import DiagnosedCluster, uniform_config
-    from .faults import crash
+def _timeline_spec(seed: int):
+    """The timeline run (node 2 crashes at round 6) as a spec."""
+    from .core import uniform_config
+    from .faults.scenarios import crash
+    from .spec import ClusterSpec, ProtocolSpec, RunSpec, ScenarioSpec
 
     config = uniform_config(4, penalty_threshold=3, reward_threshold=50)
-    dc = DiagnosedCluster(config, seed=args.seed)
-    dc.cluster.add_scenario(crash(2, from_round=6))
-    dc.run_rounds(16)
+    return RunSpec(
+        protocol=ProtocolSpec.from_config(config),
+        cluster=ClusterSpec(seed=seed),
+        scenarios=(ScenarioSpec.from_scenario(crash(2, from_round=6)),),
+        n_rounds=16,
+    )
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from .analysis.timeline import render_timeline
+    from .spec import build
+
+    spec = _timeline_spec(args.seed)
+    dc = build(spec)
+    dc.run_rounds(spec.n_rounds)
     print(render_timeline(dc.trace, 4, first_round=4, last_round=14))
     return 0
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    if args.experiment == "demo":
+        sys.stdout.write(_demo_spec(args.seed).to_json())
+        return 0
+    if args.experiment == "validate":
+        from .experiments.validation import validation_specs
+
+        spec_dicts = [spec.to_dict()
+                      for _cls, spec in validation_specs(args.reps,
+                                                         args.nodes)]
+    else:
+        from .core.config import (
+            AEROSPACE_TOLERATED_OUTAGE,
+            AUTOMOTIVE_TOLERATED_OUTAGE,
+        )
+        from .experiments.table2 import penalty_budget_spec
+
+        spec_dicts = [
+            penalty_budget_spec(outage, seed=args.seed).to_dict()
+            for outages in (AUTOMOTIVE_TOLERATED_OUTAGE,
+                            AEROSPACE_TOLERATED_OUTAGE)
+            for outage in outages.values()
+        ]
+    print(json.dumps(spec_dicts, indent=2, sort_keys=True))
+    return 0
+
+
+def _result_passed(result) -> Optional[bool]:
+    """A result's pass verdict, if it carries one (else None)."""
+    passed = getattr(result, "passed", None)
+    if passed is None and isinstance(result, dict):
+        passed = result.get("passed")
+    return passed
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .runner.pool import Task, run_tasks
+    from .spec import run_spec_dict
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    data = json.loads(text)
+    spec_dicts = data if isinstance(data, list) else [data]
+    collect = bool(args.metrics_out)
+    kwargs = {"collect_metrics": True} if collect else {}
+    tasks = [Task(run_spec_dict, (spec_dict,), dict(kwargs))
+             for spec_dict in spec_dicts]
+    results = run_tasks(tasks, jobs=args.jobs)
+    if collect:
+        from .obs import merge_snapshots
+
+        snapshot = merge_snapshots(snap for _result, snap in results)
+        results = [result for result, _snap in results]
+    failed = 0
+    for result in results:
+        print(result)
+        if _result_passed(result) is False:
+            failed += 1
+    verdicts = [_result_passed(r) for r in results]
+    scored = sum(1 for v in verdicts if v is not None)
+    print(f"{len(results)} run(s), {scored} scored, {failed} failed")
+    if collect:
+        _write_metrics_report(args.metrics_out, "run",
+                              {"specs": len(spec_dicts)}, snapshot)
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -236,6 +352,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-diag",
         description="Reproduction of the DSN'07 tunable add-on diagnostic "
                     "protocol for time-triggered systems.")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("validate", help="run the Sec. 8 validation campaign")
@@ -270,6 +388,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reps", type=int, default=10,
                    help="generated populations")
     p.set_defaults(func=_cmd_discrimination)
+
+    p = sub.add_parser("spec", help="emit an experiment's serialized "
+                                    "RunSpec JSON")
+    p.add_argument("experiment", choices=("demo", "validate", "table2"),
+                   help="experiment to serialize (demo: one spec; "
+                        "validate/table2: an array)")
+    p.add_argument("--reps", type=int, default=1,
+                   help="repetitions per class (validate only)")
+    p.add_argument("--nodes", type=int, default=4,
+                   help="cluster size (validate only)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_spec)
+
+    p = sub.add_parser("run", help="execute RunSpec JSON from a file "
+                                   "or stdin (-)")
+    p.add_argument("path", help="spec file (a single object or an array), "
+                                "or - for stdin")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (results identical for any value)")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="write a deterministic JSON metrics report")
+    p.set_defaults(func=_cmd_run)
 
     for name, func, help_text in (
             ("table2", _cmd_table2, "reproduce Table 2 (p/r tuning)"),

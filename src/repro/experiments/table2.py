@@ -29,8 +29,14 @@ from ..core.config import (
     CriticalityClass,
     uniform_config,
 )
-from ..core.service import DiagnosedCluster
-from ..faults.scenarios import BusBurst
+from ..spec import (
+    ClusterSpec,
+    ProtocolSpec,
+    RunSpec,
+    ScenarioSpec,
+    execute,
+    register_reducer,
+)
 from ..tt.cluster import PAPER_ROUND_LENGTH
 
 #: Table 2 reference values.
@@ -49,6 +55,56 @@ PAPER_TABLE2 = {
 }
 
 
+def penalty_budget_spec(tolerated_outage: float, seed: int = 0,
+                        n_nodes: int = 4,
+                        round_length: float = PAPER_ROUND_LENGTH) -> RunSpec:
+    """Declarative form of one penalty-budget measurement.
+
+    A continuous burst starts at a round boundary and outlasts the
+    tolerated outage; the run covers exactly the rounds that complete
+    strictly before the outage deadline — an isolation decided at the
+    deadline itself would already exceed the tolerated outage (jobs
+    execute inside their round, after the deadline instant).  The runs
+    use ``trace_level=0`` (the counters are read directly from the
+    services), so a metrics registry is the only way to observe the
+    protocol's behaviour online here.
+    """
+    start_round = 6
+    fault_start = start_round * round_length
+    deadline_round = start_round + int(round(tolerated_outage / round_length))
+    config = uniform_config(n_nodes, penalty_threshold=10 ** 9,
+                            reward_threshold=10 ** 9)
+    return RunSpec(
+        protocol=ProtocolSpec.from_config(config),
+        cluster=ClusterSpec(round_length=round_length, seed=seed,
+                            trace_level=0),
+        scenarios=(ScenarioSpec(
+            "BusBurst",
+            {"start": fault_start,
+             "duration": tolerated_outage + 10 * round_length,
+             "cause": "continuous-burst"}),),
+        n_rounds=deadline_round,
+        reducer="table2.penalty-budget",
+    )
+
+
+@register_reducer
+class PenaltyBudgetReducer:
+    """Read the consistent criticality-1 penalty counter at the deadline."""
+
+    name = "table2.penalty-budget"
+
+    def reduce(self, target, spec, state) -> int:
+        """The agreed budget (asserting all nodes agree on it)."""
+        n_nodes = spec.protocol.n_nodes
+        budgets = {target.service(i).pr.penalties[0]
+                   for i in range(1, n_nodes + 1)}
+        if len(budgets) != 1:
+            raise AssertionError(
+                f"nodes disagree on the penalty budget: {budgets}")
+        return budgets.pop()
+
+
 def measure_penalty_budget(tolerated_outage: float, seed: int = 0,
                            n_nodes: int = 4,
                            round_length: float = PAPER_ROUND_LENGTH,
@@ -58,31 +114,13 @@ def measure_penalty_budget(tolerated_outage: float, seed: int = 0,
     Injects a continuous burst starting at a round boundary and reads
     node 1's penalty counter (criticality 1) at every node when the
     tolerated outage has elapsed, mirroring the paper's measurement.
-    The runs use ``trace_level=0`` (the counters are read directly from
-    the services), so a ``metrics`` registry is the only way to observe
-    the protocol's behaviour online here.  The returned budget is the
-    *consistent* counter value (asserting all nodes agree).
+    The returned budget is the *consistent* counter value (asserting
+    all nodes agree).
     """
-    config = uniform_config(n_nodes, penalty_threshold=10 ** 9,
-                            reward_threshold=10 ** 9)
-    dc = DiagnosedCluster(config, seed=seed, round_length=round_length,
-                          trace_level=0, metrics=metrics)
-    tb = dc.cluster.timebase
-    start_round = 6
-    fault_start = tb.round_start(start_round)
-    dc.cluster.add_scenario(BusBurst(fault_start,
-                                     tolerated_outage + 10 * round_length,
-                                     cause="continuous-burst"))
-    # Run the rounds that complete strictly before the outage deadline:
-    # an isolation decided at the deadline itself would already exceed
-    # the tolerated outage (jobs execute inside their round, after the
-    # deadline instant).
-    deadline_round = start_round + int(round(tolerated_outage / round_length))
-    dc.run_rounds(deadline_round)
-    budgets = {dc.service(i).pr.penalties[0] for i in range(1, n_nodes + 1)}
-    if len(budgets) != 1:
-        raise AssertionError(f"nodes disagree on the penalty budget: {budgets}")
-    return budgets.pop()
+    return execute(penalty_budget_spec(tolerated_outage, seed=seed,
+                                       n_nodes=n_nodes,
+                                       round_length=round_length),
+                   metrics=metrics)
 
 
 @dataclass
@@ -137,6 +175,8 @@ def analytic_cross_check(round_length: float = PAPER_ROUND_LENGTH
 __all__ = [
     "PAPER_TABLE2",
     "Table2Row",
+    "PenaltyBudgetReducer",
+    "penalty_budget_spec",
     "measure_penalty_budget",
     "table2",
     "analytic_cross_check",

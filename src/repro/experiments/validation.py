@@ -15,16 +15,21 @@ on a 4-node cluster (T = 2.5 ms), grouped into experiment classes:
   minority clique formed by Node 1, which the membership protocol must
   detect and exclude.
 
-Each function runs one injection experiment on the simulated cluster
-and scores it against the paper's properties (correctness,
-completeness, consistency; counter behaviour; view changes).
-:func:`run_validation_campaign` reproduces the whole campaign.
+Every experiment class is described declaratively: the ``*_spec``
+builders return :class:`~repro.spec.RunSpec` values naming a reducer
+registered here, and the ``run_*`` functions simply
+:func:`~repro.spec.execute` them.  The reducers score the finished
+cluster against the paper's properties (correctness, completeness,
+consistency; counter behaviour; view changes).
+:func:`run_validation_campaign` reproduces the whole campaign;
+:func:`validation_specs` enumerates it as serializable specs for the
+parallel runner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.metrics import (
     completeness_holds,
@@ -33,8 +38,16 @@ from ..analysis.metrics import (
     diagnoses_for_round,
 )
 from ..core.config import ProtocolConfig, uniform_config
-from ..core.service import DiagnosedCluster, MembershipCluster
-from ..faults.scenarios import SenderFault, SlotBurst, every_nth_round
+from ..faults.scenarios import SenderFault, every_nth_round
+from ..spec import (
+    ClusterSpec,
+    ProtocolSpec,
+    RunSpec,
+    ScenarioSpec,
+    VariantSpec,
+    execute,
+    register_reducer,
+)
 from ..tt.cluster import PAPER_ROUND_LENGTH
 
 #: The paper's prototype size.
@@ -48,6 +61,10 @@ def _default_config(n_nodes: int = PAPER_N_NODES) -> ProtocolConfig:
     # vectors themselves, not isolation decisions.
     return uniform_config(n_nodes, penalty_threshold=10 ** 6,
                           reward_threshold=10 ** 6)
+
+
+def _default_protocol(n_nodes: int) -> ProtocolSpec:
+    return ProtocolSpec.from_config(_default_config(n_nodes))
 
 
 @dataclass
@@ -81,42 +98,75 @@ def expected_faulty_slots(n_nodes: int, start_slot: int,
     return {r: tuple(sorted(slots)) for r, slots in per_round.items()}
 
 
+def burst_spec(n_slots: int, start_slot: int, seed: int = 0,
+               n_nodes: int = PAPER_N_NODES,
+               round_length: float = PAPER_ROUND_LENGTH) -> RunSpec:
+    """Declarative form of one bursty-fault injection.
+
+    Bursts of 1 or 2 slots exercise the Lemma 2 regime; a burst of two
+    whole rounds (``n_slots = 2 * n_nodes``) is the Lemma 3 blackout.
+    The run is sized so the pipeline diagnoses every affected round.
+    """
+    expected = expected_faulty_slots(n_nodes, start_slot, n_slots)
+    return RunSpec(
+        protocol=_default_protocol(n_nodes),
+        cluster=ClusterSpec(round_length=round_length, seed=seed),
+        scenarios=(ScenarioSpec("SlotBurst",
+                                {"round_index": FAULT_ROUND,
+                                 "slot": start_slot, "n_slots": n_slots}),),
+        n_rounds=max(expected) + 6,
+        reducer="validation.burst",
+    )
+
+
+@register_reducer
+class BurstReducer:
+    """Score a burst injection: consistency, completeness, correctness.
+
+    The ground truth is re-derived from the spec's own ``SlotBurst``
+    parameters, so the reducer needs no side-channel beyond the spec.
+    """
+
+    name = "validation.burst"
+
+    def reduce(self, target, spec, state) -> BurstResult:
+        """Score the finished run against the paper's three properties."""
+        params = spec.scenarios[0].params
+        n_nodes = spec.protocol.n_nodes
+        start_slot = params["slot"]
+        n_slots = params.get("n_slots", 1)
+        expected = expected_faulty_slots(n_nodes, start_slot, n_slots,
+                                         fault_round=params["round_index"])
+        obedient = target.obedient_node_ids()
+        diagnosed: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+        complete = True
+        correct = True
+        for d_round, faulty in expected.items():
+            vectors = diagnoses_for_round(target.trace, d_round, obedient)
+            diagnosed[d_round] = vectors
+            for f in faulty:
+                if not completeness_holds(target.trace, d_round, f, obedient):
+                    complete = False
+            correct_nodes = [j for j in range(1, n_nodes + 1)
+                             if j not in faulty]
+            if not correctness_holds(target.trace, d_round, correct_nodes,
+                                     obedient):
+                correct = False
+        consistent = not consistency_violations(target.trace, obedient)
+        return BurstResult(n_slots=n_slots, start_slot=start_slot,
+                           expected=expected, diagnosed=diagnosed,
+                           consistent=consistent, complete=complete,
+                           correct=correct)
+
+
 def run_burst_experiment(n_slots: int, start_slot: int, seed: int = 0,
                          n_nodes: int = PAPER_N_NODES,
                          round_length: float = PAPER_ROUND_LENGTH,
                          metrics=None) -> BurstResult:
-    """One injection of a burst of ``n_slots`` slots from ``start_slot``.
-
-    Bursts of 1 or 2 slots exercise the Lemma 2 regime; a burst of two
-    whole rounds (``n_slots = 2 * n_nodes``) is the Lemma 3 blackout.
-    """
-    dc = DiagnosedCluster(_default_config(n_nodes), seed=seed,
-                          round_length=round_length, metrics=metrics)
-    dc.cluster.add_scenario(SlotBurst(dc.cluster.timebase, FAULT_ROUND,
-                                      start_slot, n_slots))
-    expected = expected_faulty_slots(n_nodes, start_slot, n_slots)
-    last_round = max(expected)
-    # Run long enough for the pipeline to diagnose every affected round.
-    dc.run_rounds(last_round + 6)
-
-    obedient = dc.obedient_node_ids()
-    diagnosed: Dict[int, Dict[int, Tuple[int, ...]]] = {}
-    complete = True
-    correct = True
-    for d_round, faulty in expected.items():
-        vectors = diagnoses_for_round(dc.trace, d_round, obedient)
-        diagnosed[d_round] = vectors
-        for f in faulty:
-            if not completeness_holds(dc.trace, d_round, f, obedient):
-                complete = False
-        correct_nodes = [j for j in range(1, n_nodes + 1) if j not in faulty]
-        if not correctness_holds(dc.trace, d_round, correct_nodes, obedient):
-            correct = False
-    consistent = not consistency_violations(dc.trace, obedient)
-    return BurstResult(n_slots=n_slots, start_slot=start_slot,
-                       expected=expected, diagnosed=diagnosed,
-                       consistent=consistent, complete=complete,
-                       correct=correct)
+    """One injection of a burst of ``n_slots`` slots from ``start_slot``."""
+    return execute(burst_spec(n_slots, start_slot, seed=seed,
+                              n_nodes=n_nodes, round_length=round_length),
+                   metrics=metrics)
 
 
 @dataclass
@@ -135,43 +185,87 @@ class PenaltyRewardResult:
         return self.counters_progress and self.consistent
 
 
-def run_penalty_reward_experiment(target: int = 2, seed: int = 0,
-                                  n_nodes: int = PAPER_N_NODES,
-                                  metrics=None) -> PenaltyRewardResult:
-    """Fault in ``target``'s slot every second round for 20 rounds.
+def penalty_reward_spec(target: int = 2, seed: int = 0,
+                        n_nodes: int = PAPER_N_NODES) -> RunSpec:
+    """Declarative form of the counter-update experiment.
 
+    A fault in ``target``'s slot every second round for 20 rounds:
     "Hence, either the penalty or the reward counter should be
     increased at every round" (Sec. 8).
     """
-    config = _default_config(n_nodes)
-    dc = DiagnosedCluster(config, seed=seed, metrics=metrics)
-    dc.cluster.add_scenario(every_nth_round(target, period=2,
-                                            start_round=FAULT_ROUND,
-                                            occurrences=10))
-    observer = dc.service(1)
-    evolution: List[Tuple[int, int, int]] = []
+    fault = every_nth_round(target, period=2, start_round=FAULT_ROUND,
+                            occurrences=10)
+    return RunSpec(
+        protocol=_default_protocol(n_nodes),
+        cluster=ClusterSpec(seed=seed),
+        scenarios=(ScenarioSpec.from_scenario(fault),),
+        n_rounds=FAULT_ROUND + 20 + 6,
+        reducer="validation.penalty-reward",
+    )
 
-    def probe(service, cons_hv, k):
-        d_round = k - config.detection_pipeline_rounds()
-        p, r = service.pr.counters_of(target)
-        evolution.append((d_round, p, r))
 
-    observer.post_update_hooks.append(probe)
-    dc.run_rounds(FAULT_ROUND + 20 + 6)
+def _fault_window(params: Dict[str, Any]) -> Tuple[int, int]:
+    """``(first_round, end_round)`` of a round-list ``SenderFault`` spec.
 
-    window = [(d, p, r) for d, p, r in evolution
-              if FAULT_ROUND <= d < FAULT_ROUND + 20]
-    progress = True
-    for (d0, p0, r0), (d1, p1, r1) in zip(window, window[1:]):
-        if (p1, r1) == (p0, r0):
+    The end is one period past the last active round — the half-open
+    window over which the counters are required to progress.
+    """
+    rounds = sorted(params["rounds"])
+    period = rounds[1] - rounds[0] if len(rounds) > 1 else 1
+    return rounds[0], rounds[-1] + period
+
+
+@register_reducer
+class PenaltyRewardReducer:
+    """Check that a counter moves at every diagnosed round of the window.
+
+    ``prepare`` installs a post-update probe on node 1's service before
+    the run is driven; ``reduce`` scores the recorded evolution.
+    """
+
+    name = "validation.penalty-reward"
+
+    def prepare(self, target, spec) -> List[Tuple[int, int, int]]:
+        """Install the counter-evolution probe; the list is the state."""
+        fault_target = spec.scenarios[0].params["sender"]
+        config = target.config
+        observer = target.service(1)
+        evolution: List[Tuple[int, int, int]] = []
+
+        def probe(service, cons_hv, k):
+            d_round = k - config.detection_pipeline_rounds()
+            p, r = service.pr.counters_of(fault_target)
+            evolution.append((d_round, p, r))
+
+        observer.post_update_hooks.append(probe)
+        return evolution
+
+    def reduce(self, target, spec, state) -> PenaltyRewardResult:
+        """Score the recorded counter evolution over the fault window."""
+        params = spec.scenarios[0].params
+        first_round, end_round = _fault_window(params)
+        window = [(d, p, r) for d, p, r in state
+                  if first_round <= d < end_round]
+        progress = True
+        for (d0, p0, r0), (d1, p1, r1) in zip(window, window[1:]):
+            if (p1, r1) == (p0, r0):
+                progress = False
+        # The very first faulty round must bump the penalty from 0.
+        if not window or window[0][1] == 0:
             progress = False
-    # The very first faulty round must bump the penalty from 0.
-    if not window or window[0][1] == 0:
-        progress = False
-    consistent = not consistency_violations(dc.trace, dc.obedient_node_ids())
-    return PenaltyRewardResult(target=target, evolution=window,
-                               counters_progress=progress,
-                               consistent=consistent)
+        consistent = not consistency_violations(target.trace,
+                                                target.obedient_node_ids())
+        return PenaltyRewardResult(target=params["sender"], evolution=window,
+                                   counters_progress=progress,
+                                   consistent=consistent)
+
+
+def run_penalty_reward_experiment(target: int = 2, seed: int = 0,
+                                  n_nodes: int = PAPER_N_NODES,
+                                  metrics=None) -> PenaltyRewardResult:
+    """Fault in ``target``'s slot every second round for 20 rounds."""
+    return execute(penalty_reward_spec(target, seed=seed, n_nodes=n_nodes),
+                   metrics=metrics)
 
 
 @dataclass
@@ -188,28 +282,53 @@ class MaliciousResult:
         return self.consistent and self.no_false_accusation
 
 
+def malicious_spec(byzantine: int, seed: int = 0,
+                   n_nodes: int = PAPER_N_NODES,
+                   n_rounds: int = 30) -> RunSpec:
+    """Declarative form of one malicious-node injection.
+
+    One node broadcasts random local syndromes for the whole run: "Its
+    presence is not supposed to induce the other nodes to diagnose
+    correct nodes as faulty" (Sec. 8).
+    """
+    return RunSpec(
+        protocol=_default_protocol(n_nodes),
+        cluster=ClusterSpec(seed=seed),
+        variant=VariantSpec(byzantine_nodes=(byzantine,)),
+        n_rounds=n_rounds,
+        reducer="validation.malicious",
+    )
+
+
+@register_reducer
+class MaliciousReducer:
+    """Check that the byzantine node never causes a false accusation."""
+
+    name = "validation.malicious"
+
+    def reduce(self, target, spec, state) -> MaliciousResult:
+        """Score consistency and the no-false-accusation property."""
+        byzantine = spec.variant.byzantine_nodes[0]
+        n_nodes = spec.protocol.n_nodes
+        obedient = target.obedient_node_ids()
+        consistent = not consistency_violations(target.trace, obedient)
+        no_false = True
+        for node in obedient:
+            for d_round, hv in target.health_vectors(node).items():
+                for j in range(1, n_nodes + 1):
+                    if j != byzantine and hv[j - 1] == 0:
+                        no_false = False
+        return MaliciousResult(byzantine=byzantine, consistent=consistent,
+                               no_false_accusation=no_false)
+
+
 def run_malicious_experiment(byzantine: int, seed: int = 0,
                              n_nodes: int = PAPER_N_NODES,
                              n_rounds: int = 30,
                              metrics=None) -> MaliciousResult:
-    """One node broadcasts random local syndromes for the whole run.
-
-    "Its presence is not supposed to induce the other nodes to diagnose
-    correct nodes as faulty" (Sec. 8).
-    """
-    dc = DiagnosedCluster(_default_config(n_nodes), seed=seed,
-                          byzantine_nodes=[byzantine], metrics=metrics)
-    dc.run_rounds(n_rounds)
-    obedient = dc.obedient_node_ids()
-    consistent = not consistency_violations(dc.trace, obedient)
-    no_false = True
-    for node in obedient:
-        for d_round, hv in dc.health_vectors(node).items():
-            for j in range(1, n_nodes + 1):
-                if j != byzantine and hv[j - 1] == 0:
-                    no_false = False
-    return MaliciousResult(byzantine=byzantine, consistent=consistent,
-                           no_false_accusation=no_false)
+    """One node broadcasts random local syndromes for the whole run."""
+    return execute(malicious_spec(byzantine, seed=seed, n_nodes=n_nodes,
+                                  n_rounds=n_rounds), metrics=metrics)
 
 
 @dataclass
@@ -231,35 +350,59 @@ class CliqueResult:
                 and self.minority not in self.final_view)
 
 
-def run_clique_experiment(disturbed_sender: int = 3, seed: int = 0,
-                          n_nodes: int = PAPER_N_NODES,
-                          metrics=None) -> CliqueResult:
-    """Reproduce the paper's clique injection.
+def clique_spec(disturbed_sender: int = 3, seed: int = 0,
+                n_nodes: int = PAPER_N_NODES) -> RunSpec:
+    """Declarative form of the paper's clique injection.
 
     The disturbance node sits between Node 1 and the rest of the
     cluster and disconnects the bus during ``disturbed_sender``'s slot:
     only Node 1 misses that frame, forming a minority clique {1}.
     """
-    config = _default_config(n_nodes)
-    mc = MembershipCluster(config, seed=seed, metrics=metrics)
-    mc.cluster.add_scenario(SenderFault(
-        disturbed_sender, kind="asymmetric", rounds=[FAULT_ROUND],
-        detectable_by=[1], cause="disturbance-node"))
-    mc.run_rounds(FAULT_ROUND + 12)
+    fault = SenderFault(disturbed_sender, kind="asymmetric",
+                        rounds=[FAULT_ROUND], detectable_by=[1],
+                        cause="disturbance-node")
+    return RunSpec(
+        protocol=_default_protocol(n_nodes),
+        cluster=ClusterSpec(seed=seed),
+        variant=VariantSpec(service="membership"),
+        scenarios=(ScenarioSpec.from_scenario(fault),),
+        n_rounds=FAULT_ROUND + 12,
+        reducer="validation.clique",
+    )
 
-    majority = [i for i in range(2, n_nodes + 1)]
-    views = [mc.services[i].view for i in majority]
-    consistent_views = len(set(views)) == 1
-    final_view = tuple(sorted(views[0])) if consistent_views else None
-    detected = all(1 not in v for v in views)
-    latency = None
-    changes = [rec for rec in mc.trace.select(category="view")
-               if rec.node in majority]
-    if changes:
-        latency = min(rec.data["round_index"] for rec in changes) - FAULT_ROUND
-    return CliqueResult(minority=1, view_latency_rounds=latency,
-                        final_view=final_view, detected=detected,
-                        consistent_views=consistent_views)
+
+@register_reducer
+class CliqueReducer:
+    """Check that the majority clique detects and excludes the minority."""
+
+    name = "validation.clique"
+
+    def reduce(self, target, spec, state) -> CliqueResult:
+        """Score view agreement, exclusion and the view-change latency."""
+        fault_round = spec.scenarios[0].params["rounds"][0]
+        n_nodes = spec.protocol.n_nodes
+        majority = [i for i in range(2, n_nodes + 1)]
+        views = [target.services[i].view for i in majority]
+        consistent_views = len(set(views)) == 1
+        final_view = tuple(sorted(views[0])) if consistent_views else None
+        detected = all(1 not in v for v in views)
+        latency = None
+        changes = [rec for rec in target.trace.select(category="view")
+                   if rec.node in majority]
+        if changes:
+            latency = (min(rec.data["round_index"] for rec in changes)
+                       - fault_round)
+        return CliqueResult(minority=1, view_latency_rounds=latency,
+                            final_view=final_view, detected=detected,
+                            consistent_views=consistent_views)
+
+
+def run_clique_experiment(disturbed_sender: int = 3, seed: int = 0,
+                          n_nodes: int = PAPER_N_NODES,
+                          metrics=None) -> CliqueResult:
+    """Reproduce the paper's clique injection."""
+    return execute(clique_spec(disturbed_sender, seed=seed, n_nodes=n_nodes),
+                   metrics=metrics)
 
 
 @dataclass
@@ -285,6 +428,38 @@ class CampaignSummary:
         return {cls: sum(v) / len(v) for cls, v in self.results.items()}
 
 
+def validation_specs(repetitions: int = 100,
+                     n_nodes: int = PAPER_N_NODES
+                     ) -> List[Tuple[str, RunSpec]]:
+    """The Sec. 8 campaign as ``(experiment_class, spec)`` pairs.
+
+    Enumerated in the campaign's canonical order: 12 burst classes,
+    the counter update, 4 malicious classes, clique detection —
+    ``repetitions`` seeds each.  Every spec is fully serializable, so
+    the list is directly submittable to the parallel runner.
+    """
+    specs: List[Tuple[str, RunSpec]] = []
+    burst_lengths = (1, 2, 2 * n_nodes)
+    for n_slots in burst_lengths:
+        for start_slot in range(1, n_nodes + 1):
+            cls = f"burst-{n_slots}-slot{start_slot}"
+            for rep in range(repetitions):
+                specs.append((cls, burst_spec(n_slots, start_slot, seed=rep,
+                                              n_nodes=n_nodes)))
+    for rep in range(repetitions):
+        specs.append(("penalty-reward",
+                      penalty_reward_spec(seed=rep, n_nodes=n_nodes)))
+    for byzantine in range(1, n_nodes + 1):
+        cls = f"malicious-node{byzantine}"
+        for rep in range(repetitions):
+            specs.append((cls, malicious_spec(byzantine, seed=rep,
+                                              n_nodes=n_nodes)))
+    for rep in range(repetitions):
+        specs.append(("clique-detection",
+                      clique_spec(seed=rep, n_nodes=n_nodes)))
+    return specs
+
+
 def run_validation_campaign(repetitions: int = 100,
                             n_nodes: int = PAPER_N_NODES) -> CampaignSummary:
     """The full Sec. 8 campaign.
@@ -295,26 +470,8 @@ def run_validation_campaign(repetitions: int = 100,
     per seed, so the repetitions vary the seed.
     """
     summary = CampaignSummary()
-    burst_lengths = (1, 2, 2 * n_nodes)
-    for n_slots in burst_lengths:
-        for start_slot in range(1, n_nodes + 1):
-            cls = f"burst-{n_slots}-slot{start_slot}"
-            for rep in range(repetitions):
-                result = run_burst_experiment(n_slots, start_slot, seed=rep,
-                                              n_nodes=n_nodes)
-                summary.add(cls, result.passed)
-    for rep in range(repetitions):
-        summary.add("penalty-reward",
-                    run_penalty_reward_experiment(seed=rep,
-                                                  n_nodes=n_nodes).passed)
-    for byzantine in range(1, n_nodes + 1):
-        cls = f"malicious-node{byzantine}"
-        for rep in range(repetitions):
-            summary.add(cls, run_malicious_experiment(byzantine, seed=rep,
-                                                      n_nodes=n_nodes).passed)
-    for rep in range(repetitions):
-        summary.add("clique-detection",
-                    run_clique_experiment(seed=rep, n_nodes=n_nodes).passed)
+    for cls, spec in validation_specs(repetitions, n_nodes):
+        summary.add(cls, execute(spec).passed)
     return summary
 
 
@@ -326,7 +483,16 @@ __all__ = [
     "MaliciousResult",
     "CliqueResult",
     "CampaignSummary",
+    "BurstReducer",
+    "PenaltyRewardReducer",
+    "MaliciousReducer",
+    "CliqueReducer",
     "expected_faulty_slots",
+    "burst_spec",
+    "penalty_reward_spec",
+    "malicious_spec",
+    "clique_spec",
+    "validation_specs",
     "run_burst_experiment",
     "run_penalty_reward_experiment",
     "run_malicious_experiment",

@@ -19,22 +19,62 @@ All processes draw from a caller-provided :class:`random.Random` so the
 experiments are reproducible; arrivals are *pre-sampled lazily* up to
 any queried horizon, making the scenario a deterministic function of
 its seed.
+
+For serialization (:mod:`repro.spec`) a stochastic scenario carries an
+optional ``rng_stream`` name: ``from_dict`` resolves it against the
+cluster's :class:`~repro.sim.rng.RandomStreams`, so a rebuilt scenario
+draws exactly the numbers the original did.  ``to_dict`` refuses to
+serialize an instance constructed from a bare ``Random`` without a
+stream name — such an RNG has no portable identity.
 """
 
 from __future__ import annotations
 
 import math
 from random import Random
-from typing import Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..tt.timebase import TimeBase
 from .injector import Scenario, TransmissionContext
 from .model import FaultDirective
+from .scenarios import SerializableScenario
 
 _EPS = 1e-12
 
 
-class PoissonTransients(Scenario):
+class _StochasticScenario(SerializableScenario):
+    """Serialization glue shared by the RNG-driven scenarios."""
+
+    rng_stream: Optional[str] = None
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], streams=None):
+        """Rebuild the scenario, resolving ``rng_stream`` via ``streams``."""
+        params = dict(data)
+        tag = params.pop("type", cls.__name__)
+        if tag != cls.__name__:
+            raise ValueError(f"spec type {tag!r} does not match {cls.__name__}")
+        stream_name = params.pop("rng_stream", None)
+        if stream_name is None:
+            raise ValueError(
+                f"{cls.__name__} spec needs an rng_stream name")
+        if streams is None:
+            raise ValueError(
+                f"rebuilding {cls.__name__} needs a RandomStreams resolver")
+        return cls(rng=streams.stream(stream_name),
+                   rng_stream=stream_name, **params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible description; requires a named RNG stream."""
+        data = super().to_dict()
+        if data.get("rng_stream") is None:
+            raise TypeError(
+                f"{type(self).__name__} was built from a bare Random; give "
+                "it an rng_stream name to make it serializable")
+        return data
+
+
+class PoissonTransients(_StochasticScenario, Scenario):
     """External transient faults: Poisson arrivals of short bus bursts.
 
     Each arrival corrupts the bus for ``burst_length`` seconds (default:
@@ -42,17 +82,26 @@ class PoissonTransients(Scenario):
     """
 
     def __init__(self, rate: float, burst_length: float, rng: Random,
-                 start: float = 0.0, cause: str = "transient") -> None:
+                 start: float = 0.0, cause: str = "transient",
+                 rng_stream: Optional[str] = None) -> None:
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
         if burst_length <= 0:
             raise ValueError(f"burst_length must be positive, got {burst_length}")
         self.rate = rate
         self.burst_length = burst_length
+        self.start = float(start)
         self.cause = cause
+        self.rng_stream = rng_stream
         self._rng = rng
         self._arrivals: List[float] = []
         self._next_sample_from = float(start)
+
+    def spec_params(self) -> Dict[str, Any]:
+        """Constructor parameters as a JSON-native dict."""
+        return {"rate": self.rate, "burst_length": self.burst_length,
+                "start": self.start, "cause": self.cause,
+                "rng_stream": self.rng_stream}
 
     def _extend_to(self, horizon: float) -> None:
         """Lazily sample arrivals up to ``horizon``."""
@@ -94,7 +143,7 @@ class PoissonTransients(Scenario):
         return True
 
 
-class IntermittentSender(Scenario):
+class IntermittentSender(_StochasticScenario, Scenario):
     """An unhealthy node's internal fault, reappearing stochastically.
 
     After each faulty burst of ``burst_rounds`` rounds, the fault
@@ -108,7 +157,8 @@ class IntermittentSender(Scenario):
 
     def __init__(self, sender: int, mean_reappearance_rounds: float,
                  rng: Random, burst_rounds: int = 1,
-                 first_round: int = 0, cause: Optional[str] = None) -> None:
+                 first_round: int = 0, cause: Optional[str] = None,
+                 rng_stream: Optional[str] = None) -> None:
         if mean_reappearance_rounds <= 0:
             raise ValueError("mean_reappearance_rounds must be positive")
         if burst_rounds < 1:
@@ -116,11 +166,21 @@ class IntermittentSender(Scenario):
         self.sender = sender
         self.mean_reappearance_rounds = mean_reappearance_rounds
         self.burst_rounds = burst_rounds
+        self.first_round = first_round
         self.cause = cause or f"intermittent-{sender}"
+        self.rng_stream = rng_stream
         self._rng = rng
         self._faulty_rounds: set = set()
         self._next_burst_start = first_round
         self._sampled_until = -1
+
+    def spec_params(self) -> Dict[str, Any]:
+        """Constructor parameters as a JSON-native dict."""
+        return {"sender": self.sender,
+                "mean_reappearance_rounds": self.mean_reappearance_rounds,
+                "burst_rounds": self.burst_rounds,
+                "first_round": self.first_round, "cause": self.cause,
+                "rng_stream": self.rng_stream}
 
     def _extend_to(self, round_index: int) -> None:
         while self._sampled_until < round_index:
@@ -155,7 +215,7 @@ class IntermittentSender(Scenario):
         return slot != self.sender or not self.is_faulty_round(round_index)
 
 
-class RandomSlotNoise(Scenario):
+class RandomSlotNoise(_StochasticScenario, Scenario):
     """Each transmission is independently corrupted with probability p.
 
     A simple memoryless disturbance useful for stress tests; the
@@ -164,13 +224,20 @@ class RandomSlotNoise(Scenario):
     """
 
     def __init__(self, probability: float, rng: Random,
-                 cause: str = "random-noise") -> None:
+                 cause: str = "random-noise",
+                 rng_stream: Optional[str] = None) -> None:
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability must be in [0, 1], got {probability}")
         self.probability = probability
         self.cause = cause
+        self.rng_stream = rng_stream
         self._rng = rng
         self._decisions: dict = {}
+
+    def spec_params(self) -> Dict[str, Any]:
+        """Constructor parameters as a JSON-native dict."""
+        return {"probability": self.probability, "cause": self.cause,
+                "rng_stream": self.rng_stream}
 
     def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
         """Yield the fault directives this scenario imposes on ``ctx``."""

@@ -19,13 +19,30 @@ All the disturbance patterns the paper injects are expressed here as
 * :class:`ChannelBurst` — a burst restricted to one channel of a
   replicated bus.
 
+Every scenario is *serializable*: :meth:`SerializableScenario.to_dict`
+returns a JSON-compatible dict with a ``type`` tag, the matching
+``from_dict`` rebuilds an equivalent scenario, and ``repr`` is derived
+from that same dict, so two scenarios with equal spec dicts print
+identically.  The spec layer (:mod:`repro.spec`) builds its scenario
+registry on this contract.
+
 Timing convention: a burst corrupts a frame iff its ``[start, end)``
 window overlaps the frame's transmission window on the bus.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..tt.timebase import TimeBase
 from .injector import Scenario, TransmissionContext
@@ -34,7 +51,46 @@ from .model import FaultDirective
 _EPS = 1e-12
 
 
-class BusBurst(Scenario):
+class SerializableScenario:
+    """Mixin: dict round-trip and a deterministic spec-derived repr.
+
+    Subclasses implement :meth:`spec_params` returning the constructor
+    parameters as JSON-native values; ``to_dict``/``from_dict`` and
+    ``__repr__`` are derived from it, so the printed form, the pickled
+    form and the serialized form all describe the same scenario.
+    """
+
+    def spec_params(self) -> Dict[str, Any]:
+        """Constructor parameters as a JSON-native dict (no type tag)."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible description: ``{"type": ..., **params}``."""
+        return {"type": type(self).__name__, **self.spec_params()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], streams=None):
+        """Rebuild a scenario from :meth:`to_dict` output.
+
+        ``streams`` (a :class:`~repro.sim.rng.RandomStreams`) is only
+        consulted by stochastic scenarios; deterministic ones ignore it.
+        """
+        params = dict(data)
+        tag = params.pop("type", cls.__name__)
+        if tag != cls.__name__:
+            raise ValueError(f"spec type {tag!r} does not match {cls.__name__}")
+        return cls(**params)
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self._repr_params().items())
+        return f"{type(self).__name__}({args})"
+
+    def _repr_params(self) -> Dict[str, Any]:
+        # Overridden where spec_params may raise (e.g. callable rounds).
+        return self.spec_params()
+
+
+class BusBurst(SerializableScenario, Scenario):
     """Noise/silence on the whole bus during ``[start, start+duration)``.
 
     Every frame whose transmission window overlaps the burst is locally
@@ -60,6 +116,11 @@ class BusBurst(Scenario):
         self.cause = cause
         self.min_overlap = float(min_overlap)
 
+    def spec_params(self) -> Dict[str, Any]:
+        """Constructor parameters as a JSON-native dict."""
+        return {"start": self.start, "duration": self.duration,
+                "cause": self.cause, "min_overlap": self.min_overlap}
+
     def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
         """Yield the fault directives this scenario imposes on ``ctx``."""
         tx_start, tx_end = ctx.timebase.tx_window(ctx.round_index, ctx.slot)
@@ -79,9 +140,6 @@ class BusBurst(Scenario):
         threshold = self.min_overlap * (tx_end - tx_start)
         return overlap <= max(threshold, _EPS)
 
-    def __repr__(self) -> str:  # pragma: no cover
-        return f"BusBurst(start={self.start}, duration={self.duration})"
-
 
 class SlotBurst(BusBurst):
     """A burst covering ``n_slots`` consecutive slots.
@@ -89,25 +147,99 @@ class SlotBurst(BusBurst):
     Mirrors the paper's Sec. 8 injection classes: bursts of one slot,
     two slots, or two TDMA rounds (``n_slots = 2 * N``), starting in any
     of the ``N`` sending slots.
+
+    The canonical form holds only ``(round_index, slot, n_slots)`` —
+    plain integers, so the scenario pickles and serializes without a
+    live :class:`TimeBase` — and resolves the absolute burst window
+    lazily: :meth:`bind` is called with the cluster's time base when the
+    scenario is attached (or on first use, from the transmission
+    context).  The legacy call form ``SlotBurst(timebase, round_index,
+    slot, n_slots)`` is still accepted and binds immediately.
     """
 
-    def __init__(self, timebase: TimeBase, round_index: int, slot: int,
-                 n_slots: int, cause: str = "noise") -> None:
+    _PARAM_ORDER = ("round_index", "slot", "n_slots", "cause")
+
+    def __init__(self, *args, **kwargs) -> None:
+        args = list(args)
+        timebase = kwargs.pop("timebase", None)
+        if args and isinstance(args[0], TimeBase):
+            timebase = args.pop(0)
+        if len(args) > len(self._PARAM_ORDER):
+            raise TypeError(f"SlotBurst takes at most "
+                            f"{len(self._PARAM_ORDER)} positional parameters")
+        params: Dict[str, Any] = dict(zip(self._PARAM_ORDER, args))
+        clash = sorted(set(params) & set(kwargs))
+        if clash:
+            raise TypeError(f"SlotBurst got duplicate parameters {clash}")
+        params.update(kwargs)
+        unknown = sorted(set(params) - set(self._PARAM_ORDER))
+        if unknown:
+            raise TypeError(f"SlotBurst got unexpected parameters {unknown}")
+        try:
+            round_index = params["round_index"]
+            slot = params["slot"]
+        except KeyError as exc:
+            raise TypeError(f"SlotBurst missing parameter {exc}") from None
+        n_slots = params.get("n_slots", 1)
         if n_slots < 1:
             raise ValueError(f"n_slots must be >= 1, got {n_slots}")
-        start = timebase.slot_start(round_index, slot)
-        super().__init__(start, n_slots * timebase.slot_length, cause=cause)
-        self.first_slot = (round_index, slot)
-        self.n_slots = n_slots
+        self.round_index = int(round_index)
+        self.slot = int(slot)
+        self.n_slots = int(n_slots)
+        self.first_slot = (self.round_index, self.slot)
+        self.cause = params.get("cause", "noise")
+        self.min_overlap = 0.0
+        self._bound = False
+        if timebase is not None:
+            self.bind(timebase)
+
+    def bind(self, timebase: TimeBase) -> None:
+        """Resolve the absolute burst window against ``timebase``.
+
+        Idempotent: the first binding wins, so a scenario attached to a
+        cluster keeps that cluster's timing even if probed with another
+        time base later.
+        """
+        if self._bound:
+            return
+        start = timebase.slot_start(self.round_index, self.slot)
+        super().__init__(start, self.n_slots * timebase.slot_length,
+                         cause=self.cause)
+        self._bound = True
+
+    def spec_params(self) -> Dict[str, Any]:
+        """Constructor parameters as a JSON-native dict.
+
+        Only the slot coordinates are emitted — never the resolved
+        absolute times — so the dict is valid for any cluster geometry.
+        """
+        return {"round_index": self.round_index, "slot": self.slot,
+                "n_slots": self.n_slots, "cause": self.cause}
+
+    def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
+        """Yield the fault directives this scenario imposes on ``ctx``."""
+        self.bind(ctx.timebase)
+        return super().directives(ctx)
+
+    def is_quiescent(self, round_index: int, slot: int,
+                     timebase: TimeBase) -> bool:
+        """True iff the burst cannot corrupt this slot's transmission."""
+        self.bind(timebase)
+        return super().is_quiescent(round_index, slot, timebase)
 
 
-class ChannelBurst(Scenario):
+class ChannelBurst(SerializableScenario, Scenario):
     """A burst affecting only one channel of a replicated bus."""
 
     def __init__(self, channel: int, start: float, duration: float,
                  cause: str = "channel-noise") -> None:
         self.channel = channel
         self._burst = BusBurst(start, duration, cause=cause)
+
+    def spec_params(self) -> Dict[str, Any]:
+        """Constructor parameters as a JSON-native dict."""
+        return {"channel": self.channel, "start": self._burst.start,
+                "duration": self._burst.duration, "cause": self._burst.cause}
 
     def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
         """Yield the fault directives this scenario imposes on ``ctx``."""
@@ -122,7 +254,7 @@ class ChannelBurst(Scenario):
         return self._burst.is_quiescent(round_index, slot, timebase)
 
 
-class PeriodicBurst(Scenario):
+class PeriodicBurst(SerializableScenario, Scenario):
     """Bursts repeating with a constant time to reappearance.
 
     Models the *blinking light* abnormal transient scenario (Table 3):
@@ -137,12 +269,25 @@ class PeriodicBurst(Scenario):
                  min_overlap: float = 0.0) -> None:
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
+        self.start = float(start)
+        self.burst_length = float(burst_length)
+        self.time_to_reappearance = float(time_to_reappearance)
+        self.count = count
+        self.cause = cause
+        self.min_overlap = float(min_overlap)
         self.bursts: List[BusBurst] = []
-        t = float(start)
+        t = self.start
         for _ in range(count):
             self.bursts.append(BusBurst(t, burst_length, cause=cause,
                                         min_overlap=min_overlap))
             t += burst_length + time_to_reappearance
+
+    def spec_params(self) -> Dict[str, Any]:
+        """Constructor parameters as a JSON-native dict."""
+        return {"start": self.start, "burst_length": self.burst_length,
+                "time_to_reappearance": self.time_to_reappearance,
+                "count": self.count, "cause": self.cause,
+                "min_overlap": self.min_overlap}
 
     def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
         """Yield the fault directives this scenario imposes on ``ctx``."""
@@ -161,7 +306,7 @@ class PeriodicBurst(Scenario):
         return [(b.start, b.end) for b in self.bursts]
 
 
-class BurstSequence(Scenario):
+class BurstSequence(SerializableScenario, Scenario):
     """An explicit sequence of ``(gap_before, burst_length)`` bursts.
 
     Models the *lightning bolt* scenario (Table 3): 40 ms bursts with
@@ -170,11 +315,15 @@ class BurstSequence(Scenario):
     """
 
     def __init__(self, start: float,
-                 pattern: Sequence[Tuple[float, float]],
+                 pattern: Sequence[Sequence[float]],
                  cause: str = "lightning") -> None:
+        self.start = float(start)
+        self.pattern: List[List[float]] = [
+            [float(gap), float(length)] for gap, length in pattern]
+        self.cause = cause
         self.bursts: List[BusBurst] = []
-        t = float(start)
-        for gap_before, burst_length in pattern:
+        t = self.start
+        for gap_before, burst_length in self.pattern:
             t += gap_before
             self.bursts.append(BusBurst(t, burst_length, cause=cause))
             t += burst_length
@@ -193,6 +342,12 @@ class BurstSequence(Scenario):
         pattern.extend((500e-3, burst_length) for _ in range(9))
         return cls(start, pattern, cause="lightning")
 
+    def spec_params(self) -> Dict[str, Any]:
+        """Constructor parameters as a JSON-native dict."""
+        return {"start": self.start,
+                "pattern": [list(entry) for entry in self.pattern],
+                "cause": self.cause}
+
     def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
         """Yield the fault directives this scenario imposes on ``ctx``."""
         for burst in self.bursts:
@@ -206,6 +361,7 @@ class BurstSequence(Scenario):
 
     @property
     def burst_windows(self) -> List[Tuple[float, float]]:
+        """``(start, end)`` of each burst, for harness bookkeeping."""
         return [(b.start, b.end) for b in self.bursts]
 
 
@@ -219,12 +375,15 @@ def blinking_light(start: float = 0.0) -> PeriodicBurst:
                          cause="blinking-light")
 
 
-class SenderFault(Scenario):
+class SenderFault(SerializableScenario, Scenario):
     """Faults attached to one sender's slots.
 
     ``rounds`` selects when the fault is active: an iterable of round
     indices, a predicate ``round_index -> bool``, or ``None`` for
-    "always" (a permanent fault, e.g. a crashed node).
+    "always" (a permanent fault).  ``from_round`` is the serializable
+    alternative to a ``k >= n`` predicate: active from that round on
+    (a crashed node).  At most one of ``rounds``/``from_round`` may be
+    given.
 
     ``kind`` selects the fault class:
 
@@ -239,23 +398,65 @@ class SenderFault(Scenario):
                  rounds: Any = None,
                  detectable_by: Optional[Iterable[int]] = None,
                  payload: Any = None,
-                 cause: Optional[str] = None) -> None:
+                 cause: Optional[str] = None,
+                 from_round: Optional[int] = None) -> None:
         if kind not in ("benign", "asymmetric", "malicious"):
             raise ValueError(f"unknown fault kind {kind!r}")
         if kind == "asymmetric" and not detectable_by:
             raise ValueError("asymmetric faults need a non-empty detectable_by")
+        if rounds is not None and from_round is not None:
+            raise ValueError("give either rounds or from_round, not both")
         self.sender = sender
         self.kind = kind
         self.detectable_by = frozenset(detectable_by or ())
         self.payload = payload
         self.cause = cause or f"{kind}-sender-{sender}"
-        if rounds is None:
-            self._active: Callable[[int], bool] = lambda k: True
-        elif callable(rounds):
-            self._active = rounds
-        else:
-            round_set = frozenset(rounds)
-            self._active = lambda k: k in round_set
+        self.from_round = from_round
+        self.rounds: Optional[Tuple[int, ...]] = None
+        self._rounds_callable: Optional[Callable[[int], bool]] = None
+        self._round_set: Optional[frozenset] = None
+        if callable(rounds):
+            self._rounds_callable = rounds
+        elif rounds is not None:
+            self._round_set = frozenset(rounds)
+            self.rounds = tuple(sorted(self._round_set))
+
+    def _active(self, round_index: int) -> bool:
+        # A plain method (not a captured lambda) keeps the scenario
+        # picklable whenever the activity window itself is.
+        if self._rounds_callable is not None:
+            return self._rounds_callable(round_index)
+        if self.from_round is not None:
+            return round_index >= self.from_round
+        if self._round_set is not None:
+            return round_index in self._round_set
+        return True
+
+    def spec_params(self) -> Dict[str, Any]:
+        """Constructor parameters as a JSON-native dict.
+
+        Raises :class:`TypeError` when the activity window was given as
+        an arbitrary predicate — callables have no serial form; use
+        ``rounds`` or ``from_round`` for serializable scenarios.
+        """
+        if self._rounds_callable is not None:
+            raise TypeError(
+                "SenderFault with a callable rounds predicate is not "
+                "serializable; pass an iterable of rounds or from_round")
+        return {"sender": self.sender, "kind": self.kind,
+                "rounds": list(self.rounds) if self.rounds is not None else None,
+                "detectable_by": sorted(self.detectable_by),
+                "payload": self.payload, "cause": self.cause,
+                "from_round": self.from_round}
+
+    def _repr_params(self) -> Dict[str, Any]:
+        if self._rounds_callable is not None:
+            return {"sender": self.sender, "kind": self.kind,
+                    "rounds": "<predicate>",
+                    "detectable_by": sorted(self.detectable_by),
+                    "payload": self.payload, "cause": self.cause,
+                    "from_round": self.from_round}
+        return self.spec_params()
 
     def directives(self, ctx: TransmissionContext) -> Iterator[FaultDirective]:
         """Yield the fault directives this scenario imposes on ``ctx``."""
@@ -280,8 +481,7 @@ class SenderFault(Scenario):
 
 def crash(sender: int, from_round: int = 0) -> SenderFault:
     """A crashed node: permanent benign sender fault from ``from_round``."""
-    return SenderFault(sender, kind="benign",
-                       rounds=lambda k: k >= from_round,
+    return SenderFault(sender, kind="benign", from_round=from_round,
                        cause=f"crash-{sender}")
 
 
@@ -301,6 +501,7 @@ def every_nth_round(sender: int, period: int, start_round: int,
 
 
 __all__ = [
+    "SerializableScenario",
     "BusBurst",
     "SlotBurst",
     "ChannelBurst",

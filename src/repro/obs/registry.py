@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 
 class Counter:

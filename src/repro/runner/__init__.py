@@ -20,7 +20,7 @@ benchmarks are wired through these sweeps.
 """
 
 from .pool import Task, derive_task_seeds, run_tasks
-from .sweep import run_table2_sweep, run_validation_sweep
+from .sweep import run_table2_sweep, run_validation_sweep, spec_task
 
 __all__ = [
     "Task",
@@ -28,4 +28,5 @@ __all__ = [
     "run_tasks",
     "run_table2_sweep",
     "run_validation_sweep",
+    "spec_task",
 ]

@@ -1,11 +1,15 @@
 """Pre-built parallel sweeps of the paper's experiment campaigns.
 
-Each sweep decomposes a serial campaign from :mod:`repro.experiments`
-into independent :class:`~repro.runner.pool.Task` objects generated in
-exactly the serial loop order — same experiment-class names, same
-per-repetition seeds — fans them out with
-:func:`~repro.runner.pool.run_tasks`, and merges the results back in
-task order.  Consequences:
+Each sweep enumerates a serial campaign from :mod:`repro.experiments`
+as serializable :class:`~repro.spec.RunSpec` values — generated in
+exactly the serial loop order, same experiment-class names, same
+per-repetition seeds — and fans them out with
+:func:`~repro.runner.pool.run_tasks`.  Every task is the same generic
+worker, :func:`repro.spec.run_spec_dict`, applied to the spec's plain
+``to_dict`` form; the workers rebuild the spec, resolve its named
+reducer and return the reduced result, so the pool pickles nothing but
+dicts of JSON-native values.  Results merge back in task-submission
+order.  Consequences:
 
 * ``run_validation_sweep(reps, jobs=1)`` reproduces
   :func:`repro.experiments.validation.run_validation_campaign`
@@ -13,11 +17,11 @@ task order.  Consequences:
 * likewise ``run_table2_sweep(jobs=N)`` vs
   :func:`repro.experiments.table2.table2`.
 
-Workers return only the aggregate each campaign needs (a pass verdict,
-a counter value — plus, with ``collect_metrics``, the run's metrics
-snapshot), keeping inter-process pickling negligible.  Snapshots are
-merged with :func:`repro.obs.merge_snapshots` in task-submission order,
-so the merged report is identical for every ``jobs`` value.
+With ``collect_metrics`` each worker meters its run through a fresh
+in-process registry and returns ``(result, snapshot)``; snapshots are
+merged with :func:`repro.obs.merge_snapshots` in task-submission
+order, and since snapshot merging is commutative integer addition the
+merged report is identical for every ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -30,86 +34,29 @@ from ..core.config import (
     AUTOMOTIVE_TOLERATED_OUTAGE,
     PAPER_REWARD_THRESHOLD,
 )
-from ..experiments.table2 import Table2Row, measure_penalty_budget
+from ..experiments.table2 import Table2Row, penalty_budget_spec
 from ..experiments.validation import (
     PAPER_N_NODES,
     CampaignSummary,
-    run_burst_experiment,
-    run_clique_experiment,
-    run_malicious_experiment,
-    run_penalty_reward_experiment,
+    validation_specs,
 )
-from ..obs.registry import MetricsRegistry, merge_snapshots
+from ..obs.registry import merge_snapshots
+from ..spec import RunSpec, run_spec_dict
 from ..tt.cluster import PAPER_ROUND_LENGTH
 from .pool import Task, run_tasks
 
 
-# ----------------------------------------------------------------------
-# Module-level workers (must be picklable for the process pool).
-#
-# With ``collect_metrics`` each worker meters its run through a fresh
-# in-process registry and returns ``(verdict, snapshot)`` — the
-# snapshot is a plain dict of ints, so the pickling cost stays small.
-# ----------------------------------------------------------------------
-def _burst_passed(n_slots: int, start_slot: int, seed: int,
-                  n_nodes: int, collect_metrics: bool = False):
-    """Worker: one burst injection reduced to its pass verdict."""
-    if not collect_metrics:
-        return run_burst_experiment(n_slots, start_slot, seed=seed,
-                                    n_nodes=n_nodes).passed
-    registry = MetricsRegistry()
-    passed = run_burst_experiment(n_slots, start_slot, seed=seed,
-                                  n_nodes=n_nodes, metrics=registry).passed
-    return passed, registry.snapshot()
+def spec_task(spec: RunSpec, collect_metrics: bool = False) -> Task:
+    """The generic pool task executing one serialized spec.
+
+    The spec travels as the plain dict ``RunSpec.to_dict`` emits, and
+    the worker is always :func:`repro.spec.run_spec_dict` — no campaign
+    ever needs a bespoke picklable closure.
+    """
+    kwargs = {"collect_metrics": True} if collect_metrics else {}
+    return Task(run_spec_dict, (spec.to_dict(),), kwargs)
 
 
-def _penalty_reward_passed(seed: int, n_nodes: int,
-                           collect_metrics: bool = False):
-    """Worker: one counter-update experiment reduced to its verdict."""
-    if not collect_metrics:
-        return run_penalty_reward_experiment(seed=seed,
-                                             n_nodes=n_nodes).passed
-    registry = MetricsRegistry()
-    passed = run_penalty_reward_experiment(seed=seed, n_nodes=n_nodes,
-                                           metrics=registry).passed
-    return passed, registry.snapshot()
-
-
-def _malicious_passed(byzantine: int, seed: int, n_nodes: int,
-                      collect_metrics: bool = False):
-    """Worker: one malicious-node injection reduced to its verdict."""
-    if not collect_metrics:
-        return run_malicious_experiment(byzantine, seed=seed,
-                                        n_nodes=n_nodes).passed
-    registry = MetricsRegistry()
-    passed = run_malicious_experiment(byzantine, seed=seed, n_nodes=n_nodes,
-                                      metrics=registry).passed
-    return passed, registry.snapshot()
-
-
-def _clique_passed(seed: int, n_nodes: int, collect_metrics: bool = False):
-    """Worker: one clique-detection injection reduced to its verdict."""
-    if not collect_metrics:
-        return run_clique_experiment(seed=seed, n_nodes=n_nodes).passed
-    registry = MetricsRegistry()
-    passed = run_clique_experiment(seed=seed, n_nodes=n_nodes,
-                                   metrics=registry).passed
-    return passed, registry.snapshot()
-
-
-def _penalty_budget_with_metrics(tolerated_outage: float, seed: int,
-                                 round_length: float):
-    """Worker: one metered penalty-budget measurement."""
-    registry = MetricsRegistry()
-    budget = measure_penalty_budget(tolerated_outage, seed=seed,
-                                    round_length=round_length,
-                                    metrics=registry)
-    return budget, registry.snapshot()
-
-
-# ----------------------------------------------------------------------
-# Sweeps
-# ----------------------------------------------------------------------
 def validation_tasks(repetitions: int = 100,
                      n_nodes: int = PAPER_N_NODES,
                      collect_metrics: bool = False
@@ -119,33 +66,11 @@ def validation_tasks(repetitions: int = 100,
     Generated in exactly the loop order of
     :func:`~repro.experiments.validation.run_validation_campaign`, with
     the same class names and the same ``seed = repetition`` assignment.
-    With ``collect_metrics`` each task returns ``(passed, snapshot)``
-    instead of a bare verdict.
+    With ``collect_metrics`` each task returns ``(result, snapshot)``
+    instead of a bare result.
     """
-    kwargs = {"collect_metrics": True} if collect_metrics else {}
-    tasks: List[Tuple[str, Task]] = []
-    for n_slots in (1, 2, 2 * n_nodes):
-        for start_slot in range(1, n_nodes + 1):
-            cls = f"burst-{n_slots}-slot{start_slot}"
-            for rep in range(repetitions):
-                tasks.append((cls, Task(_burst_passed,
-                                        (n_slots, start_slot, rep, n_nodes),
-                                        dict(kwargs))))
-    for rep in range(repetitions):
-        tasks.append(("penalty-reward",
-                      Task(_penalty_reward_passed, (rep, n_nodes),
-                           dict(kwargs))))
-    for byzantine in range(1, n_nodes + 1):
-        cls = f"malicious-node{byzantine}"
-        for rep in range(repetitions):
-            tasks.append((cls, Task(_malicious_passed,
-                                    (byzantine, rep, n_nodes),
-                                    dict(kwargs))))
-    for rep in range(repetitions):
-        tasks.append(("clique-detection", Task(_clique_passed,
-                                               (rep, n_nodes),
-                                               dict(kwargs))))
-    return tasks
+    return [(cls, spec_task(spec, collect_metrics))
+            for cls, spec in validation_specs(repetitions, n_nodes)]
 
 
 def run_validation_sweep(repetitions: int = 100,
@@ -156,26 +81,23 @@ def run_validation_sweep(repetitions: int = 100,
 
     The aggregate :class:`CampaignSummary` is identical for every
     ``jobs`` value (and identical to the serial
-    ``run_validation_campaign``): tasks carry explicit seeds and the
-    verdicts are merged in task order.
+    ``run_validation_campaign``): the specs carry explicit seeds and
+    the results are merged in task order.
 
     With ``with_metrics`` every injection is metered through its own
-    registry and the call returns ``(summary, merged_snapshot)``; the
-    snapshots are merged in task-submission order, and since snapshot
-    merging is commutative integer addition the merged report is also
-    byte-identical across ``jobs`` values.
+    registry and the call returns ``(summary, merged_snapshot)``.
     """
     tasks = validation_tasks(repetitions, n_nodes,
                              collect_metrics=with_metrics)
     results = run_tasks([task for _cls, task in tasks], jobs=jobs)
     summary = CampaignSummary()
     if with_metrics:
-        for (cls, _task), (passed, _snap) in zip(tasks, results):
-            summary.add(cls, passed)
-        merged = merge_snapshots(snap for _passed, snap in results)
+        for (cls, _task), (result, _snap) in zip(tasks, results):
+            summary.add(cls, result.passed)
+        merged = merge_snapshots(snap for _result, snap in results)
         return summary, merged
-    for (cls, _task), passed in zip(tasks, results):
-        summary.add(cls, passed)
+    for (cls, _task), result in zip(tasks, results):
+        summary.add(cls, result.passed)
     return summary
 
 
@@ -186,11 +108,10 @@ def run_table2_sweep(seed: int = 0,
     """The Sec. 9 tuning experiment, one worker per (domain, class).
 
     Decomposes :func:`~repro.experiments.table2.table2` into its
-    independent :func:`measure_penalty_budget` calls and assembles the
-    identical row list.  With ``with_metrics`` returns
-    ``(rows, merged_snapshot)``; the budget measurements run at
-    ``trace_level=0``, so the metrics snapshot is the only online
-    observability these runs have.
+    independent penalty-budget specs and assembles the identical row
+    list.  With ``with_metrics`` returns ``(rows, merged_snapshot)``;
+    the budget measurements run at ``trace_level=0``, so the metrics
+    snapshot is the only online observability these runs have.
     """
     domains = (("Automotive", AUTOMOTIVE_TOLERATED_OUTAGE),
                ("Aerospace", AEROSPACE_TOLERATED_OUTAGE))
@@ -199,13 +120,10 @@ def run_table2_sweep(seed: int = 0,
     for domain, outages in domains:
         for cls, outage in outages.items():
             keys.append((domain, cls, outage))
-            if with_metrics:
-                tasks.append(Task(_penalty_budget_with_metrics,
-                                  (outage, seed, round_length)))
-            else:
-                tasks.append(Task(measure_penalty_budget, (outage,),
-                                  {"seed": seed,
-                                   "round_length": round_length}))
+            tasks.append(spec_task(
+                penalty_budget_spec(outage, seed=seed,
+                                    round_length=round_length),
+                collect_metrics=with_metrics))
     results = run_tasks(tasks, jobs=jobs)
     if with_metrics:
         merged = merge_snapshots(snap for _budget, snap in results)
@@ -236,6 +154,7 @@ def run_table2_sweep(seed: int = 0,
 
 
 __all__ = [
+    "spec_task",
     "validation_tasks",
     "run_validation_sweep",
     "run_table2_sweep",

@@ -1,0 +1,70 @@
+"""Declarative run specifications and the one build path onto them.
+
+Every cluster, experiment, sweep and CLI run in this repo can be
+described by a single serializable :class:`RunSpec` and assembled by a
+single :func:`build` factory::
+
+    from repro.spec import (ClusterSpec, ProtocolSpec, RunSpec,
+                            ScenarioSpec, execute)
+
+    spec = RunSpec(
+        protocol=ProtocolSpec(n_nodes=4, penalty_threshold=3,
+                              reward_threshold=50,
+                              criticalities=(1, 1, 1, 1)),
+        cluster=ClusterSpec(seed=42),
+        scenarios=(ScenarioSpec("SlotBurst", {"round_index": 6, "slot": 2,
+                                              "n_slots": 1}),),
+        n_rounds=15,
+    )
+    print(execute(spec))                  # default summary reducer
+    print(RunSpec.from_json(spec.to_json()) == spec)   # lossless
+
+See :mod:`repro.spec.model` for the dataclasses,
+:mod:`repro.spec.build` for ``build``/``execute`` and the generic
+sweep worker, and :mod:`repro.spec.reducers` for the named-reducer
+registry.
+"""
+
+from .build import (
+    PROVENANCE_PREFIX,
+    build,
+    execute,
+    run_spec_dict,
+    strip_provenance,
+)
+from .model import (
+    RUNSPEC_SCHEMA,
+    SCENARIO_REGISTRY,
+    ClusterSpec,
+    ProtocolSpec,
+    RunSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    VariantSpec,
+)
+from .reducers import (
+    SummaryReducer,
+    register_reducer,
+    registered_reducers,
+    resolve_reducer,
+)
+
+__all__ = [
+    "RUNSPEC_SCHEMA",
+    "SCENARIO_REGISTRY",
+    "PROVENANCE_PREFIX",
+    "ClusterSpec",
+    "ProtocolSpec",
+    "RunSpec",
+    "ScenarioSpec",
+    "ScheduleSpec",
+    "VariantSpec",
+    "SummaryReducer",
+    "build",
+    "execute",
+    "run_spec_dict",
+    "strip_provenance",
+    "register_reducer",
+    "registered_reducers",
+    "resolve_reducer",
+]

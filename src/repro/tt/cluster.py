@@ -138,7 +138,15 @@ class Cluster:
         self.nodes[node_id].schedule = schedule
 
     def add_scenario(self, scenario: Scenario) -> None:
-        """Register a fault scenario (may be added mid-simulation)."""
+        """Register a fault scenario (may be added mid-simulation).
+
+        Scenarios expressed in slot coordinates (e.g. an unbound
+        :class:`~repro.faults.scenarios.SlotBurst`) resolve their
+        absolute times against this cluster's time base here.
+        """
+        bind = getattr(scenario, "bind", None)
+        if callable(bind):
+            bind(self.timebase)
         self.injection.add(scenario)
 
     # ------------------------------------------------------------------

@@ -71,3 +71,78 @@ def test_timeline_output(capsys):
     out = capsys.readouterr().out
     assert "fault: crash-2 @ slot 2" in out
     assert "isolate node 2" in out
+
+
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro-diag {repro.__version__}"
+
+
+def test_spec_demo_emits_valid_runspec(capsys):
+    from repro.spec import RunSpec
+
+    assert main(["spec", "demo"]) == 0
+    spec = RunSpec.from_json(capsys.readouterr().out)
+    assert spec.n_rounds > 0
+
+
+def test_spec_validate_emits_campaign_array(capsys):
+    import json
+
+    from repro.spec import RunSpec
+
+    assert main(["spec", "validate", "--reps", "1"]) == 0
+    specs = json.loads(capsys.readouterr().out)
+    assert len(specs) == 18
+    assert all(RunSpec.from_dict(s).reducer for s in specs)
+
+
+def test_spec_table2_emits_campaign_array(capsys):
+    import json
+
+    assert main(["spec", "table2"]) == 0
+    specs = json.loads(capsys.readouterr().out)
+    assert specs and all(s["reducer"] == "table2.penalty-budget"
+                         for s in specs)
+
+
+def test_run_from_file(capsys, tmp_path):
+    main(["spec", "demo"])
+    spec_json = capsys.readouterr().out
+    path = tmp_path / "demo.json"
+    path.write_text(spec_json)
+    assert main(["run", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 run(s)" in out
+    assert "0 failed" in out
+
+
+def test_run_from_stdin(capsys, monkeypatch):
+    import io
+
+    main(["spec", "demo"])
+    spec_json = capsys.readouterr().out
+    monkeypatch.setattr("sys.stdin", io.StringIO(spec_json))
+    assert main(["run", "-"]) == 0
+    assert "1 run(s)" in capsys.readouterr().out
+
+
+def test_run_campaign_parallel_with_metrics(capsys, tmp_path):
+    import json
+
+    main(["spec", "validate", "--reps", "1"])
+    campaign = capsys.readouterr().out
+    path = tmp_path / "campaign.json"
+    path.write_text(campaign)
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["run", str(path), "--jobs", "2",
+                 "--metrics-out", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "18 run(s), 18 scored, 0 failed" in out
+    report = json.loads(metrics_path.read_text())
+    assert any(name.startswith("spec.run.")
+               for name in report["metrics"]["counters"])

@@ -1,7 +1,5 @@
 """Integration tests for the membership protocol (Sec. 7, Theorem 2)."""
 
-import pytest
-
 from repro.analysis.metrics import consistency_violations
 from repro.core.config import uniform_config
 from repro.core.service import MembershipCluster

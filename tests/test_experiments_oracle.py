@@ -1,6 +1,5 @@
 """Tests for the ground-truth oracle, plus randomized end-to-end checks."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

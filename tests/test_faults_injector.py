@@ -1,7 +1,5 @@
 """Unit tests for the injection layer's composition rules."""
 
-import pytest
-
 from repro.faults.injector import InjectionLayer, TransmissionContext
 from repro.faults.model import FaultDirective, ReceptionOutcome
 from repro.tt.timebase import TimeBase

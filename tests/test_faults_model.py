@@ -1,7 +1,5 @@
 """Unit tests for the fault model primitives."""
 
-import pytest
-
 from repro.faults.model import (
     FaultClass,
     FaultDirective,

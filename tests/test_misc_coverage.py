@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.config import uniform_config
-from repro.core.diagnostic import DiagnosticService
 from repro.core.service import DiagnosedCluster, MembershipCluster
 from repro.faults.scenarios import SenderFault, crash
 from repro.sim.engine import Engine

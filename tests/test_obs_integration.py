@@ -10,8 +10,6 @@ repeat runs, across ``jobs`` values and across snapshot merge orders.
 
 import json
 
-import pytest
-
 from repro.core.config import uniform_config
 from repro.core.service import DiagnosedCluster, LowLatencyCluster
 from repro.faults.scenarios import SlotBurst

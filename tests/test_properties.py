@@ -16,8 +16,6 @@ properties over randomly generated inputs:
   consistently, for random static schedules.
 """
 
-import math
-
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 

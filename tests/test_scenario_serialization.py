@@ -1,0 +1,262 @@
+"""Serialization contract of every fault scenario class.
+
+Every scenario must round-trip through ``to_dict``/``from_dict`` into an
+*equivalent* scenario: same spec dict, same repr, and — the part that
+actually matters — identical injection behaviour when attached to an
+identical cluster.  ``SlotBurst`` additionally must pickle while
+unbound (it stores slot coordinates, not resolved times).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import uniform_config
+from repro.core.service import DiagnosedCluster
+from repro.faults.processes import (
+    IntermittentSender,
+    PoissonTransients,
+    RandomSlotNoise,
+)
+from repro.faults.scenarios import (
+    BurstSequence,
+    BusBurst,
+    ChannelBurst,
+    PeriodicBurst,
+    SenderFault,
+    SlotBurst,
+    crash,
+    every_nth_round,
+)
+from repro.sim.rng import RandomStreams
+from repro.tt.timebase import TimeBase
+
+TB = TimeBase(4, 2.5e-3)
+
+
+def _roundtrip(scenario, streams=None):
+    cls = type(scenario)
+    return cls.from_dict(scenario.to_dict(), streams=streams)
+
+
+# ---------------------------------------------------------------------------
+# Property-based round trips, one strategy per deterministic class.
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(start=st.floats(0.0, 1.0), duration=st.floats(1e-6, 0.1),
+       min_overlap=st.floats(0.0, 0.9))
+def test_bus_burst_roundtrip(start, duration, min_overlap):
+    original = BusBurst(start, duration, cause="noise",
+                        min_overlap=min_overlap)
+    rebuilt = _roundtrip(original)
+    assert rebuilt.to_dict() == original.to_dict()
+    assert repr(rebuilt) == repr(original)
+
+
+@settings(max_examples=50, deadline=None)
+@given(round_index=st.integers(0, 100), slot=st.integers(0, 3),
+       n_slots=st.integers(1, 8))
+def test_slot_burst_roundtrip(round_index, slot, n_slots):
+    original = SlotBurst(round_index=round_index, slot=slot, n_slots=n_slots)
+    rebuilt = _roundtrip(original)
+    assert rebuilt.to_dict() == original.to_dict()
+    assert repr(rebuilt) == repr(original)
+
+
+@settings(max_examples=50, deadline=None)
+@given(channel=st.integers(0, 2), start=st.floats(0.0, 1.0),
+       duration=st.floats(1e-6, 0.1))
+def test_channel_burst_roundtrip(channel, start, duration):
+    original = ChannelBurst(channel, start, duration)
+    rebuilt = _roundtrip(original)
+    assert rebuilt.to_dict() == original.to_dict()
+
+
+@settings(max_examples=50, deadline=None)
+@given(start=st.floats(0.0, 1.0), burst_length=st.floats(1e-6, 0.05),
+       gap=st.floats(1e-6, 1.0), count=st.integers(1, 20))
+def test_periodic_burst_roundtrip(start, burst_length, gap, count):
+    original = PeriodicBurst(start, burst_length, gap, count)
+    rebuilt = _roundtrip(original)
+    assert rebuilt.to_dict() == original.to_dict()
+
+
+@settings(max_examples=50, deadline=None)
+@given(start=st.floats(0.0, 1.0),
+       pattern=st.lists(st.tuples(st.floats(0.0, 1.0),
+                                  st.floats(1e-6, 0.05)),
+                        min_size=1, max_size=6))
+def test_burst_sequence_roundtrip(start, pattern):
+    original = BurstSequence(start, pattern)
+    rebuilt = _roundtrip(original)
+    assert rebuilt.to_dict() == original.to_dict()
+
+
+@settings(max_examples=50, deadline=None)
+@given(sender=st.integers(1, 4),
+       kind=st.sampled_from(["benign", "malicious"]),
+       activation=st.one_of(
+           st.lists(st.integers(0, 50), min_size=1, max_size=8,
+                    unique=True).map(lambda r: ("rounds", r)),
+           st.integers(0, 50).map(lambda r: ("from_round", r))))
+def test_sender_fault_roundtrip(sender, kind, activation):
+    original = SenderFault(sender, kind=kind, **dict([activation]))
+    rebuilt = _roundtrip(original)
+    assert rebuilt.to_dict() == original.to_dict()
+    assert repr(rebuilt) == repr(original)
+
+
+def test_asymmetric_sender_fault_roundtrip():
+    original = SenderFault(3, kind="asymmetric", rounds=[6],
+                           detectable_by=[1, 2])
+    rebuilt = _roundtrip(original)
+    assert rebuilt.to_dict() == original.to_dict()
+    assert repr(rebuilt) == repr(original)
+
+
+# ---------------------------------------------------------------------------
+# Stochastic classes: round trip through a named stream.
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(rate=st.floats(0.1, 100.0), burst_length=st.floats(1e-6, 0.01))
+def test_poisson_transients_roundtrip(rate, burst_length):
+    streams = RandomStreams(7)
+    original = PoissonTransients(rate, burst_length,
+                                 rng=streams.stream("t"), rng_stream="t")
+    rebuilt = _roundtrip(original, streams=RandomStreams(7))
+    assert rebuilt.to_dict() == original.to_dict()
+
+
+@settings(max_examples=25, deadline=None)
+@given(sender=st.integers(1, 4), mean=st.floats(1.0, 100.0),
+       burst_rounds=st.integers(1, 5))
+def test_intermittent_sender_roundtrip(sender, mean, burst_rounds):
+    streams = RandomStreams(7)
+    original = IntermittentSender(sender, mean, rng=streams.stream("i"),
+                                  burst_rounds=burst_rounds, rng_stream="i")
+    rebuilt = _roundtrip(original, streams=RandomStreams(7))
+    assert rebuilt.to_dict() == original.to_dict()
+
+
+@settings(max_examples=25, deadline=None)
+@given(probability=st.floats(0.0, 1.0))
+def test_random_slot_noise_roundtrip(probability):
+    streams = RandomStreams(7)
+    original = RandomSlotNoise(probability, rng=streams.stream("n"),
+                               rng_stream="n")
+    rebuilt = _roundtrip(original, streams=RandomStreams(7))
+    assert rebuilt.to_dict() == original.to_dict()
+
+
+def test_stochastic_without_stream_name_not_serializable():
+    streams = RandomStreams(7)
+    anonymous = RandomSlotNoise(0.1, rng=streams.stream("n"))
+    with pytest.raises(TypeError):
+        anonymous.to_dict()
+
+
+def test_stochastic_from_dict_requires_streams():
+    data = {"type": "RandomSlotNoise", "probability": 0.1,
+            "cause": "random-noise", "rng_stream": "n"}
+    with pytest.raises(ValueError):
+        RandomSlotNoise.from_dict(dict(data))
+    rebuilt = RandomSlotNoise.from_dict(dict(data),
+                                        streams=RandomStreams(7))
+    assert rebuilt.probability == 0.1
+
+
+# ---------------------------------------------------------------------------
+# Deterministic repr: equal spec dicts give equal reprs.
+# ---------------------------------------------------------------------------
+
+def test_repr_is_derived_from_spec_dict():
+    a = SlotBurst(round_index=6, slot=2, n_slots=1)
+    b = SlotBurst(round_index=6, slot=2, n_slots=1)
+    assert repr(a) == repr(b)
+    assert "SlotBurst(" in repr(a)
+    assert "round_index=6" in repr(a)
+
+    fault = crash(3, from_round=5)
+    assert repr(fault) == repr(crash(3, from_round=5))
+
+
+def test_predicate_rounds_not_serializable_but_reprable():
+    fault = SenderFault(2, rounds=lambda r: r % 2 == 0)
+    with pytest.raises(TypeError):
+        fault.to_dict()
+    assert "<predicate>" in repr(fault)
+
+
+# ---------------------------------------------------------------------------
+# SlotBurst regression: slot coordinates, lazy binding, pickling.
+# ---------------------------------------------------------------------------
+
+class TestSlotBurstBinding:
+    def test_unbound_instance_pickles(self):
+        original = SlotBurst(round_index=6, slot=2, n_slots=3, cause="x")
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.to_dict() == original.to_dict()
+        clone.bind(TB)
+        assert clone.start == TB.slot_start(6, 2)
+        assert clone.duration == pytest.approx(3 * TB.slot_length)
+
+    def test_legacy_timebase_first_ctor_still_binds_immediately(self):
+        legacy = SlotBurst(TB, 6, 2, 3)
+        modern = SlotBurst(round_index=6, slot=2, n_slots=3)
+        modern.bind(TB)
+        assert legacy.start == modern.start
+        assert legacy.duration == modern.duration
+        assert legacy.to_dict() == modern.to_dict()
+
+    def test_bind_is_idempotent_first_wins(self):
+        burst = SlotBurst(round_index=6, slot=2, n_slots=1)
+        burst.bind(TB)
+        start = burst.start
+        burst.bind(TimeBase(8, 1e-3))  # ignored: already bound
+        assert burst.start == start
+
+    def test_add_scenario_binds_automatically(self):
+        dc = DiagnosedCluster(uniform_config(4, 3, 50), seed=0)
+        burst = SlotBurst(round_index=6, slot=2, n_slots=1)
+        dc.cluster.add_scenario(burst)
+        assert burst.start == dc.cluster.timebase.slot_start(6, 2)
+
+
+# ---------------------------------------------------------------------------
+# Differential injection: the rebuilt scenario behaves identically.
+# ---------------------------------------------------------------------------
+
+def _run_with(scenario_factory, rounds=16):
+    dc = DiagnosedCluster(uniform_config(4, 3, 50), seed=11)
+    dc.cluster.add_scenario(scenario_factory(dc.cluster.streams))
+    dc.run_rounds(rounds)
+    return {node: dc.health_vectors(node) for node in range(1, 5)}
+
+
+@pytest.mark.parametrize("factory", [
+    lambda streams: SlotBurst(round_index=6, slot=2, n_slots=2),
+    lambda streams: crash(3, from_round=6),
+    lambda streams: every_nth_round(2, period=2, start_round=6,
+                                    occurrences=4),
+    lambda streams: SenderFault(4, kind="asymmetric", rounds=[6],
+                                detectable_by=[1]),
+    lambda streams: BusBurst(0.015, 0.004, cause="noise"),
+    lambda streams: RandomSlotNoise(0.1, rng=streams.stream("dn"),
+                                    rng_stream="dn"),
+    lambda streams: PoissonTransients(40.0, 0.001,
+                                      rng=streams.stream("dp"),
+                                      rng_stream="dp"),
+    lambda streams: IntermittentSender(2, 4.0, rng=streams.stream("di"),
+                                       rng_stream="di"),
+], ids=["slot-burst", "crash", "blinking", "asymmetric", "bus-burst",
+        "noise", "poisson", "intermittent"])
+def test_rebuilt_scenario_injects_identically(factory):
+    direct = _run_with(factory)
+    rebuilt = _run_with(
+        lambda streams: type(factory(RandomStreams(0))).from_dict(
+            factory(RandomStreams(0)).to_dict(), streams=streams))
+    assert rebuilt == direct

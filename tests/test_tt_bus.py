@@ -3,7 +3,6 @@
 import pytest
 
 from repro.faults.injector import InjectionLayer
-from repro.faults.model import FaultDirective
 from repro.faults.scenarios import ChannelBurst, SenderFault
 from repro.sim.engine import Engine
 from repro.sim.trace import Trace

@@ -1,0 +1,34 @@
+"""Single-source-of-truth check for the package version.
+
+The version lives in exactly two places that must agree —
+``pyproject.toml`` and ``repro.__version__`` — and nowhere else
+(``setup.py`` is a metadata-free shim).
+"""
+
+import re
+from pathlib import Path
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _pyproject_version() -> str:
+    text = (REPO_ROOT / "pyproject.toml").read_text()
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+    assert match, "pyproject.toml has no version field"
+    return match.group(1)
+
+
+def test_pyproject_and_package_versions_agree():
+    assert repro.__version__ == _pyproject_version()
+
+
+def test_version_is_pep440_like():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+
+def test_setup_py_carries_no_version_literal():
+    text = (REPO_ROOT / "setup.py").read_text()
+    assert "version" not in text, (
+        "setup.py must stay a bare shim; version belongs in pyproject.toml")
