@@ -17,10 +17,12 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
 
 # Quick benchmark smoke: reduced rounds, publishes the headline
-# BENCH_simulator_throughput.json at the repo root (same job CI runs).
+# BENCH_simulator_throughput.json at the repo root (same job CI runs),
+# including the warm-cache campaign throughput point.
 bench:
 	REPRO_BENCH_ROUNDS=50 PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/bench_simulator_throughput.py --benchmark-only -s
+	@$(PYTHON) -c "import json; c = json.load(open('BENCH_simulator_throughput.json'))['campaign_cache']; print('campaign cache: %d tasks, cold %.2fs, warm %.3fs (%.1fx)' % (c['tasks'], c['cold_s'], c['warm_s'], c['speedup']))"
 
 bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

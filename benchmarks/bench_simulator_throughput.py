@@ -12,14 +12,17 @@ runs (CI uses 50; the default 200 is the tracked-artefact setting).
 """
 
 import os
+import tempfile
 import time
 
 from conftest import emit, emit_json
 
 from repro.analysis.reporting import render_table
+from repro.campaign import run_campaign, validation_campaign
 from repro.core.config import uniform_config
 from repro.core.service import DiagnosedCluster
 from repro.faults.scenarios import crash
+from repro.store import ResultStore
 
 ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "200"))
 
@@ -61,6 +64,29 @@ def test_throughput_n16(benchmark):
     benchmark(run_cluster, 16)
 
 
+def _campaign_cache_point() -> dict:
+    """Cold vs warm wall time for a small campaign through the store."""
+    definition = validation_campaign(repetitions=1)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with ResultStore(cache_dir) as store:
+            start = time.perf_counter()
+            cold = run_campaign(definition.labeled_specs, store=store)
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = run_campaign(definition.labeled_specs, store=store)
+            warm_s = time.perf_counter() - start
+    assert cold.misses == len(definition.labeled_specs)
+    assert warm.hits == len(definition.labeled_specs)
+    return {
+        "tasks": len(definition.labeled_specs),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_hits": warm.hits,
+        "warm_tasks_per_s": round(warm.hits / warm_s, 1),
+        "speedup": round(cold_s / warm_s, 2),
+    }
+
+
 def test_throughput_summary(benchmark):
     def measure():
         points = []
@@ -80,15 +106,19 @@ def test_throughput_summary(benchmark):
         sustained["speedup"] = round(
             sustained["bitset_rounds_per_s"]
             / sustained["tuple_rounds_per_s"], 2)
-        return points, sustained
+        return points, sustained, _campaign_cache_point()
 
-    points, sustained = benchmark.pedantic(measure, rounds=1, iterations=1)
+    points, sustained, campaign_cache = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
     rows = [(p["n_nodes"], p["rounds"],
              f"{p['rounds_per_s']:,.0f} rounds/s",
              f"{p['slots_per_s']:,.0f} slots/s") for p in points]
     rows.append((f"{SUSTAINED_N} (faulty)", ROUNDS,
                  f"{sustained['bitset_rounds_per_s']:,.0f} rounds/s",
                  f"{sustained['speedup']}x vs tuple plane"))
+    rows.append(("campaign (warm)", campaign_cache["tasks"],
+                 f"{campaign_cache['warm_tasks_per_s']:,.0f} tasks/s",
+                 f"{campaign_cache['speedup']}x vs cold"))
     emit("simulator_throughput", render_table(
         ["N", "rounds simulated", "throughput", "slot throughput"],
         rows, title="Substrate throughput (full diagnostic stack)"))
@@ -98,4 +128,5 @@ def test_throughput_summary(benchmark):
                    "rounds_per_point": ROUNDS},
         "points": points,
         "sustained_fault": sustained,
+        "campaign_cache": campaign_cache,
     }, to_root=True)

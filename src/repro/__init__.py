@@ -26,7 +26,13 @@ The library provides:
   specifications: one :class:`~repro.spec.RunSpec` describes any
   cluster variant, scenario set and reducer, and one build path
   assembles and executes it (serially, in worker pools, or from the
-  ``repro-diag run`` CLI).
+  ``repro-diag run`` CLI);
+* :mod:`repro.store` — a content-addressed result store (sqlite
+  index + append-only shards) keyed by spec digest, reducer and
+  package version, with corruption-tolerant reads and GC;
+* :mod:`repro.campaign` — a store-first campaign engine with
+  checkpoint/resume, bounded retries and per-task deadlines, behind
+  ``repro-diag campaign run|status|gc``.
 
 Quickstart::
 
@@ -72,7 +78,7 @@ from .spec import (
 )
 from .tt import Cluster, TimeBase
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CriticalityClass",

@@ -1,0 +1,69 @@
+"""Persistent campaigns: store-first, resumable, fault-tolerant sweeps.
+
+This package turns a list of :class:`~repro.spec.RunSpec` values into
+a production-grade campaign run::
+
+    from repro.campaign import run_campaign, validation_campaign
+    from repro.store import ResultStore
+
+    definition = validation_campaign(repetitions=100)
+    with ResultStore("/var/cache/repro") as store:
+        result = run_campaign(definition.labeled_specs, store=store,
+                              jobs=8, task_timeout=300.0)
+    result.raise_first_error()
+    print(definition.render(definition.aggregate(result.results)))
+
+* :mod:`repro.campaign.engine` — the engine: consult the store first,
+  dispatch only misses, checkpoint completed chunks, retry failures
+  with bounded backoff, enforce per-task deadlines;
+* :mod:`repro.campaign.state` — the atomic checkpoint state file
+  behind ``--resume`` and ``campaign status``;
+* :mod:`repro.campaign.definitions` — the paper's sweeps as named
+  campaign definitions, plus the deterministic result document.
+
+The CLI surface is ``repro-diag campaign run|status|gc``.
+"""
+
+from .definitions import (
+    CAMPAIGN_RESULT_SCHEMA,
+    NAMED_CAMPAIGNS,
+    CampaignDefinition,
+    build_campaign,
+    result_document,
+    spec_file_campaign,
+    table2_campaign,
+    validation_campaign,
+)
+from .engine import (
+    CampaignFailedError,
+    CampaignResult,
+    CampaignTask,
+    InterruptedCampaignError,
+    TaskTimeout,
+    campaign_tasks,
+    execute_spec_task,
+    run_campaign,
+)
+from .state import CampaignState, campaign_id, load_all_states
+
+__all__ = [
+    "CAMPAIGN_RESULT_SCHEMA",
+    "NAMED_CAMPAIGNS",
+    "CampaignDefinition",
+    "CampaignFailedError",
+    "CampaignResult",
+    "CampaignState",
+    "CampaignTask",
+    "InterruptedCampaignError",
+    "TaskTimeout",
+    "build_campaign",
+    "campaign_id",
+    "campaign_tasks",
+    "execute_spec_task",
+    "load_all_states",
+    "result_document",
+    "run_campaign",
+    "spec_file_campaign",
+    "table2_campaign",
+    "validation_campaign",
+]

@@ -1,0 +1,218 @@
+"""Named campaign definitions: the paper's sweeps as campaign inputs.
+
+A :class:`CampaignDefinition` bundles what the engine needs (ordered,
+labelled specs), what reports need (the semantic parameters), and what
+humans need (an ``aggregate`` over task-order results plus a ``render``
+to text).  The pre-built sweeps in :mod:`repro.runner.sweep` and the
+``repro-diag campaign`` CLI both build these — the enumeration logic
+lives here exactly once.
+
+:func:`result_document` serializes a finished campaign into the stable
+JSON document the CLI's ``--out`` writes: per-task results through the
+store codec plus the task-order merged metrics snapshot, with no
+execution details (worker counts, cache hits, timings) — so the file
+is byte-identical across ``--jobs`` values, across cold/warm caches,
+and across kill/resume cycles.  That file *is* the acceptance check
+for the checkpoint/resume path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..analysis.reporting import render_table
+from ..runner.pool import TaskError
+from ..spec import RunSpec
+from ..store.result_store import encode_value
+from .engine import CampaignResult
+
+#: Schema tag of the ``campaign run --out`` document.
+CAMPAIGN_RESULT_SCHEMA = "repro-campaign-result/1"
+
+
+@dataclass(frozen=True)
+class CampaignDefinition:
+    """One named campaign: labelled specs plus aggregation/rendering."""
+
+    name: str
+    labeled_specs: List[Tuple[str, RunSpec]]
+    #: Semantic parameters only (seeds, sizes, reps) — never worker
+    #: counts — so reports derived from them stay byte-diffable.
+    params: Dict[str, Any]
+    #: Task-order results -> aggregate value.
+    aggregate: Callable[[List[Any]], Any]
+    #: Aggregate value -> human-readable text.
+    render: Callable[[Any], str]
+
+
+def validation_campaign(repetitions: int = 5,
+                        n_nodes: int = 4) -> CampaignDefinition:
+    """The Sec. 8 fault-injection campaign as a campaign definition."""
+    from ..experiments.validation import CampaignSummary, validation_specs
+
+    labeled = validation_specs(repetitions, n_nodes)
+
+    def aggregate(results: List[Any]) -> "CampaignSummary":
+        summary = CampaignSummary()
+        for (cls, _spec), result in zip(labeled, results):
+            summary.add(cls, result.passed)
+        return summary
+
+    def render(summary: "CampaignSummary") -> str:
+        rates = summary.pass_rates()
+        rows = [(cls, len(outcomes), f"{100 * rates[cls]:.0f}%")
+                for cls, outcomes in sorted(summary.results.items())]
+        table = render_table(
+            ["experiment class", "injections", "pass rate"], rows,
+            title=f"Sec. 8 validation campaign "
+                  f"({summary.total_injections} injections)")
+        return f"{table}\nall passed: {summary.all_passed}"
+
+    return CampaignDefinition(
+        name="validate", labeled_specs=labeled,
+        params={"reps": repetitions, "nodes": n_nodes},
+        aggregate=aggregate, render=render)
+
+
+def table2_campaign(seed: int = 0,
+                    round_length: float = None) -> CampaignDefinition:
+    """The Sec. 9 tuning experiment as a campaign definition."""
+    from ..core.config import (
+        AEROSPACE_TOLERATED_OUTAGE,
+        AUTOMOTIVE_TOLERATED_OUTAGE,
+        PAPER_REWARD_THRESHOLD,
+    )
+    from ..experiments.table2 import Table2Row, penalty_budget_spec
+    from ..tt.cluster import PAPER_ROUND_LENGTH
+
+    if round_length is None:
+        round_length = PAPER_ROUND_LENGTH
+    domains = (("Automotive", AUTOMOTIVE_TOLERATED_OUTAGE),
+               ("Aerospace", AEROSPACE_TOLERATED_OUTAGE))
+    labeled: List[Tuple[str, RunSpec]] = []
+    keys: List[Tuple[str, Any, float]] = []
+    for domain, outages in domains:
+        for cls, outage in outages.items():
+            keys.append((domain, cls, outage))
+            labeled.append((
+                f"{domain}:{cls.name}",
+                penalty_budget_spec(outage, seed=seed,
+                                    round_length=round_length)))
+
+    def aggregate(results: List[Any]) -> List["Table2Row"]:
+        measured = {(domain, cls): budget
+                    for (domain, cls, _outage), budget in
+                    zip(keys, results)}
+        rows: List[Table2Row] = []
+        for domain, outages in domains:
+            penalty_threshold = max(measured[(domain, cls)]
+                                    for cls in outages)
+            for cls, outage in outages.items():
+                budget = measured[(domain, cls)]
+                rows.append(Table2Row(
+                    domain=domain,
+                    criticality_class=cls,
+                    tolerated_outage=outage,
+                    measured_budget=budget,
+                    criticality=math.ceil(penalty_threshold / budget),
+                    penalty_threshold=penalty_threshold,
+                    reward_threshold=PAPER_REWARD_THRESHOLD,
+                    round_length=round_length,
+                ))
+        return rows
+
+    def render(rows: List["Table2Row"]) -> str:
+        cells = [(r.domain, r.criticality_class.name,
+                  f"{r.tolerated_outage * 1e3:.0f} ms", r.measured_budget,
+                  r.criticality, r.penalty_threshold,
+                  f"{r.reward_threshold:.0e}") for r in rows]
+        return render_table(
+            ["Domain", "Class", "Tolerated outage", "Measured budget",
+             "Crit. lvl (s_i)", "P", "R"],
+            cells, title="Table 2: experimental tuning of the p/r algorithm")
+
+    return CampaignDefinition(
+        name="table2", labeled_specs=labeled,
+        params={"seed": seed, "round_length": round_length},
+        aggregate=aggregate, render=render)
+
+
+def spec_file_campaign(path: str, text: str) -> CampaignDefinition:
+    """An ad-hoc campaign from a RunSpec JSON file (object or array)."""
+    import json
+
+    data = json.loads(text)
+    spec_dicts = data if isinstance(data, list) else [data]
+    labeled = []
+    for spec_dict in spec_dicts:
+        spec = RunSpec.from_dict(spec_dict)
+        labeled.append((spec.digest(), spec))
+
+    def aggregate(results: List[Any]) -> List[Any]:
+        return results
+
+    def render(results: List[Any]) -> str:
+        return "\n".join(str(result) for result in results)
+
+    return CampaignDefinition(
+        name="spec-file", labeled_specs=labeled,
+        params={"specs": len(labeled)},
+        aggregate=aggregate, render=render)
+
+
+#: Campaigns addressable by name from the CLI.
+NAMED_CAMPAIGNS = ("validate", "table2")
+
+
+def build_campaign(name: str, reps: int = 5, nodes: int = 4,
+                   seed: int = 0) -> CampaignDefinition:
+    """Build a named campaign with its CLI-facing knobs."""
+    if name == "validate":
+        return validation_campaign(repetitions=reps, n_nodes=nodes)
+    if name == "table2":
+        return table2_campaign(seed=seed)
+    raise ValueError(
+        f"unknown campaign {name!r}; named campaigns: {NAMED_CAMPAIGNS}")
+
+
+def result_document(definition: CampaignDefinition,
+                    result: CampaignResult) -> Dict[str, Any]:
+    """The deterministic ``--out`` document for a finished campaign.
+
+    Execution details (jobs, hit counts, retry counts) are deliberately
+    absent; see the module docstring.
+    """
+    tasks = []
+    for task, value in zip(result.tasks, result.results):
+        entry: Dict[str, Any] = {"label": task.label,
+                                 "digest": task.spec.digest(),
+                                 "key": task.key}
+        if isinstance(value, TaskError):
+            entry["error"] = {"type": value.error_type,
+                              "message": value.message,
+                              "timed_out": value.timed_out}
+        else:
+            enc, payload = encode_value(value)
+            entry["result"] = {"enc": enc, "payload": payload}
+        tasks.append(entry)
+    return {
+        "schema": CAMPAIGN_RESULT_SCHEMA,
+        "campaign": definition.name,
+        "params": dict(definition.params),
+        "tasks": tasks,
+        "metrics": result.merged_snapshot(),
+    }
+
+
+__all__ = [
+    "CAMPAIGN_RESULT_SCHEMA",
+    "NAMED_CAMPAIGNS",
+    "CampaignDefinition",
+    "build_campaign",
+    "result_document",
+    "spec_file_campaign",
+    "table2_campaign",
+    "validation_campaign",
+]

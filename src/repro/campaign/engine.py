@@ -1,0 +1,315 @@
+"""The campaign engine: store-first, checkpointed, fault-tolerant runs.
+
+A *campaign* is an ordered list of :class:`~repro.spec.RunSpec` values
+(Monte Carlo repetitions, tuning grids, regression suites) whose
+results aggregate into one artefact.  :func:`run_campaign` executes a
+campaign with three guarantees the bare sweep layer never had:
+
+1. **Store-first execution.**  Every task's content address
+   (:func:`repro.store.store_key`) is consulted against a
+   :class:`~repro.store.ResultStore` before any work is dispatched;
+   hits replay the cached result *and* its metrics snapshot, so a
+   fully-warm campaign is pure index lookups and its merged metrics
+   are byte-identical to an uncached ``jobs=1`` run.
+2. **Checkpoint/resume.**  Completed tasks are committed to the store
+   chunk by chunk, and a tiny atomic state file
+   (:mod:`repro.campaign.state`) tracks progress.  A campaign killed
+   mid-flight resumes with ``resume=True`` (CLI ``--resume``), re-runs
+   only what the store is missing, and produces the same bytes as an
+   uninterrupted run.
+3. **Fault tolerance.**  Workers run with an optional per-task
+   deadline (SIGALRM inside the worker, so a hung task cannot wedge
+   the sweep), failures surface as structured
+   :class:`~repro.runner.pool.TaskError` values via the pool's
+   ``on_error="collect"`` mode, and failed tasks are re-dispatched
+   with bounded exponential backoff.  A task that keeps failing ends
+   up as a ``TaskError`` in its result slot — the rest of the campaign
+   completes regardless.
+
+Determinism contract: results and snapshots are merged in task order,
+cache hits replay exactly what execution produced, and the engine's own
+bookkeeping (``store.*`` / ``campaign.*`` counters on the *engine*
+registry) never leaks into the merged run metrics.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..obs.registry import NULL_REGISTRY, empty_snapshot, merge_snapshots
+from ..runner.pool import Task, TaskError, run_tasks
+from ..spec import RunSpec, run_spec_dict
+from ..store import ResultStore, store_key
+from .state import CampaignState, campaign_id
+
+#: Default number of re-dispatch rounds for failed tasks.
+DEFAULT_RETRIES = 2
+#: First retry delay in seconds; doubles per round, capped below.
+DEFAULT_BACKOFF = 0.25
+DEFAULT_MAX_BACKOFF = 2.0
+
+
+class TaskTimeout(TimeoutError):
+    """A worker task exceeded its per-task deadline."""
+
+
+class InterruptedCampaignError(RuntimeError):
+    """An unfinished checkpoint exists and ``resume`` was not requested."""
+
+
+class CampaignFailedError(RuntimeError):
+    """Raised by :meth:`CampaignResult.raise_first_error` on failures."""
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise :class:`TaskTimeout` if the body runs longer than ``seconds``.
+
+    Implemented with ``SIGALRM`` so a wedged simulation is interrupted
+    *inside the worker* instead of blocking the whole pool; silently a
+    no-op off POSIX or outside the main thread (the pool runs tasks in
+    worker main threads, so the guard holds where it matters).
+    """
+    if not seconds or seconds <= 0 or os.name != "posix" \
+            or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TaskTimeout(f"task exceeded the {seconds:g}s deadline")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_spec_task(spec_dict: dict,
+                      timeout: Optional[float] = None) -> Tuple[Any, dict]:
+    """The campaign pool worker: one metered spec run under a deadline.
+
+    Always collects metrics — the snapshot is cached alongside the
+    result so warm campaigns replay observability byte-identically.
+    """
+    with _deadline(timeout):
+        return run_spec_dict(spec_dict, collect_metrics=True)
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One campaign slot: display label, spec, and its store key."""
+
+    label: str
+    spec: RunSpec
+    key: str
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished (or partially failed) campaign produced."""
+
+    name: str
+    tasks: List[CampaignTask]
+    #: Per-task reducer results in task order; a slot holds a
+    #: :class:`TaskError` when the task exhausted its retries.
+    results: List[Any]
+    #: Per-task metrics snapshots in task order (empty for failures).
+    snapshots: List[dict]
+    hits: int = 0
+    misses: int = 0
+    #: Total task re-dispatches across all retry rounds.
+    retried: int = 0
+
+    @property
+    def errors(self) -> List[TaskError]:
+        return [r for r in self.results if isinstance(r, TaskError)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def merged_snapshot(self) -> dict:
+        """Task-order merge of every per-task metrics snapshot."""
+        return merge_snapshots(self.snapshots)
+
+    def raise_first_error(self) -> None:
+        """Raise if any task failed (for callers without partial-failure
+        handling, e.g. the plain sweeps)."""
+        errors = self.errors
+        if errors:
+            first = errors[0]
+            raise CampaignFailedError(
+                f"{len(errors)} campaign task(s) failed; first: "
+                f"task {first.index} [{self.tasks[first.index].label}] "
+                f"{first.error_type}: {first.message}")
+
+
+SpecsInput = Iterable[Union[RunSpec, Tuple[str, RunSpec]]]
+
+
+def campaign_tasks(specs: SpecsInput) -> List[CampaignTask]:
+    """Normalise an iterable of specs / ``(label, spec)`` pairs."""
+    tasks = []
+    for item in specs:
+        if isinstance(item, RunSpec):
+            label, spec = item.digest(), item
+        else:
+            label, spec = item
+        tasks.append(CampaignTask(label=label, spec=spec,
+                                  key=store_key(spec)))
+    return tasks
+
+
+def _chunks(indices: List[int], size: int) -> Iterable[List[int]]:
+    for start in range(0, len(indices), size):
+        yield indices[start:start + size]
+
+
+def _valid_payload(payload: Any) -> bool:
+    return (isinstance(payload, dict)
+            and "result" in payload and "snapshot" in payload)
+
+
+def run_campaign(specs: SpecsInput,
+                 name: str = "campaign",
+                 store: Optional[ResultStore] = None,
+                 jobs: int = 1,
+                 retries: int = DEFAULT_RETRIES,
+                 backoff: float = DEFAULT_BACKOFF,
+                 max_backoff: float = DEFAULT_MAX_BACKOFF,
+                 task_timeout: Optional[float] = None,
+                 chunk_size: Optional[int] = None,
+                 resume: bool = False,
+                 state_path: Optional[str] = None,
+                 metrics=NULL_REGISTRY,
+                 sleep: Callable[[float], None] = time.sleep
+                 ) -> CampaignResult:
+    """Run a campaign store-first with checkpointing and retries.
+
+    Without a ``store`` this degrades to a deterministic retrying sweep
+    (no persistence, no state file) — the mode the thin
+    :mod:`repro.runner.sweep` wrappers use.  With one, completed chunks
+    are committed as they finish; ``resume=True`` is required to
+    continue a campaign whose state file says it never finished (so an
+    accidental re-launch cannot silently double-run a half-done
+    campaign), and ``chunk_size`` bounds how much work a SIGKILL can
+    lose (default: ``max(4, jobs)``).
+    """
+    tasks = campaign_tasks(specs)
+    total = len(tasks)
+    metrics.counter("campaign.tasks").inc(total)
+    results: List[Any] = [None] * total
+    snapshots: List[dict] = [empty_snapshot() for _ in range(total)]
+
+    # -- store consultation (the resume path is exactly this) ----------
+    pending: List[int] = []
+    done: set = set()
+    hits = 0
+    for index, task in enumerate(tasks):
+        payload = store.get(task.key) if store is not None else None
+        if payload is not None and _valid_payload(payload):
+            results[index] = payload["result"]
+            snapshots[index] = payload["snapshot"]
+            done.add(index)
+            hits += 1
+        else:
+            pending.append(index)
+    misses = len(pending)
+
+    # -- checkpoint state ----------------------------------------------
+    state: Optional[CampaignState] = None
+    if store is not None:
+        cid = campaign_id(task.key for task in tasks)
+        if state_path is None:
+            state_path = os.path.join(store.campaign_dir, cid + ".json")
+        existing = CampaignState.load(state_path)
+        if existing is not None and existing.campaign_id == cid \
+                and existing.status == "running" and not resume:
+            raise InterruptedCampaignError(
+                f"campaign {cid} has an unfinished checkpoint at "
+                f"{state_path} ({existing.completed}/{existing.total} "
+                f"done); pass resume=True / --resume to continue it")
+        state = CampaignState(campaign_id=cid, name=name, total=total,
+                              completed=hits)
+        state.save(state_path)
+
+    def _checkpoint() -> None:
+        if state is not None:
+            state.completed = len(done)
+            state.save(state_path)
+
+    # -- dispatch misses with bounded retry ----------------------------
+    chunk = chunk_size if chunk_size and chunk_size > 0 else max(4, jobs)
+    failures: Dict[int, TaskError] = {}
+    retried = 0
+    for attempt in range(retries + 1):
+        if not pending:
+            break
+        if attempt > 0:
+            retried += len(pending)
+            metrics.counter("campaign.retries").inc(len(pending))
+            sleep(min(backoff * (2 ** (attempt - 1)), max_backoff))
+        still_failing: List[int] = []
+        for batch in _chunks(pending, chunk):
+            pool_tasks = [
+                Task(execute_spec_task, (tasks[i].spec.to_dict(),),
+                     {"timeout": task_timeout})
+                for i in batch
+            ]
+            metrics.counter("campaign.dispatched").inc(len(batch))
+            batch_results = run_tasks(pool_tasks, jobs=jobs,
+                                      on_error="collect")
+            for index, outcome in zip(batch, batch_results):
+                if isinstance(outcome, TaskError):
+                    failures[index] = replace(outcome, index=index)
+                    metrics.counter("campaign.task_errors").inc()
+                    if outcome.timed_out:
+                        metrics.counter("campaign.timeouts").inc()
+                    still_failing.append(index)
+                    continue
+                result, snapshot = outcome
+                results[index] = result
+                snapshots[index] = snapshot
+                done.add(index)
+                failures.pop(index, None)
+                if store is not None:
+                    store.put(tasks[index].key,
+                              {"result": result, "snapshot": snapshot})
+            _checkpoint()
+        pending = still_failing
+
+    # -- finalise ------------------------------------------------------
+    for index in pending:
+        results[index] = failures[index]
+        metrics.counter("campaign.failed").inc()
+    if state is not None:
+        state.failed = len(pending)
+        state.status = "failed" if pending else "completed"
+        _checkpoint()
+    return CampaignResult(name=name, tasks=tasks, results=results,
+                          snapshots=snapshots, hits=hits, misses=misses,
+                          retried=retried)
+
+
+__all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_MAX_BACKOFF",
+    "DEFAULT_RETRIES",
+    "CampaignFailedError",
+    "CampaignResult",
+    "CampaignTask",
+    "InterruptedCampaignError",
+    "TaskTimeout",
+    "campaign_tasks",
+    "execute_spec_task",
+    "run_campaign",
+]

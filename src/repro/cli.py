@@ -13,7 +13,15 @@ Installed as ``repro-diag``.  Subcommands map to the evaluation:
   :class:`~repro.spec.RunSpec` JSON (a single object or an array);
 * ``repro-diag run PATH``            — execute RunSpec JSON from a file
   or stdin (``-``), e.g.
-  ``repro-diag spec validate --reps 1 | repro-diag run -``.
+  ``repro-diag spec validate --reps 1 | repro-diag run -``;
+* ``repro-diag campaign run SOURCE`` — run a named campaign
+  (``validate``, ``table2``) or a RunSpec JSON file through the
+  persistent campaign engine: results cached by content address in the
+  store (``--store DIR``), checkpointed for ``--resume``, failed tasks
+  retried with backoff under a per-task ``--task-timeout``;
+* ``repro-diag campaign status``     — checkpoint states + store footprint;
+* ``repro-diag campaign gc``         — evict old cache entries, compact
+  the payload shards.
 
 ``validate``, ``table2``, ``stats`` and ``run`` accept
 ``--metrics-out PATH`` to write a deterministic JSON run report (see
@@ -323,6 +331,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             text = handle.read()
     data = json.loads(text)
     spec_dicts = data if isinstance(data, list) else [data]
+    try:
+        from .spec import RunSpec
+
+        for spec_dict in spec_dicts:
+            RunSpec.from_dict(spec_dict)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     collect = bool(args.metrics_out)
     kwargs = {"collect_metrics": True} if collect else {}
     tasks = [Task(run_spec_dict, (spec_dict,), dict(kwargs))
@@ -345,6 +361,129 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _write_metrics_report(args.metrics_out, "run",
                               {"specs": len(spec_dicts)}, snapshot)
     return 1 if failed else 0
+
+
+def _open_store(args, metrics):
+    """The result store the campaign commands operate on (or None)."""
+    from .store import ResultStore
+
+    if getattr(args, "no_store", False):
+        return None
+    return ResultStore(args.store, metrics=metrics)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    import os
+
+    from .campaign import (
+        NAMED_CAMPAIGNS,
+        InterruptedCampaignError,
+        build_campaign,
+        result_document,
+        run_campaign,
+        spec_file_campaign,
+    )
+    from .obs import MetricsRegistry, render_text
+
+    if args.source in NAMED_CAMPAIGNS:
+        definition = build_campaign(args.source, reps=args.reps,
+                                    nodes=args.nodes, seed=args.seed)
+    elif os.path.isfile(args.source) or args.source == "-":
+        text = (sys.stdin.read() if args.source == "-" else
+                open(args.source, "r", encoding="utf-8").read())
+        try:
+            definition = spec_file_campaign(args.source, text)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        print(f"error: {args.source!r} is neither a named campaign "
+              f"{NAMED_CAMPAIGNS} nor a spec file", file=sys.stderr)
+        return 2
+
+    engine_metrics = MetricsRegistry()
+    store = _open_store(args, engine_metrics)
+    try:
+        result = run_campaign(
+            definition.labeled_specs, name=definition.name, store=store,
+            jobs=args.jobs, retries=args.retries,
+            task_timeout=args.task_timeout, resume=args.resume,
+            metrics=engine_metrics)
+    except InterruptedCampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        if store is not None:
+            store.close()
+
+    errors = result.errors
+    if not errors:
+        print(definition.render(definition.aggregate(result.results)))
+    else:
+        for error in errors:
+            label = result.tasks[error.index].label
+            print(f"task {error.index} [{label}] failed: "
+                  f"{error.error_type}: {error.message}")
+    print(f"{len(result.tasks)} task(s): {result.hits} cached, "
+          f"{result.misses} executed, {result.retried} retried, "
+          f"{len(errors)} failed")
+    if args.verbose_stats:
+        print()
+        print(render_text(engine_metrics.snapshot(),
+                          title="campaign engine counters"))
+    if args.out:
+        from .obs.export import render_json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(render_json(result_document(definition, result)))
+        print(f"campaign results written to {args.out}")
+    if args.metrics_out:
+        _write_metrics_report(args.metrics_out, "campaign",
+                              dict(definition.params,
+                                   campaign=definition.name),
+                              result.merged_snapshot())
+    return 1 if errors else 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .campaign.state import load_all_states
+    from .obs import MetricsRegistry
+
+    store = _open_store(args, MetricsRegistry(enabled=False))
+    try:
+        states = load_all_states(store.campaign_dir)
+        rows = [(s.campaign_id, s.name, s.status,
+                 f"{s.completed}/{s.total}", s.failed)
+                for s in states]
+        if rows:
+            print(render_table(
+                ["campaign", "name", "status", "done", "failed"], rows,
+                title=f"campaign checkpoints in {store.campaign_dir}"))
+        else:
+            print(f"no campaign checkpoints in {store.campaign_dir}")
+        stats = store.stats()
+        print(f"store: {stats['entries']} cached result(s), "
+              f"{stats['shard_bytes']} payload byte(s) in {stats['root']}")
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_campaign_gc(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry
+
+    store = _open_store(args, MetricsRegistry(enabled=False))
+    try:
+        max_age = args.max_age_days * 86400.0 \
+            if args.max_age_days is not None else None
+        stats = store.gc(max_entries=args.max_entries,
+                         max_age_seconds=max_age)
+    finally:
+        store.close()
+    print(f"gc: evicted {stats.evicted} entrie(s), dropped "
+          f"{stats.orphans_dropped} stale record(s), kept {stats.kept}; "
+          f"shards {stats.bytes_before} -> {stats.bytes_after} bytes")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -400,6 +539,62 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cluster size (validate only)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_spec)
+
+    p = sub.add_parser("campaign",
+                       help="persistent campaigns: cached, resumable, "
+                            "fault-tolerant sweeps")
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    p = campaign_sub.add_parser(
+        "run", help="run a named campaign (validate, table2) or a "
+                    "RunSpec JSON file through the campaign engine")
+    p.add_argument("source",
+                   help="campaign name (validate, table2), a RunSpec "
+                        "JSON file, or - for stdin")
+    p.add_argument("--reps", type=int, default=5,
+                   help="repetitions per class (validate)")
+    p.add_argument("--nodes", type=int, default=4,
+                   help="cluster size (validate)")
+    p.add_argument("--seed", type=int, default=0, help="seed (table2)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (results identical for any value)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="result store directory (default: REPRO_CACHE_DIR "
+                        "or ~/.cache/repro-diag)")
+    p.add_argument("--no-store", action="store_true",
+                   help="run without the persistent store (no caching, "
+                        "no checkpointing)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue a campaign whose checkpoint says it "
+                        "never finished")
+    p.add_argument("--retries", type=int, default=2,
+                   help="re-dispatch rounds for failed tasks")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-task deadline enforced inside the worker")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the deterministic campaign result JSON "
+                        "(byte-identical across --jobs, cache state and "
+                        "kill/resume cycles)")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="write a deterministic JSON metrics report")
+    p.add_argument("--verbose-stats", action="store_true",
+                   help="also print the engine's store/retry counters")
+    p.set_defaults(func=_cmd_campaign_run)
+
+    p = campaign_sub.add_parser(
+        "status", help="show campaign checkpoints and store footprint")
+    p.add_argument("--store", metavar="DIR", default=None)
+    p.set_defaults(func=_cmd_campaign_status)
+
+    p = campaign_sub.add_parser(
+        "gc", help="evict old cache entries and compact payload shards")
+    p.add_argument("--store", metavar="DIR", default=None)
+    p.add_argument("--max-entries", type=int, default=None,
+                   help="keep at most this many entries (LRU eviction)")
+    p.add_argument("--max-age-days", type=float, default=None,
+                   help="evict entries unused for this many days")
+    p.set_defaults(func=_cmd_campaign_gc)
 
     p = sub.add_parser("run", help="execute RunSpec JSON from a file "
                                    "or stdin (-)")

@@ -19,11 +19,12 @@ The ``repro-diag validate --jobs N`` CLI flag and the campaign
 benchmarks are wired through these sweeps.
 """
 
-from .pool import Task, derive_task_seeds, run_tasks
+from .pool import Task, TaskError, derive_task_seeds, run_tasks
 from .sweep import run_table2_sweep, run_validation_sweep, spec_task
 
 __all__ = [
     "Task",
+    "TaskError",
     "derive_task_seeds",
     "run_tasks",
     "run_table2_sweep",

@@ -19,15 +19,27 @@ a worker meters its run through a process-local
 of its result; the caller merges snapshots in submission order with
 :func:`repro.obs.merge_snapshots` (commutative integer addition), so
 the merged report is byte-identical for every ``jobs`` value.
+
+Failure semantics are explicit: with ``on_error="collect"`` a raising
+task becomes a structured :class:`TaskError` *in its slot* of the
+result list, so sibling results survive partial failure and callers —
+the campaign retry loop above all — can re-dispatch exactly the failed
+slots.  The default ``on_error="raise"`` still propagates the first
+exception (in task order) for callers that treat any failure as fatal,
+but only after every submitted future has been gathered, so the pool
+always shuts down cleanly.
 """
 
 from __future__ import annotations
 
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.rng import derive_seed
+
+_ON_ERROR_MODES = ("raise", "collect")
 
 
 @dataclass(frozen=True)
@@ -44,6 +56,41 @@ class Task:
     kwargs: Dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class TaskError:
+    """Structured record of one task's failure (``on_error="collect"``).
+
+    Sits in the failed task's slot of the :func:`run_tasks` result list
+    so the caller keeps every sibling result and knows exactly which
+    indices to retry.  ``error_type`` is the exception class name,
+    ``traceback`` the formatted worker-side traceback (best effort: an
+    exception that crossed a process boundary reformats without the
+    worker frames).
+    """
+
+    index: int
+    error_type: str
+    message: str
+    traceback: str = ""
+    timed_out: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "timeout" if self.timed_out else "error"
+        return (f"TaskError(task {self.index}: {kind} "
+                f"{self.error_type}: {self.message})")
+
+
+def _task_error(index: int, exc: BaseException) -> TaskError:
+    return TaskError(
+        index=index,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        traceback="".join(_traceback.format_exception(
+            type(exc), exc, exc.__traceback__)),
+        timed_out=isinstance(exc, TimeoutError),
+    )
+
+
 def derive_task_seeds(master_seed: int, name: str, count: int) -> List[int]:
     """Stable per-repetition seeds for a named experiment class.
 
@@ -57,22 +104,56 @@ def derive_task_seeds(master_seed: int, name: str, count: int) -> List[int]:
     return [derive_seed(master_seed, f"{name}:{i}") for i in range(count)]
 
 
-def run_tasks(tasks: Sequence[Task], jobs: int = 1) -> List[Any]:
+def run_tasks(tasks: Sequence[Task], jobs: int = 1,
+              on_error: str = "raise") -> List[Any]:
     """Execute ``tasks`` and return their results in task order.
 
     ``jobs <= 1`` runs serially in-process (the reference execution).
     ``jobs > 1`` fans out over a :class:`ProcessPoolExecutor` with that
     many workers; futures are gathered in submission order, so the
     returned list is identical to the serial one regardless of worker
-    timing.  A task that raises propagates its exception to the caller
-    (after the pool shuts down), matching serial behaviour.
+    timing.
+
+    ``on_error`` selects the failure contract:
+
+    * ``"raise"`` (default) — the first failing task's exception (in
+      task order) propagates to the caller after the pool shuts down;
+    * ``"collect"`` — every task runs, and a failing task's slot holds
+      a :class:`TaskError` instead of a result, so partial failure
+      keeps every sibling result.
     """
+    if on_error not in _ON_ERROR_MODES:
+        raise ValueError(
+            f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}")
     if jobs <= 1:
-        return [task.fn(*task.args, **task.kwargs) for task in tasks]
+        if on_error == "raise":
+            return [task.fn(*task.args, **task.kwargs) for task in tasks]
+        results: List[Any] = []
+        for index, task in enumerate(tasks):
+            try:
+                results.append(task.fn(*task.args, **task.kwargs))
+            except Exception as exc:
+                results.append(_task_error(index, exc))
+        return results
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [pool.submit(task.fn, *task.args, **task.kwargs)
                    for task in tasks]
-        return [future.result() for future in futures]
+        results = []
+        first_error: Optional[BaseException] = None
+        for index, future in enumerate(futures):
+            exc = future.exception()
+            if exc is None:
+                results.append(future.result())
+            elif on_error == "collect":
+                results.append(_task_error(index, exc))
+            elif first_error is None:
+                first_error = exc
+                results.append(None)
+            else:
+                results.append(None)
+    if on_error == "raise" and first_error is not None:
+        raise first_error
+    return results
 
 
-__all__ = ["Task", "derive_task_seeds", "run_tasks"]
+__all__ = ["Task", "TaskError", "derive_task_seeds", "run_tasks"]

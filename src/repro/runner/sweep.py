@@ -1,15 +1,12 @@
-"""Pre-built parallel sweeps of the paper's experiment campaigns.
+"""Pre-built parallel sweeps, now thin wrappers over the campaign engine.
 
-Each sweep enumerates a serial campaign from :mod:`repro.experiments`
-as serializable :class:`~repro.spec.RunSpec` values — generated in
-exactly the serial loop order, same experiment-class names, same
-per-repetition seeds — and fans them out with
-:func:`~repro.runner.pool.run_tasks`.  Every task is the same generic
-worker, :func:`repro.spec.run_spec_dict`, applied to the spec's plain
-``to_dict`` form; the workers rebuild the spec, resolve its named
-reducer and return the reduced result, so the pool pickles nothing but
-dicts of JSON-native values.  Results merge back in task-submission
-order.  Consequences:
+Each sweep names a campaign definition from
+:mod:`repro.campaign.definitions` — the exact serial loop order, the
+same experiment-class names, the same per-repetition seeds — and hands
+it to :func:`repro.campaign.run_campaign`, which dispatches the specs
+through the process pool (every task is the same generic metered
+worker) and merges results back in task-submission order.
+Consequences, unchanged from the pre-campaign sweeps:
 
 * ``run_validation_sweep(reps, jobs=1)`` reproduces
   :func:`repro.experiments.validation.run_validation_campaign`
@@ -17,33 +14,25 @@ order.  Consequences:
 * likewise ``run_table2_sweep(jobs=N)`` vs
   :func:`repro.experiments.table2.table2`.
 
-With ``collect_metrics`` each worker meters its run through a fresh
-in-process registry and returns ``(result, snapshot)``; snapshots are
-merged with :func:`repro.obs.merge_snapshots` in task-submission
-order, and since snapshot merging is commutative integer addition the
-merged report is identical for every ``jobs`` value.
+What the campaign engine adds on top: pass a
+:class:`~repro.store.ResultStore` as ``store`` and the sweep becomes
+persistent — completed repetitions are cached by content address and a
+re-run replays them (results *and* merged metrics byte-identical)
+without simulating anything.  With ``with_metrics`` the sweep returns
+``(aggregate, merged_snapshot)``; snapshot merging is commutative
+integer addition, so the merged report is identical for every ``jobs``
+value and every cache state.
 """
 
 from __future__ import annotations
 
-import math
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from ..core.config import (
-    AEROSPACE_TOLERATED_OUTAGE,
-    AUTOMOTIVE_TOLERATED_OUTAGE,
-    PAPER_REWARD_THRESHOLD,
-)
-from ..experiments.table2 import Table2Row, penalty_budget_spec
-from ..experiments.validation import (
-    PAPER_N_NODES,
-    CampaignSummary,
-    validation_specs,
-)
-from ..obs.registry import merge_snapshots
+from ..experiments.validation import PAPER_N_NODES
 from ..spec import RunSpec, run_spec_dict
+from ..store import ResultStore
 from ..tt.cluster import PAPER_ROUND_LENGTH
-from .pool import Task, run_tasks
+from .pool import Task
 
 
 def spec_task(spec: RunSpec, collect_metrics: bool = False) -> Task:
@@ -69,6 +58,8 @@ def validation_tasks(repetitions: int = 100,
     With ``collect_metrics`` each task returns ``(result, snapshot)``
     instead of a bare result.
     """
+    from ..experiments.validation import validation_specs
+
     return [(cls, spec_task(spec, collect_metrics))
             for cls, spec in validation_specs(repetitions, n_nodes)]
 
@@ -76,35 +67,40 @@ def validation_tasks(repetitions: int = 100,
 def run_validation_sweep(repetitions: int = 100,
                          n_nodes: int = PAPER_N_NODES,
                          jobs: int = 1,
-                         with_metrics: bool = False):
+                         with_metrics: bool = False,
+                         store: Optional[ResultStore] = None):
     """The Sec. 8 validation campaign, optionally fanned across workers.
 
     The aggregate :class:`CampaignSummary` is identical for every
     ``jobs`` value (and identical to the serial
     ``run_validation_campaign``): the specs carry explicit seeds and
-    the results are merged in task order.
+    the results are merged in task order.  A worker failure raises
+    (after the engine's bounded retries), matching serial behaviour.
 
-    With ``with_metrics`` every injection is metered through its own
-    registry and the call returns ``(summary, merged_snapshot)``.
+    With ``with_metrics`` the call returns ``(summary, snapshot)``;
+    with ``store`` the sweep consults/fills the persistent result
+    store first.
     """
-    tasks = validation_tasks(repetitions, n_nodes,
-                             collect_metrics=with_metrics)
-    results = run_tasks([task for _cls, task in tasks], jobs=jobs)
-    summary = CampaignSummary()
+    # Imported lazily: repro.campaign imports the pool from this
+    # package, so a module-level import here would be circular.
+    from ..campaign import run_campaign, validation_campaign
+
+    definition = validation_campaign(repetitions=repetitions,
+                                     n_nodes=n_nodes)
+    result = run_campaign(definition.labeled_specs, name=definition.name,
+                          store=store, jobs=jobs)
+    result.raise_first_error()
+    summary = definition.aggregate(result.results)
     if with_metrics:
-        for (cls, _task), (result, _snap) in zip(tasks, results):
-            summary.add(cls, result.passed)
-        merged = merge_snapshots(snap for _result, snap in results)
-        return summary, merged
-    for (cls, _task), result in zip(tasks, results):
-        summary.add(cls, result.passed)
+        return summary, result.merged_snapshot()
     return summary
 
 
 def run_table2_sweep(seed: int = 0,
                      round_length: float = PAPER_ROUND_LENGTH,
                      jobs: int = 1,
-                     with_metrics: bool = False):
+                     with_metrics: bool = False,
+                     store: Optional[ResultStore] = None):
     """The Sec. 9 tuning experiment, one worker per (domain, class).
 
     Decomposes :func:`~repro.experiments.table2.table2` into its
@@ -113,43 +109,15 @@ def run_table2_sweep(seed: int = 0,
     the budget measurements run at ``trace_level=0``, so the metrics
     snapshot is the only online observability these runs have.
     """
-    domains = (("Automotive", AUTOMOTIVE_TOLERATED_OUTAGE),
-               ("Aerospace", AEROSPACE_TOLERATED_OUTAGE))
-    keys: List[Tuple[str, object, float]] = []
-    tasks: List[Task] = []
-    for domain, outages in domains:
-        for cls, outage in outages.items():
-            keys.append((domain, cls, outage))
-            tasks.append(spec_task(
-                penalty_budget_spec(outage, seed=seed,
-                                    round_length=round_length),
-                collect_metrics=with_metrics))
-    results = run_tasks(tasks, jobs=jobs)
-    if with_metrics:
-        merged = merge_snapshots(snap for _budget, snap in results)
-        budgets = [budget for budget, _snap in results]
-    else:
-        budgets = results
-    measured = {(domain, cls): budget
-                for (domain, cls, _outage), budget in zip(keys, budgets)}
+    from ..campaign import run_campaign, table2_campaign
 
-    rows: List[Table2Row] = []
-    for domain, outages in domains:
-        penalty_threshold = max(measured[(domain, cls)] for cls in outages)
-        for cls, outage in outages.items():
-            budget = measured[(domain, cls)]
-            rows.append(Table2Row(
-                domain=domain,
-                criticality_class=cls,
-                tolerated_outage=outage,
-                measured_budget=budget,
-                criticality=math.ceil(penalty_threshold / budget),
-                penalty_threshold=penalty_threshold,
-                reward_threshold=PAPER_REWARD_THRESHOLD,
-                round_length=round_length,
-            ))
+    definition = table2_campaign(seed=seed, round_length=round_length)
+    result = run_campaign(definition.labeled_specs, name=definition.name,
+                          store=store, jobs=jobs)
+    result.raise_first_error()
+    rows = definition.aggregate(result.results)
     if with_metrics:
-        return rows, merged
+        return rows, result.merged_snapshot()
     return rows
 
 

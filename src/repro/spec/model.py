@@ -278,7 +278,10 @@ class RunSpec:
         data = dict(data)
         schema = data.pop("spec", RUNSPEC_SCHEMA)
         if schema != RUNSPEC_SCHEMA:
-            raise ValueError(f"unsupported spec schema {schema!r}")
+            raise ValueError(
+                f"unsupported spec schema {schema!r}: this build reads "
+                f"{RUNSPEC_SCHEMA!r} specs; re-emit the spec with "
+                f"`repro-diag spec` from the matching version")
         known = {f.name for f in fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:
@@ -307,11 +310,20 @@ class RunSpec:
         """Parse a spec previously rendered with :meth:`to_json`."""
         return cls.from_dict(json.loads(text))
 
-    def digest(self) -> str:
-        """Stable 12-hex-digit content hash of the canonical JSON form."""
+    def full_digest(self) -> str:
+        """Untruncated sha256 hex digest of the canonical JSON form.
+
+        This is the collision-resistant identity the result store keys
+        payloads by; :meth:`digest` is its 12-hex prefix, kept short for
+        display and metrics labels.
+        """
         canonical = json.dumps(self.to_dict(), sort_keys=True,
                                separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def digest(self) -> str:
+        """Stable 12-hex-digit content hash (prefix of :meth:`full_digest`)."""
+        return self.full_digest()[:12]
 
     def with_updates(self, **changes) -> "RunSpec":
         """A copy of the spec with the given fields replaced."""

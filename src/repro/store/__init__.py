@@ -1,0 +1,44 @@
+"""Content-addressed result store: cache every deterministic run once.
+
+A :class:`~repro.spec.RunSpec` is a content address — the same spec,
+reducer and package version always produce the same reduced result and
+metrics snapshot — so campaign results belong in a persistent store
+keyed by :func:`store_key`::
+
+    from repro.store import ResultStore, store_key
+
+    with ResultStore("/tmp/cache") as store:
+        key = store_key(spec)
+        cached = store.get(key)           # None on miss
+        if cached is None:
+            cached = {"result": ..., "snapshot": ...}
+            store.put(key, cached)
+
+The store survives crashes (atomic record appends, index committed
+after the payload), tolerates corruption (a damaged record reads as a
+miss and is evicted, never a crash) and supports eviction/compaction
+via :meth:`ResultStore.gc`.  See :mod:`repro.store.result_store` for
+the format and :mod:`repro.campaign` for the engine that drives it.
+"""
+
+from .result_store import (
+    COMPRESS_THRESHOLD,
+    STORE_SCHEMA,
+    GCStats,
+    ResultStore,
+    decode_value,
+    default_cache_dir,
+    encode_value,
+    store_key,
+)
+
+__all__ = [
+    "COMPRESS_THRESHOLD",
+    "STORE_SCHEMA",
+    "GCStats",
+    "ResultStore",
+    "decode_value",
+    "default_cache_dir",
+    "encode_value",
+    "store_key",
+]

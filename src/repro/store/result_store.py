@@ -1,0 +1,387 @@
+"""Content-addressed, corruption-tolerant result store for spec runs.
+
+Large campaigns (Secs. 8–9 style Monte Carlo sweeps) re-execute the
+same :class:`~repro.spec.RunSpec` values over and over — across
+resumed runs, across parameter studies sharing a baseline, across CI
+re-runs.  Every run is deterministic and content-addressed
+(:meth:`RunSpec.full_digest`), so its reduced result and metrics
+snapshot can be cached once and replayed forever.
+
+Layout under a configurable cache directory::
+
+    <root>/index.sqlite          key -> (shard, offset, length, sha256)
+    <root>/shards/<kk>.jsonl     append-only JSONL payload records
+    <root>/campaigns/<id>.json   campaign checkpoint states (see
+                                 repro.campaign.state)
+
+Design rules, in order:
+
+1. **Keys are content addresses.**  :func:`store_key` is
+   ``full_digest:reducer:package_version`` — the untruncated spec
+   hash, the reducer that produced the payload, and the code version
+   that ran it.  Upgrading the package or changing the reducer
+   naturally invalidates the cache without any explicit flush.
+2. **Writes are atomic at record granularity.**  ``put`` appends one
+   complete JSONL record (single buffered write + flush) and only then
+   commits the index row; a crash between the two leaves an orphan
+   record that GC reclaims, never a dangling index entry.
+3. **Reads never trust the shard.**  ``get`` re-verifies length, key
+   and sha256 of the record bytes; a truncated, bit-rotten or
+   mis-indexed record is dropped from the index and reported as a miss
+   (counter ``store.corrupt``), so the campaign simply re-runs that
+   task — corruption costs work, never a crash.
+4. **Payloads are typed, not pickled blindly.**  JSON-native values
+   are stored as JSON (inspectable with ``jq``); anything else falls
+   back to pickle, base64-wrapped; large payloads are zlib-compressed.
+   :func:`encode_value`/:func:`decode_value` round-trip equal values.
+
+The store is single-writer by design: only the campaign parent process
+touches it (workers ship results home through the pool), so SQLite's
+default locking is ample.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import sqlite3
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..obs.registry import NULL_REGISTRY
+
+#: Record schema tag stamped into every shard record.
+STORE_SCHEMA = "repro-store/1"
+
+#: Payloads whose serialized form exceeds this are zlib-compressed.
+COMPRESS_THRESHOLD = 4096
+
+_ENCODINGS = ("json", "json+zlib", "pickle", "pickle+zlib")
+
+
+def default_cache_dir() -> str:
+    """The store root used when none is given.
+
+    ``REPRO_CACHE_DIR`` wins; otherwise ``$XDG_CACHE_HOME/repro-diag``
+    or ``~/.cache/repro-diag``.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-diag")
+
+
+def store_key(spec, reducer: Optional[str] = None,
+              version: Optional[str] = None) -> str:
+    """The content address of one spec's reduced result.
+
+    ``full_digest`` pins the run inputs, ``reducer`` the
+    post-processing, ``version`` the code that executed — so stale
+    payloads can never shadow a changed computation.
+    """
+    if version is None:
+        from .. import __version__ as version
+    name = reducer if reducer is not None else (spec.reducer or "summary")
+    return f"{spec.full_digest()}:{name}:{version}"
+
+
+# ----------------------------------------------------------------------
+# Payload codec
+# ----------------------------------------------------------------------
+def encode_value(value: Any,
+                 compress_threshold: int = COMPRESS_THRESHOLD
+                 ) -> Tuple[str, str]:
+    """Encode ``value`` as ``(enc, payload_text)``.
+
+    JSON is preferred whenever it round-trips the value *exactly*
+    (``json.loads(json.dumps(v)) == v``); otherwise the payload is
+    pickled and base64-wrapped.  Either form is zlib-compressed past
+    ``compress_threshold`` bytes.
+    """
+    enc = None
+    try:
+        text = json.dumps(value, sort_keys=True, separators=(",", ":"))
+        if json.loads(text) == value:
+            enc = "json"
+    except (TypeError, ValueError):
+        pass
+    if enc is None:
+        raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        enc = "pickle"
+        text = base64.b64encode(raw).decode("ascii")
+    if len(text) > compress_threshold:
+        packed = zlib.compress(text.encode("utf-8"), level=6)
+        return enc + "+zlib", base64.b64encode(packed).decode("ascii")
+    return enc, text
+
+
+def decode_value(enc: str, payload: str) -> Any:
+    """Invert :func:`encode_value`."""
+    if enc not in _ENCODINGS:
+        raise ValueError(f"unknown payload encoding {enc!r}")
+    if enc.endswith("+zlib"):
+        payload = zlib.decompress(base64.b64decode(payload)).decode("utf-8")
+        enc = enc[:-len("+zlib")]
+    if enc == "json":
+        return json.loads(payload)
+    return pickle.loads(base64.b64decode(payload))
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+@dataclass
+class GCStats:
+    """Outcome of one :meth:`ResultStore.gc` pass."""
+
+    evicted: int = 0
+    orphans_dropped: int = 0
+    kept: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+
+class ResultStore:
+    """SQLite-indexed, shard-backed map from store keys to payloads.
+
+    Counters (on the registry passed as ``metrics``): ``store.hit``,
+    ``store.miss``, ``store.put``, ``store.corrupt``.  These belong to
+    the *campaign engine's* registry, never to the merged run metrics —
+    cache behaviour is an execution detail and must not perturb
+    byte-identical run reports.
+    """
+
+    def __init__(self, root: Optional[str] = None, metrics=NULL_REGISTRY,
+                 compress_threshold: int = COMPRESS_THRESHOLD) -> None:
+        self.root = root if root is not None else default_cache_dir()
+        self.metrics = metrics
+        self.compress_threshold = compress_threshold
+        self.shard_dir = os.path.join(self.root, "shards")
+        self.campaign_dir = os.path.join(self.root, "campaigns")
+        os.makedirs(self.shard_dir, exist_ok=True)
+        os.makedirs(self.campaign_dir, exist_ok=True)
+        self._db = sqlite3.connect(os.path.join(self.root, "index.sqlite"))
+        self._db.execute(
+            "CREATE TABLE IF NOT EXISTS entries ("
+            " key TEXT PRIMARY KEY,"
+            " shard TEXT NOT NULL,"
+            " offset INTEGER NOT NULL,"
+            " length INTEGER NOT NULL,"
+            " sha256 TEXT NOT NULL,"
+            " created REAL NOT NULL,"
+            " last_used REAL NOT NULL)")
+        self._db.commit()
+
+    # -- context / lifecycle -------------------------------------------
+    def close(self) -> None:
+        """Close the SQLite index handle."""
+        self._db.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self._db.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+
+    def keys(self) -> Iterator[str]:
+        """Every indexed key, sorted."""
+        for (key,) in self._db.execute(
+                "SELECT key FROM entries ORDER BY key"):
+            yield key
+
+    # -- primitives ----------------------------------------------------
+    def _shard_path(self, shard: str) -> str:
+        return os.path.join(self.shard_dir, shard)
+
+    @staticmethod
+    def _shard_for(key: str) -> str:
+        return key[:2] + ".jsonl"
+
+    def has(self, key: str) -> bool:
+        """Whether the index lists ``key`` (no payload verification)."""
+        row = self._db.execute("SELECT 1 FROM entries WHERE key = ?",
+                               (key,)).fetchone()
+        return row is not None
+
+    def get(self, key: str) -> Optional[Any]:
+        """The payload stored under ``key``, or None on miss.
+
+        Any record that fails verification (short read, key mismatch,
+        checksum mismatch, undecodable payload) is evicted from the
+        index and reported as a miss — the caller re-runs the task.
+        """
+        row = self._db.execute(
+            "SELECT shard, offset, length, sha256 FROM entries"
+            " WHERE key = ?", (key,)).fetchone()
+        if row is None:
+            self.metrics.counter("store.miss").inc()
+            return None
+        shard, offset, length, digest = row
+        record = self._read_record(shard, offset, length, digest, key)
+        if record is None:
+            self.metrics.counter("store.corrupt").inc()
+            self.metrics.counter("store.miss").inc()
+            self._db.execute("DELETE FROM entries WHERE key = ?", (key,))
+            self._db.commit()
+            return None
+        self.metrics.counter("store.hit").inc()
+        self._db.execute("UPDATE entries SET last_used = ? WHERE key = ?",
+                         (time.time(), key))
+        self._db.commit()
+        return decode_value(record["enc"], record["payload"])
+
+    def _read_record(self, shard: str, offset: int, length: int,
+                     digest: str, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._shard_path(shard), "rb") as fh:
+                fh.seek(offset)
+                blob = fh.read(length)
+        except OSError:
+            return None
+        if len(blob) != length:
+            return None  # truncated shard: skip and re-run, never crash
+        if hashlib.sha256(blob).hexdigest() != digest:
+            return None
+        try:
+            record = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("key") != key \
+                or record.get("schema") != STORE_SCHEMA:
+            return None
+        if record.get("enc") not in _ENCODINGS:
+            return None
+        return record
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (last write wins)."""
+        enc, payload = encode_value(value, self.compress_threshold)
+        line = json.dumps({"schema": STORE_SCHEMA, "key": key,
+                           "enc": enc, "payload": payload},
+                          sort_keys=True, separators=(",", ":"))
+        blob = line.encode("utf-8")
+        shard = self._shard_for(key)
+        with open(self._shard_path(shard), "ab") as fh:
+            offset = fh.tell()
+            fh.write(blob + b"\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        now = time.time()
+        self._db.execute(
+            "INSERT OR REPLACE INTO entries"
+            " (key, shard, offset, length, sha256, created, last_used)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (key, shard, offset, len(blob),
+             hashlib.sha256(blob).hexdigest(), now, now))
+        self._db.commit()
+        self.metrics.counter("store.put").inc()
+
+    # -- maintenance ---------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Index and shard footprint (for ``campaign status``)."""
+        shard_bytes = sum(
+            os.path.getsize(self._shard_path(name))
+            for name in os.listdir(self.shard_dir))
+        return {"entries": len(self), "shard_bytes": shard_bytes,
+                "root": self.root}
+
+    def gc(self, max_entries: Optional[int] = None,
+           max_age_seconds: Optional[float] = None) -> GCStats:
+        """Evict old entries and compact shards.
+
+        Entries older than ``max_age_seconds`` (by ``last_used``) go
+        first; if more than ``max_entries`` remain, the least recently
+        used excess goes too.  Shards are then rewritten to contain
+        exactly the surviving records — dropping orphans from
+        interrupted ``put``s and superseded duplicate keys — with index
+        offsets updated atomically per shard.
+        """
+        stats = GCStats(bytes_before=self.stats()["shard_bytes"])
+        now = time.time()
+        if max_age_seconds is not None:
+            cur = self._db.execute(
+                "DELETE FROM entries WHERE last_used < ?",
+                (now - max_age_seconds,))
+            stats.evicted += cur.rowcount
+        if max_entries is not None:
+            excess = len(self) - max_entries
+            if excess > 0:
+                self._db.execute(
+                    "DELETE FROM entries WHERE key IN ("
+                    " SELECT key FROM entries ORDER BY last_used ASC"
+                    f" LIMIT {int(excess)})")
+                stats.evicted += excess
+        self._db.commit()
+        stats.kept = len(self)
+        stats.orphans_dropped = self._compact()
+        stats.bytes_after = self.stats()["shard_bytes"]
+        return stats
+
+    def _compact(self) -> int:
+        """Rewrite every shard keeping only live, verifiable records.
+
+        Returns the number of shard records dropped: orphans from
+        interrupted ``put``s, records superseded by a later write of
+        the same key, evicted entries' payloads, and corrupt bytes.
+        """
+        dropped = 0
+        for shard in sorted(os.listdir(self.shard_dir)):
+            path = self._shard_path(shard)
+            if not os.path.isfile(path):
+                continue
+            rows = self._db.execute(
+                "SELECT key, offset, length, sha256 FROM entries"
+                " WHERE shard = ? ORDER BY offset", (shard,)).fetchall()
+            live = []
+            for key, offset, length, digest in rows:
+                if self._read_record(shard, offset, length, digest,
+                                     key) is not None:
+                    live.append((key, offset, length))
+                else:
+                    self._db.execute("DELETE FROM entries WHERE key = ?",
+                                     (key,))
+            with open(path, "rb") as fh:
+                total_records = sum(1 for _ in fh)
+            dropped += max(0, total_records - len(live))
+            tmp = path + ".gc"
+            new_offsets = []
+            with open(path, "rb") as src, open(tmp, "wb") as dst:
+                for key, offset, length in live:
+                    src.seek(offset)
+                    blob = src.read(length)
+                    new_offsets.append((dst.tell(), key))
+                    dst.write(blob + b"\n")
+                dst.flush()
+                os.fsync(dst.fileno())
+            os.replace(tmp, path)
+            for new_offset, key in new_offsets:
+                self._db.execute(
+                    "UPDATE entries SET offset = ? WHERE key = ?",
+                    (new_offset, key))
+            self._db.commit()
+            if not live:
+                os.remove(path)
+        self._db.execute("VACUUM")
+        return dropped
+
+
+__all__ = [
+    "COMPRESS_THRESHOLD",
+    "STORE_SCHEMA",
+    "GCStats",
+    "ResultStore",
+    "decode_value",
+    "default_cache_dir",
+    "encode_value",
+    "store_key",
+]

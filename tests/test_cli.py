@@ -146,3 +146,85 @@ def test_run_campaign_parallel_with_metrics(capsys, tmp_path):
     report = json.loads(metrics_path.read_text())
     assert any(name.startswith("spec.run.")
                for name in report["metrics"]["counters"])
+
+
+def test_run_from_stdin_accepts_campaign_array(capsys, monkeypatch):
+    import io
+
+    main(["spec", "table2"])
+    campaign = capsys.readouterr().out
+    monkeypatch.setattr("sys.stdin", io.StringIO(campaign))
+    assert main(["run", "-"]) == 0
+    out = capsys.readouterr().out
+    assert "run(s)" in out and "0 failed" in out
+
+
+def test_run_rejects_mismatched_schema(capsys, monkeypatch):
+    import io
+    import json
+
+    main(["spec", "demo"])
+    spec = json.loads(capsys.readouterr().out)
+    spec["spec"] = "repro-runspec/99"
+    monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(spec)))
+    assert main(["run", "-"]) == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "repro-runspec/99" in captured.err
+
+
+def test_campaign_run_cold_then_warm(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    args = ["campaign", "run", "validate", "--reps", "1",
+            "--store", store]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "all passed: True" in cold
+    assert "18 task(s): 0 cached, 18 executed" in cold
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "18 task(s): 18 cached, 0 executed" in warm
+
+
+def test_campaign_out_documents_byte_identical(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    cold_out = tmp_path / "cold.json"
+    warm_out = tmp_path / "warm.json"
+    assert main(["campaign", "run", "validate", "--reps", "1",
+                 "--store", store, "--jobs", "2",
+                 "--out", str(cold_out)]) == 0
+    assert main(["campaign", "run", "validate", "--reps", "1",
+                 "--store", store, "--out", str(warm_out)]) == 0
+    capsys.readouterr()
+    assert cold_out.read_bytes() == warm_out.read_bytes()
+
+
+def test_campaign_run_from_spec_file(capsys, tmp_path):
+    main(["spec", "table2"])
+    path = tmp_path / "table2.json"
+    path.write_text(capsys.readouterr().out)
+    assert main(["campaign", "run", str(path), "--no-store"]) == 0
+    out = capsys.readouterr().out
+    assert "task(s):" in out and "0 failed" in out
+
+
+def test_campaign_run_rejects_unknown_source(capsys):
+    assert main(["campaign", "run", "figure9"]) == 2
+    assert "neither a named campaign" in capsys.readouterr().err
+
+
+def test_campaign_status_and_gc(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    assert main(["campaign", "run", "validate", "--reps", "1",
+                 "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "status", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "completed" in out
+    assert "18" in out
+    assert main(["campaign", "gc", "--store", store,
+                 "--max-entries", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "evicted 14" in out
+    assert main(["campaign", "status", "--store", store]) == 0
+    assert "4 cached result(s)" in capsys.readouterr().out

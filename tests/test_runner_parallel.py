@@ -11,7 +11,7 @@ import pytest
 
 from repro.experiments.table2 import table2
 from repro.experiments.validation import run_validation_campaign
-from repro.runner.pool import Task, derive_task_seeds, run_tasks
+from repro.runner.pool import Task, TaskError, derive_task_seeds, run_tasks
 from repro.runner.sweep import (
     run_table2_sweep,
     run_validation_sweep,
@@ -43,6 +43,35 @@ class TestPool:
             run_tasks([Task(_boom)], jobs=2)
         with pytest.raises(RuntimeError, match="worker failure"):
             run_tasks([Task(_boom)], jobs=1)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_collect_mode_keeps_sibling_results(self, jobs):
+        tasks = [Task(_square, (1,)), Task(_boom), Task(_square, (3,))]
+        results = run_tasks(tasks, jobs=jobs, on_error="collect")
+        assert results[0] == 1 and results[2] == 9
+        error = results[1]
+        assert isinstance(error, TaskError)
+        assert error.index == 1
+        assert error.error_type == "RuntimeError"
+        assert error.message == "worker failure"
+        assert not error.timed_out
+        assert "RuntimeError" in error.traceback
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_collect_mode_all_failures(self, jobs):
+        results = run_tasks([Task(_boom), Task(_boom)], jobs=jobs,
+                            on_error="collect")
+        assert all(isinstance(r, TaskError) for r in results)
+        assert [r.index for r in results] == [0, 1]
+
+    def test_raise_mode_raises_first_error_in_task_order(self):
+        tasks = [Task(_square, (1,)), Task(_boom), Task(_square, (2,))]
+        with pytest.raises(RuntimeError, match="worker failure"):
+            run_tasks(tasks, jobs=2)
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_tasks([], on_error="ignore")
 
     def test_derived_seeds_stable_and_distinct(self):
         seeds = derive_task_seeds(0, "burst", 8)

@@ -226,6 +226,24 @@ class TestRunSpecRoundTrip:
         assert a.digest() != c.digest()
         assert len(a.digest()) == 12
 
+    def test_full_digest_is_untruncated_sha256(self):
+        spec = RunSpec(protocol=_protocol(), n_rounds=10)
+        full = spec.full_digest()
+        assert len(full) == 64
+        assert all(ch in "0123456789abcdef" for ch in full)
+        assert spec.digest() == full[:12]
+
+    def test_full_digest_separates_near_collisions(self):
+        # A sweep of near-identical specs must map to distinct full
+        # digests: the store keys on full_digest(), so any collision
+        # would silently replay the wrong cached result.
+        specs = [RunSpec(protocol=_protocol(),
+                         cluster=ClusterSpec(seed=seed),
+                         n_rounds=rounds)
+                 for seed in range(20) for rounds in (8, 9)]
+        digests = {spec.full_digest() for spec in specs}
+        assert len(digests) == len(specs)
+
 
 class TestBuild:
     def test_builds_each_service_class(self):
@@ -328,3 +346,14 @@ class TestExecuteAndReducers:
                                          collect_metrics=True)
         assert result == execute(spec)
         assert snapshot["counters"][PROVENANCE_PREFIX + spec.digest()] == 1
+
+    def test_run_spec_dict_rejects_mismatched_schema(self):
+        data = RunSpec(protocol=_protocol(), n_rounds=8).to_dict()
+        data["spec"] = "repro-runspec/99"
+        with pytest.raises(ValueError) as excinfo:
+            run_spec_dict(data)
+        # The error must name both the offending and the expected
+        # schema so a user can tell which side is out of date.
+        message = str(excinfo.value)
+        assert "repro-runspec/99" in message
+        assert RUNSPEC_SCHEMA in message

@@ -1,0 +1,178 @@
+"""The content-addressed result store: keys, codec, durability, GC.
+
+The store's contract is boring on the happy path (a persistent dict)
+and interesting at the edges: keys must be collision-resistant content
+addresses, payloads must round-trip arbitrary reducer results exactly,
+and any damaged record must read as a *miss* — never a crash — so a
+campaign simply re-runs the task.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import __version__
+from repro.obs import MetricsRegistry
+from repro.spec import ClusterSpec, ProtocolSpec, RunSpec
+from repro.store import (
+    ResultStore,
+    decode_value,
+    default_cache_dir,
+    encode_value,
+    store_key,
+)
+
+
+def _spec(seed=0, n_rounds=8, reducer=None):
+    return RunSpec(
+        protocol=ProtocolSpec(n_nodes=4, penalty_threshold=3,
+                              reward_threshold=50,
+                              criticalities=(1, 1, 1, 1)),
+        cluster=ClusterSpec(seed=seed),
+        n_rounds=n_rounds,
+        reducer=reducer,
+    )
+
+
+class TestStoreKey:
+    def test_key_is_full_digest_reducer_version(self):
+        spec = _spec()
+        assert store_key(spec) == \
+            f"{spec.full_digest()}:summary:{__version__}"
+        assert store_key(spec, reducer="validation.burst").endswith(
+            f":validation.burst:{__version__}")
+
+    def test_named_reducer_comes_from_spec(self):
+        spec = _spec(reducer="validation.burst")
+        assert ":validation.burst:" in store_key(spec)
+
+    def test_version_pins_the_key(self):
+        spec = _spec()
+        assert store_key(spec, version="0.0.1") != store_key(spec)
+
+    def test_distinct_specs_distinct_keys(self):
+        assert store_key(_spec(seed=0)) != store_key(_spec(seed=1))
+
+
+class TestCodec:
+    @pytest.mark.parametrize("value", [
+        {"a": 1, "b": [1, 2, 3], "c": None},
+        "plain string",
+        [True, False, 0.5],
+    ])
+    def test_json_native_values_stored_as_json(self, value):
+        enc, payload = encode_value(value)
+        assert enc == "json"
+        assert decode_value(enc, payload) == value
+
+    def test_non_json_values_fall_back_to_pickle(self):
+        value = {1: (2, 3), 4: (5,)}  # int keys don't survive JSON
+        enc, payload = encode_value(value)
+        assert enc == "pickle"
+        assert decode_value(enc, payload) == value
+
+    def test_large_payloads_compressed(self):
+        value = {"rows": list(range(5000))}
+        enc, payload = encode_value(value)
+        assert enc == "json+zlib"
+        assert decode_value(enc, payload) == value
+        assert len(payload) < len(json.dumps(value))
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError, match="unknown payload encoding"):
+            decode_value("msgpack", "x")
+
+
+class TestDefaultCacheDir:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/custom-cache")
+        assert default_cache_dir() == "/tmp/custom-cache"
+
+    def test_falls_back_to_user_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        assert default_cache_dir().endswith(
+            os.path.join(".cache", "repro-diag"))
+
+
+class TestResultStore:
+    def test_get_put_has_roundtrip(self, tmp_path):
+        metrics = MetricsRegistry()
+        with ResultStore(str(tmp_path), metrics=metrics) as store:
+            key = store_key(_spec())
+            assert store.get(key) is None
+            assert not store.has(key)
+            store.put(key, {"result": {"passed": True}, "snapshot": {}})
+            assert store.has(key)
+            assert store.get(key) == {"result": {"passed": True},
+                                      "snapshot": {}}
+        counters = metrics.snapshot()["counters"]
+        assert counters == {"store.hit": 1, "store.miss": 1, "store.put": 1}
+
+    def test_last_write_wins(self, tmp_path):
+        with ResultStore(str(tmp_path)) as store:
+            store.put("k" * 64, 1)
+            store.put("k" * 64, 2)
+            assert store.get("k" * 64) == 2
+            assert len(store) == 1
+
+    def test_survives_reopen(self, tmp_path):
+        with ResultStore(str(tmp_path)) as store:
+            store.put("a" * 64, {"v": 41})
+        with ResultStore(str(tmp_path)) as store:
+            assert store.get("a" * 64) == {"v": 41}
+
+    def test_truncated_shard_reads_as_miss(self, tmp_path):
+        metrics = MetricsRegistry()
+        with ResultStore(str(tmp_path), metrics=metrics) as store:
+            key = "b" * 64
+            store.put(key, {"big": "x" * 200})
+            shard = os.path.join(store.shard_dir, store._shard_for(key))
+            with open(shard, "r+b") as fh:
+                fh.truncate(os.path.getsize(shard) // 2)
+            assert store.get(key) is None        # skipped, not a crash
+            assert not store.has(key)            # evicted from the index
+            store.put(key, {"big": "y"})         # re-run fills it back in
+            assert store.get(key) == {"big": "y"}
+        counters = metrics.snapshot()["counters"]
+        assert counters["store.corrupt"] == 1
+
+    def test_bitflip_detected_by_checksum(self, tmp_path):
+        with ResultStore(str(tmp_path)) as store:
+            key = "c" * 64
+            store.put(key, {"value": 12345})
+            shard = os.path.join(store.shard_dir, store._shard_for(key))
+            blob = bytearray(open(shard, "rb").read())
+            blob[len(blob) // 2] ^= 0xFF
+            open(shard, "wb").write(bytes(blob))
+            assert store.get(key) is None
+
+    def test_gc_evicts_lru_and_compacts(self, tmp_path):
+        with ResultStore(str(tmp_path)) as store:
+            for i in range(10):
+                store.put(f"{i:02d}" + "e" * 62, {"i": i})
+            before = store.stats()["shard_bytes"]
+            stats = store.gc(max_entries=4)
+            assert stats.evicted == 6
+            assert stats.kept == 4
+            assert len(store) == 4
+            assert store.stats()["shard_bytes"] < before
+            # survivors still readable after shard rewrite
+            for key in list(store.keys()):
+                assert store.get(key) is not None
+
+    def test_gc_by_age(self, tmp_path):
+        with ResultStore(str(tmp_path)) as store:
+            store.put("f" * 64, 1)
+            assert store.gc(max_age_seconds=0).evicted == 1
+            assert len(store) == 0
+
+    def test_gc_drops_superseded_records(self, tmp_path):
+        with ResultStore(str(tmp_path)) as store:
+            key = "d" * 64
+            store.put(key, 1)
+            store.put(key, 2)
+            stats = store.gc()
+            assert stats.orphans_dropped == 1
+            assert store.get(key) == 2
