@@ -22,7 +22,10 @@ from repro.campaign import run_campaign, validation_campaign
 from repro.core.config import uniform_config
 from repro.core.service import DiagnosedCluster
 from repro.faults.scenarios import crash
+from repro.spec import ClusterSpec, ProtocolSpec, RunSpec, ScenarioSpec
+from repro.spec.build import build
 from repro.store import ResultStore
+from repro.vec import NUMPY_AVAILABLE
 
 ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "200"))
 
@@ -30,6 +33,12 @@ ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "200"))
 #: smaller points track the substrate overheads.
 POINTS = (4, 8, 16, 32, 64)
 SUSTAINED_N = 16
+
+#: Backend face-off points: N=64 carries the tracked >=10x acceptance
+#: target for the vectorized round kernel.
+BACKEND_POINTS = (16, 64, 128)
+MONTE_CARLO_N = 16
+MONTE_CARLO_REPLICATES = 1000
 
 
 def run_cluster(n_nodes: int, bitset: bool = True,
@@ -62,6 +71,77 @@ def test_throughput_n8(benchmark):
 
 def test_throughput_n16(benchmark):
     benchmark(run_cluster, 16)
+
+
+def _backend_spec(n_nodes: int) -> RunSpec:
+    """The sustained-fault workload as a spec both backends accept."""
+    return RunSpec(
+        protocol=ProtocolSpec(n_nodes=n_nodes,
+                              penalty_threshold=10 ** 6,
+                              reward_threshold=10 ** 6,
+                              criticalities=(1,) * n_nodes),
+        cluster=ClusterSpec(seed=0, trace_level=0),
+        scenarios=(ScenarioSpec("SenderFault",
+                                {"sender": 2, "kind": "benign",
+                                 "from_round": 2}),),
+        n_rounds=ROUNDS,
+    )
+
+
+def _event_rounds_per_s(spec: RunSpec) -> float:
+    start = time.perf_counter()
+    dc = build(spec)
+    dc.run_rounds(spec.n_rounds)
+    return spec.n_rounds / (time.perf_counter() - start)
+
+
+def _vectorized_rounds_per_s(spec: RunSpec) -> float:
+    from repro.vec import run_batch
+
+    start = time.perf_counter()
+    run_batch(spec)
+    return spec.n_rounds / (time.perf_counter() - start)
+
+
+def _backend_points() -> dict:
+    """Event vs vectorized rounds/s plus the Monte Carlo batch point.
+
+    Timings include each backend's per-run setup (spec build vs
+    schedule compilation + injection lowering), i.e. what a campaign
+    cache miss actually pays.
+    """
+    points = []
+    for n in BACKEND_POINTS:
+        spec = _backend_spec(n)
+        event = _event_rounds_per_s(spec)
+        vectorized = _vectorized_rounds_per_s(spec)
+        points.append({"n_nodes": n, "rounds": ROUNDS,
+                       "event_rounds_per_s": round(event, 1),
+                       "vectorized_rounds_per_s": round(vectorized, 1),
+                       "speedup": round(vectorized / event, 2)})
+
+    from repro.vec import run_batch
+
+    spec = _backend_spec(MONTE_CARLO_N)
+    start = time.perf_counter()
+    run_batch(spec, replicates=MONTE_CARLO_REPLICATES)
+    batch_s = time.perf_counter() - start
+    start = time.perf_counter()
+    build(spec).run_rounds(spec.n_rounds)
+    event_replicate_s = time.perf_counter() - start
+    monte_carlo = {
+        "n_nodes": MONTE_CARLO_N,
+        "replicates": MONTE_CARLO_REPLICATES,
+        "rounds_per_replicate": ROUNDS,
+        "batch_s": round(batch_s, 3),
+        "replicates_per_s": round(MONTE_CARLO_REPLICATES / batch_s, 1),
+        "event_replicates_per_s": round(1.0 / event_replicate_s, 2),
+        "speedup": round((MONTE_CARLO_REPLICATES / batch_s)
+                         * event_replicate_s, 1),
+    }
+    n64 = next(p for p in points if p["n_nodes"] == 64)
+    return {"points": points, "n64_speedup": n64["speedup"],
+            "monte_carlo": monte_carlo}
 
 
 def _campaign_cache_point() -> dict:
@@ -106,9 +186,10 @@ def test_throughput_summary(benchmark):
         sustained["speedup"] = round(
             sustained["bitset_rounds_per_s"]
             / sustained["tuple_rounds_per_s"], 2)
-        return points, sustained, _campaign_cache_point()
+        backends = _backend_points() if NUMPY_AVAILABLE else None
+        return points, sustained, _campaign_cache_point(), backends
 
-    points, sustained, campaign_cache = benchmark.pedantic(
+    points, sustained, campaign_cache, backends = benchmark.pedantic(
         measure, rounds=1, iterations=1)
     rows = [(p["n_nodes"], p["rounds"],
              f"{p['rounds_per_s']:,.0f} rounds/s",
@@ -119,14 +200,26 @@ def test_throughput_summary(benchmark):
     rows.append(("campaign (warm)", campaign_cache["tasks"],
                  f"{campaign_cache['warm_tasks_per_s']:,.0f} tasks/s",
                  f"{campaign_cache['speedup']}x vs cold"))
+    if backends:
+        for p in backends["points"]:
+            rows.append((f"{p['n_nodes']} (vectorized)", p["rounds"],
+                         f"{p['vectorized_rounds_per_s']:,.0f} rounds/s",
+                         f"{p['speedup']}x vs event backend"))
+        mc = backends["monte_carlo"]
+        rows.append((f"{mc['n_nodes']} (Monte Carlo)", mc["replicates"],
+                     f"{mc['replicates_per_s']:,.0f} replicates/s",
+                     f"{mc['speedup']}x vs per-task event runs"))
     emit("simulator_throughput", render_table(
         ["N", "rounds simulated", "throughput", "slot throughput"],
         rows, title="Substrate throughput (full diagnostic stack)"))
-    emit_json("BENCH_simulator_throughput", {
+    document = {
         "benchmark": "simulator_throughput",
         "config": {"trace_level": 0, "fault_free": True,
                    "rounds_per_point": ROUNDS},
         "points": points,
         "sustained_fault": sustained,
         "campaign_cache": campaign_cache,
-    }, to_root=True)
+    }
+    if backends:
+        document["backends"] = backends
+    emit_json("BENCH_simulator_throughput", document, to_root=True)

@@ -34,6 +34,7 @@ registry) never leaks into the merged run metrics.
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import threading
@@ -102,6 +103,46 @@ def execute_spec_task(spec_dict: dict,
     """
     with _deadline(timeout):
         return run_spec_dict(spec_dict, collect_metrics=True)
+
+
+def execute_batch_task(spec_dict: dict, seeds: List[int],
+                       timeout: Optional[float] = None
+                       ) -> List[Tuple[Any, dict]]:
+    """Pool worker for a vectorized replicate batch under one deadline.
+
+    One kernel execution simulates every seed in lockstep; the return
+    value is one ``(result, snapshot)`` pair per seed, each exactly
+    what :func:`execute_spec_task` would produce for the seed-shifted
+    spec — so batched and per-task dispatch fill the store with the
+    same bytes.
+    """
+    with _deadline(timeout):
+        from ..vec import execute_batch
+
+        spec = RunSpec.from_dict(spec_dict)
+        return execute_batch(spec, seeds=seeds, collect_metrics=True)
+
+
+def _replicate_groups(tasks: List["CampaignTask"],
+                      pending: List[int]) -> List[List[int]]:
+    """Pending vectorized tasks grouped into replicate batches.
+
+    Two tasks batch together when their specs are identical except for
+    ``cluster.seed`` — the Monte Carlo shape.  Only groups of at least
+    two are returned (singletons go through the ordinary per-task
+    worker); each group keeps task order, so results commit in the same
+    order either way.
+    """
+    groups: Dict[str, List[int]] = {}
+    for index in pending:
+        spec = tasks[index].spec
+        if spec.backend != "vectorized":
+            continue
+        data = spec.to_dict()
+        data["cluster"] = dict(data["cluster"])
+        data["cluster"].pop("seed", None)
+        groups.setdefault(json.dumps(data, sort_keys=True), []).append(index)
+    return [group for group in groups.values() if len(group) > 1]
 
 
 @dataclass(frozen=True)
@@ -259,6 +300,50 @@ def run_campaign(specs: SpecsInput,
             metrics.counter("campaign.retries").inc(len(pending))
             sleep(min(backoff * (2 ** (attempt - 1)), max_backoff))
         still_failing: List[int] = []
+
+        def _commit(index: int, result: Any, snapshot: dict) -> None:
+            results[index] = result
+            snapshots[index] = snapshot
+            done.add(index)
+            failures.pop(index, None)
+            if store is not None:
+                store.put(tasks[index].key,
+                          {"result": result, "snapshot": snapshot})
+
+        def _fail(index: int, error: TaskError) -> None:
+            failures[index] = replace(error, index=index)
+            metrics.counter("campaign.task_errors").inc()
+            if error.timed_out:
+                metrics.counter("campaign.timeouts").inc()
+            still_failing.append(index)
+
+        # Vectorized Monte Carlo misses dispatch as whole replicate
+        # batches: one pool task (and one kernel execution) per group
+        # of specs identical up to cluster.seed.
+        groups = _replicate_groups(tasks, pending)
+        if groups:
+            grouped = {index for group in groups for index in group}
+            pool_tasks = [
+                Task(execute_batch_task,
+                     (tasks[group[0]].spec.to_dict(),
+                      [tasks[i].spec.cluster.seed for i in group]),
+                     {"timeout": task_timeout})
+                for group in groups
+            ]
+            metrics.counter("campaign.dispatched").inc(len(grouped))
+            metrics.counter("campaign.batches").inc(len(groups))
+            group_results = run_tasks(pool_tasks, jobs=jobs,
+                                      on_error="collect")
+            for group, outcome in zip(groups, group_results):
+                if isinstance(outcome, TaskError):
+                    for index in group:
+                        _fail(index, outcome)
+                    continue
+                for index, (result, snapshot) in zip(group, outcome):
+                    _commit(index, result, snapshot)
+            _checkpoint()
+            pending = [i for i in pending if i not in grouped]
+
         for batch in _chunks(pending, chunk):
             pool_tasks = [
                 Task(execute_spec_task, (tasks[i].spec.to_dict(),),
@@ -270,20 +355,10 @@ def run_campaign(specs: SpecsInput,
                                       on_error="collect")
             for index, outcome in zip(batch, batch_results):
                 if isinstance(outcome, TaskError):
-                    failures[index] = replace(outcome, index=index)
-                    metrics.counter("campaign.task_errors").inc()
-                    if outcome.timed_out:
-                        metrics.counter("campaign.timeouts").inc()
-                    still_failing.append(index)
+                    _fail(index, outcome)
                     continue
                 result, snapshot = outcome
-                results[index] = result
-                snapshots[index] = snapshot
-                done.add(index)
-                failures.pop(index, None)
-                if store is not None:
-                    store.put(tasks[index].key,
-                              {"result": result, "snapshot": snapshot})
+                _commit(index, result, snapshot)
             _checkpoint()
         pending = still_failing
 
@@ -310,6 +385,7 @@ __all__ = [
     "InterruptedCampaignError",
     "TaskTimeout",
     "campaign_tasks",
+    "execute_batch_task",
     "execute_spec_task",
     "run_campaign",
 ]

@@ -320,6 +320,26 @@ def _result_passed(result) -> Optional[bool]:
     return passed
 
 
+def _apply_backend(spec_dicts: List[dict], backend: Optional[str]) -> int:
+    """Force ``backend`` onto every spec dict; 0 on success, else exit 2.
+
+    Requesting the vectorized backend without numpy installed is
+    reported here, before any dispatch, as a clean actionable message.
+    """
+    if backend:
+        if backend == "vectorized":
+            from .vec import BackendUnavailableError, require_numpy
+
+            try:
+                require_numpy()
+            except BackendUnavailableError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        for spec_dict in spec_dicts:
+            spec_dict["backend"] = backend
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .runner.pool import Task, run_tasks
     from .spec import run_spec_dict
@@ -331,6 +351,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             text = handle.read()
     data = json.loads(text)
     spec_dicts = data if isinstance(data, list) else [data]
+    status = _apply_backend(spec_dicts, getattr(args, "backend", None))
+    if status:
+        return status
     try:
         from .spec import RunSpec
 
@@ -343,7 +366,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     kwargs = {"collect_metrics": True} if collect else {}
     tasks = [Task(run_spec_dict, (spec_dict,), dict(kwargs))
              for spec_dict in spec_dicts]
-    results = run_tasks(tasks, jobs=args.jobs)
+    try:
+        results = run_tasks(tasks, jobs=args.jobs)
+    except ValueError as exc:
+        # e.g. UnsupportedSpecError: the spec asked the vectorized
+        # backend for a feature only the event engine models.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if collect:
         from .obs import merge_snapshots
 
@@ -400,6 +429,22 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         print(f"error: {args.source!r} is neither a named campaign "
               f"{NAMED_CAMPAIGNS} nor a spec file", file=sys.stderr)
         return 2
+
+    backend = getattr(args, "backend", None)
+    if backend:
+        from dataclasses import replace as _replace
+
+        if backend == "vectorized":
+            from .vec import BackendUnavailableError, require_numpy
+
+            try:
+                require_numpy()
+            except BackendUnavailableError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        definition = _replace(definition, labeled_specs=[
+            (label, _replace(spec, backend=backend))
+            for label, spec in definition.labeled_specs])
 
     engine_metrics = MetricsRegistry()
     store = _open_store(args, engine_metrics)
@@ -580,6 +625,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a deterministic JSON metrics report")
     p.add_argument("--verbose-stats", action="store_true",
                    help="also print the engine's store/retry counters")
+    p.add_argument("--backend", choices=("event", "vectorized"), default=None,
+                   help="override the simulation backend on every spec; "
+                        "vectorized Monte Carlo replicates dispatch as "
+                        "lockstep kernel batches")
     p.set_defaults(func=_cmd_campaign_run)
 
     p = campaign_sub.add_parser(
@@ -604,6 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (results identical for any value)")
     p.add_argument("--metrics-out", metavar="PATH", default=None,
                    help="write a deterministic JSON metrics report")
+    p.add_argument("--backend", choices=("event", "vectorized"), default=None,
+                   help="override the simulation backend on every spec "
+                        "(vectorized = numpy round kernel, bit-identical "
+                        "observables)")
     p.set_defaults(func=_cmd_run)
 
     for name, func, help_text in (

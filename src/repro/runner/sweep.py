@@ -26,6 +26,7 @@ value and every cache state.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Tuple
 
 from ..experiments.validation import PAPER_N_NODES
@@ -121,9 +122,45 @@ def run_table2_sweep(seed: int = 0,
     return rows
 
 
+def monte_carlo_specs(spec: RunSpec, replicates: int) -> List[RunSpec]:
+    """Seed-shifted replicate specs ``seed, seed + 1, ...`` of one spec."""
+    base_seed = spec.cluster.seed
+    return [replace(spec, cluster=replace(spec.cluster, seed=base_seed + i))
+            for i in range(replicates)]
+
+
+def run_monte_carlo_sweep(spec: RunSpec, replicates: int,
+                          jobs: int = 1,
+                          with_metrics: bool = False,
+                          store: Optional[ResultStore] = None):
+    """Monte Carlo: one spec across ``replicates`` seed-shifted copies.
+
+    Results come back in replicate order, cached per replicate by
+    content address when a ``store`` is given.  The backend decides the
+    dispatch shape: event-backend replicates run one pool task each,
+    while ``backend="vectorized"`` replicates that miss the cache are
+    simulated as a single lockstep kernel batch per retry round —
+    identical results and store bytes, one simulation instead of N.
+    With ``with_metrics`` the call returns
+    ``(results, merged_snapshot)``.
+    """
+    from ..campaign import run_campaign
+
+    specs = monte_carlo_specs(spec, replicates)
+    result = run_campaign(
+        [(f"replicate-{i}", replicate) for i, replicate in enumerate(specs)],
+        name="monte-carlo", store=store, jobs=jobs)
+    result.raise_first_error()
+    if with_metrics:
+        return result.results, result.merged_snapshot()
+    return result.results
+
+
 __all__ = [
     "spec_task",
     "validation_tasks",
+    "monte_carlo_specs",
+    "run_monte_carlo_sweep",
     "run_validation_sweep",
     "run_table2_sweep",
 ]

@@ -79,7 +79,16 @@ def execute(spec: RunSpec, reducer: Union[None, str, Any] = None,
     the default summary reducer applies.  The reducer's optional
     ``prepare`` hook runs between assembly and driving, so it can
     install probes whose observations ``reduce`` scores afterwards.
+
+    ``spec.backend`` picks the execution engine: ``"event"`` (default)
+    drives the discrete-event cluster below; ``"vectorized"`` dispatches
+    to the numpy round kernel (:mod:`repro.vec`), which produces the
+    same result and metrics for the spec shapes it supports.
     """
+    if spec.backend == "vectorized":
+        from ..vec import execute_vectorized
+
+        return execute_vectorized(spec, reducer=reducer, metrics=metrics)
     resolved = resolve_reducer(reducer if reducer is not None
                                else spec.reducer)
     target = build(spec, metrics=metrics)

@@ -48,6 +48,9 @@ from ..tt.cluster import PAPER_ROUND_LENGTH
 #: Schema tag stamped into serialized RunSpecs; bump on layout changes.
 RUNSPEC_SCHEMA = "repro-runspec/1"
 
+#: Known execution backends for :attr:`RunSpec.backend`.
+BACKENDS = ("event", "vectorized")
+
 #: Every serializable scenario class, by its ``type`` tag.
 SCENARIO_REGISTRY: Dict[str, Type[SerializableScenario]] = {
     cls.__name__: cls
@@ -252,11 +255,20 @@ class RunSpec:
     scenarios: Tuple[ScenarioSpec, ...] = ()
     n_rounds: int = 0
     reducer: Optional[str] = None
+    #: Execution backend: "event" (discrete-event engine, the oracle) or
+    #: "vectorized" (numpy round kernel, bit-identical observables).  The
+    #: backend never changes *what* is computed, only *how*, so it is
+    #: excluded from digests: results cached from one backend satisfy
+    #: requests made with the other.
+    backend: str = "event"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
         if self.n_rounds < 0:
             raise ValueError("n_rounds must be >= 0")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}")
         if self.variant.service == "lowlatency":
             if self.schedule.kind != "default":
                 raise ValueError(
@@ -267,9 +279,15 @@ class RunSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-native nested dict (schema-tagged, lossless)."""
+        """JSON-native nested dict (schema-tagged, lossless).
+
+        The default backend is omitted so specs written before the
+        backend field existed round-trip byte-identically.
+        """
         data = asdict(self)
         data["spec"] = RUNSPEC_SCHEMA
+        if data["backend"] == "event":
+            del data["backend"]
         return _json_canonical(data)
 
     @classmethod
@@ -299,6 +317,7 @@ class RunSpec:
                             for s in data.get("scenarios", ())),
             n_rounds=data.get("n_rounds", 0),
             reducer=data.get("reducer"),
+            backend=data.get("backend", "event"),
         )
 
     def to_json(self) -> str:
@@ -315,9 +334,14 @@ class RunSpec:
 
         This is the collision-resistant identity the result store keys
         payloads by; :meth:`digest` is its 12-hex prefix, kept short for
-        display and metrics labels.
+        display and metrics labels.  The execution backend is *not*
+        hashed: both backends compute the same observables, so a stored
+        event-engine result is a valid answer for a vectorized request
+        and vice versa.
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True,
+        data = self.to_dict()
+        data.pop("backend", None)
+        canonical = json.dumps(data, sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -332,6 +356,7 @@ class RunSpec:
 
 __all__ = [
     "RUNSPEC_SCHEMA",
+    "BACKENDS",
     "SCENARIO_REGISTRY",
     "ProtocolSpec",
     "ClusterSpec",

@@ -1,0 +1,140 @@
+"""Schedule compiler: lower a RunSpec's static schedule to index arrays.
+
+The event engine re-derives ``l_i`` / ``send_curr_round_i`` from each
+node's :class:`~repro.tt.schedule.StaticNodeSchedule` on every job
+execution.  For a static schedule those values never change, so the
+vectorized backend lowers them **once per spec** into flat numpy arrays
+the round kernel indexes directly:
+
+* ``l``, ``send_curr``, ``round_shift``, ``offset`` — the paper's
+  schedule constants per node, computed by the *same* functions
+  (:func:`~repro.tt.schedule.params_from_offset`,
+  :func:`~repro.tt.schedule.offset_for_exec_after`) the event engine
+  uses, so the lowering cannot drift from the oracle;
+* ``pos`` — how many slot deliveries of the physical round precede the
+  node's job (``l`` normally, ``N`` for footnote-1 shifted jobs); this
+  drives the ordering of job effects versus slot effects inside one
+  physical round;
+* ``send_curr_phys`` — whether the job *physically* precedes the node's
+  own sending slot of the round it runs in, which decides whether an
+  interface write (or a transmission-disable) taken in this round's job
+  already affects this round's own slot;
+* ``stage1`` / ``stage3`` — 0-based node indices partitioned by
+  ``round_shift``: nodes whose job belongs to the physical round
+  (executed before their unseen slots) versus footnote-1 nodes whose
+  job runs after the whole round and belongs to round ``k+1``.
+
+Within one physical round the TDMA timeline interleaves jobs and slots
+as ``tx(1) < job(l=0) < rx(1) < job(l=1) < tx(2) < ...``; because a job
+with ``pos = l`` observes exactly slots ``1..l`` and its writes reach
+slots derivable from ``send_curr_phys``, the kernel can replay the
+round in three phases (stage-1 jobs, all N slots, stage-3 jobs) and
+remain bit-identical to the fully interleaved event order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+import numpy as np
+
+from ..tt.schedule import _EPS, offset_for_exec_after, params_from_offset
+from ..tt.timebase import TimeBase
+from .errors import UnsupportedSpecError
+
+
+@dataclass(frozen=True)
+class CompiledSchedule:
+    """Static per-node schedule constants as flat arrays (0-based index)."""
+
+    n: int
+    timebase: TimeBase
+    l: np.ndarray             # (n,) int64 — the paper's l_i
+    send_curr: np.ndarray     # (n,) bool — send_curr_round_i predicate
+    round_shift: np.ndarray   # (n,) int64 — 0, or 1 for footnote-1 jobs
+    offset: np.ndarray        # (n,) float64 — job offset within the round
+    pos: np.ndarray           # (n,) int64 — deliveries preceding the job
+    send_curr_phys: np.ndarray  # (n,) bool — job before own physical slot
+    stage1: np.ndarray        # 0-based node indices with round_shift == 0
+    stage3: np.ndarray        # 0-based node indices with round_shift == 1
+    all_send_curr: bool       # the global Alg. 1 line 7 predicate
+
+    def job_time(self, physical_round: int) -> np.ndarray:
+        """Per-node job execution instants in ``physical_round``.
+
+        Same float expression (``round_start + offset``) the event
+        engine's job events carry, so recorded isolation times match
+        bit-for-bit.
+        """
+        return physical_round * self.timebase.round_length + self.offset
+
+
+def compile_schedule(spec: Any) -> CompiledSchedule:
+    """Lower ``spec``'s schedule (and cluster geometry) to constants.
+
+    ``spec`` is a :class:`~repro.spec.model.RunSpec`.  Only static
+    schedules (kinds ``default`` and ``static``) can be lowered — a
+    dynamic schedule re-draws offsets per round and has no design-time
+    constants.
+    """
+    schedule = spec.schedule
+    if schedule.kind == "dynamic":
+        raise UnsupportedSpecError(
+            "the vectorized backend requires a static schedule; "
+            "schedule kind 'dynamic' runs on the event backend only")
+    n = spec.protocol.n_nodes
+    tb = TimeBase(round_length=spec.cluster.round_length, n_slots=n,
+                  tx_fraction=spec.cluster.tx_fraction)
+
+    if schedule.kind == "default":
+        exec_after: Tuple[int, ...] = (0,) * n
+    elif isinstance(schedule.exec_after, int):
+        exec_after = (schedule.exec_after,) * n
+    else:
+        if len(schedule.exec_after) != n:
+            raise UnsupportedSpecError(
+                f"exec_after has {len(schedule.exec_after)} entries "
+                f"for {n} nodes")
+        exec_after = tuple(schedule.exec_after)
+
+    l = np.zeros(n, dtype=np.int64)
+    send_curr = np.zeros(n, dtype=bool)
+    round_shift = np.zeros(n, dtype=np.int64)
+    offset = np.zeros(n, dtype=np.float64)
+    pos = np.zeros(n, dtype=np.int64)
+    send_curr_phys = np.zeros(n, dtype=bool)
+    slot_len = tb.slot_length
+    for idx in range(n):
+        node_id = idx + 1
+        off = offset_for_exec_after(tb, exec_after[idx])
+        params = params_from_offset(tb, node_id, off)
+        l[idx] = params.l
+        send_curr[idx] = params.send_curr_round
+        round_shift[idx] = params.round_shift
+        offset[idx] = params.offset
+        pos[idx] = n if params.round_shift else params.l
+        # The *physical* flavour of send_curr: does the job precede the
+        # node's own sending slot of the round its offset falls in?
+        # Identical comparison to params_from_offset's, but without the
+        # footnote-1 override (a shifted job sits after every slot of
+        # its physical round, so this is always False for it).
+        send_curr_phys[idx] = off < (node_id - 1) * slot_len - _EPS
+
+    stage1 = np.flatnonzero(round_shift == 0)
+    stage3 = np.flatnonzero(round_shift == 1)
+    all_send_curr = bool(send_curr.all())
+    if spec.protocol.all_send_curr_round and not all_send_curr:
+        # Mirror DiagnosedCluster's construction-time consistency check.
+        raise ValueError(
+            "config.all_send_curr_round is set but the schedule does not "
+            "satisfy the predicate (some node executes after its sending "
+            "slot)")
+    return CompiledSchedule(
+        n=n, timebase=tb, l=l, send_curr=send_curr,
+        round_shift=round_shift, offset=offset, pos=pos,
+        send_curr_phys=send_curr_phys, stage1=stage1, stage3=stage3,
+        all_send_curr=all_send_curr)
+
+
+__all__ = ["CompiledSchedule", "compile_schedule"]

@@ -1,0 +1,27 @@
+"""Errors of the vectorized execution backend."""
+
+from __future__ import annotations
+
+
+class BackendUnavailableError(RuntimeError):
+    """The vectorized backend was requested but numpy is not installed.
+
+    Raised before any simulation work happens so callers (CLI, campaign
+    engine) can report a clean actionable message instead of an
+    ImportError from deep inside the kernel.
+    """
+
+
+class UnsupportedSpecError(ValueError):
+    """The spec uses a feature the vectorized backend does not model.
+
+    The vectorized kernel covers the static-schedule diagnostic service
+    on a single-channel bus — the shape the paper's throughput and
+    Monte Carlo experiments need.  Everything else (membership /
+    low-latency variants, dynamic schedules, replicated buses,
+    byzantine nodes) runs on the event engine; specs requesting those
+    with ``backend="vectorized"`` fail fast with this error.
+    """
+
+
+__all__ = ["BackendUnavailableError", "UnsupportedSpecError"]

@@ -1,0 +1,228 @@
+"""Lower fault scenarios into per-slot boolean masks for the kernel.
+
+The event engine consults the :class:`~repro.faults.injector.InjectionLayer`
+once per transmission.  The vectorized backend evaluates the *same*
+scenario objects ahead of time and materialises their effect as arrays:
+
+* **Scripted** scenarios (bursts, sender faults, crashes) are pure
+  functions of ``(round, slot)``: one :meth:`InjectionLayer.apply` pass
+  over the horizon yields replicate-independent ``invalid`` / ``mal``
+  reception masks plus a per-slot forged-payload table.
+* **Stochastic** scenarios (Poisson transients, intermittent senders)
+  are *prefix-stable*: their lazily sampled arrival sequences depend
+  only on how far sampling has advanced, never on which slots were
+  queried.  Rebuilding each replicate's scenarios from its own seeded
+  :class:`~repro.sim.rng.RandomStreams` and probing every slot therefore
+  reproduces the event engine's draws exactly, even though the event
+  engine skips querying silent slots.
+* :class:`~repro.faults.processes.RandomSlotNoise` is the exception —
+  it burns one RNG draw per *queried* transmission, and silent slots
+  are never queried.  Its draws are pre-sampled into a flat array and
+  the kernel advances a per-replicate cursor only on non-silent slots,
+  in global slot order, mirroring the event engine's consumption.
+
+Both stochastic classes emit benign (all-receiver detectable)
+directives only, so composition with scripted outcomes reduces to
+``invalid |= hit`` and ``mal &= ~hit`` — exactly what
+:func:`~repro.faults.model.worst_outcome` computes receiver-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..faults.injector import InjectionLayer, TransmissionContext
+from ..faults.model import ReceptionOutcome
+from ..faults.processes import (IntermittentSender, PoissonTransients,
+                                RandomSlotNoise)
+from ..sim.rng import RandomStreams
+from ..core.syndrome import is_valid_syndrome
+from ..spec.model import SCENARIO_REGISTRY
+from ..tt.controller import CommunicationController
+from .compiler import CompiledSchedule
+from .errors import UnsupportedSpecError
+
+_STOCHASTIC_TYPES = ("PoissonTransients", "IntermittentSender",
+                     "RandomSlotNoise")
+
+
+@dataclass
+class NoisePlan:
+    """Pre-sampled draws for one RandomSlotNoise scenario."""
+
+    probability: float
+    #: (replicates, n_rounds * n_slots) float64 — draws in consumption
+    #: order; the kernel's cursor advances one entry per queried slot.
+    draws: np.ndarray
+
+
+@dataclass
+class LoweredInjection:
+    """All scenario effects over the horizon, as arrays.
+
+    Mask layout is ``[round, slot-1, receiver-1]`` for the scripted
+    masks and ``[replicate, round, slot-1]`` for stochastic hits (which
+    affect every receiver alike).
+    """
+
+    n: int
+    n_rounds: int
+    #: Replicate-independent scripted reception masks, or None if no
+    #: scripted scenario is active anywhere.
+    invalid: Optional[np.ndarray] = None   # (rounds, n, n) bool
+    mal: Optional[np.ndarray] = None       # (rounds, n, n) bool
+    fid: Optional[np.ndarray] = None       # (rounds, n) int32 into tables
+    #: Forged payload tables; entry 0 is the "no payload" sentinel.
+    payload_bits: Optional[np.ndarray] = None   # (P, n) uint8
+    payload_valid: Optional[np.ndarray] = None  # (P,) bool
+    #: Per-replicate benign stochastic hits (Poisson + intermittent).
+    stoch_hit: Optional[np.ndarray] = None  # (R, rounds, n) bool
+    #: Random slot noise plans (consumed online by the kernel).
+    noise: List[NoisePlan] = field(default_factory=list)
+
+    @property
+    def any_malicious(self) -> bool:
+        return self.mal is not None and bool(self.mal.any())
+
+
+def _split_scenarios(spec: Any) -> Tuple[list, list]:
+    """Partition ScenarioSpecs into (scripted, stochastic)."""
+    scripted, stochastic = [], []
+    for sc in spec.scenarios:
+        cls = SCENARIO_REGISTRY[sc.type]
+        if cls.__name__ in _STOCHASTIC_TYPES:
+            stochastic.append(sc)
+        else:
+            scripted.append(sc)
+    return scripted, stochastic
+
+
+def _payload_row(payload: Any, n: int) -> Tuple[bool, np.ndarray]:
+    """Validity flag and bit row a forged payload contributes to a matrix.
+
+    Mirrors the analysis path: the diagnostic service reads the "diag"
+    channel of the latched value and checks it is a well-formed 0/1
+    syndrome of length ``n``; anything else becomes an epsilon row.
+    """
+    value = CommunicationController.channel_of(payload, "diag")
+    if is_valid_syndrome(value, n):
+        return True, np.asarray(list(value), dtype=np.uint8)
+    return False, np.zeros(n, dtype=np.uint8)
+
+
+def lower_injection(spec: Any, compiled: CompiledSchedule, n_rounds: int,
+                    seeds: Sequence[int]) -> LoweredInjection:
+    """Evaluate ``spec``'s scenarios over ``n_rounds`` for every seed."""
+    n = compiled.n
+    tb = compiled.timebase
+    lowered = LoweredInjection(n=n, n_rounds=n_rounds)
+    scripted, stochastic = _split_scenarios(spec)
+
+    streams_names = [sc.params.get("rng_stream") for sc in stochastic]
+    dup = {name for name in streams_names if streams_names.count(name) > 1}
+    if dup:
+        raise UnsupportedSpecError(
+            f"stochastic scenarios share rng_stream(s) {sorted(dup)}; "
+            "interleaved draws from a shared stream depend on event "
+            "ordering and cannot be lowered — use distinct streams")
+
+    if scripted:
+        _lower_scripted(lowered, scripted, tb, n, n_rounds)
+    if stochastic:
+        _lower_stochastic(lowered, stochastic, spec, tb, n, n_rounds, seeds)
+    return lowered
+
+
+def _lower_scripted(lowered: LoweredInjection, scripted: list,
+                    tb: Any, n: int, n_rounds: int) -> None:
+    layer = InjectionLayer()
+    for sc in scripted:
+        layer.add(sc.build(streams=None))
+    receivers = tuple(range(1, n + 1))
+    invalid = np.zeros((n_rounds, n, n), dtype=bool)
+    mal = np.zeros((n_rounds, n, n), dtype=bool)
+    fid = np.zeros((n_rounds, n), dtype=np.int32)
+    payload_valid = [False]
+    payload_bits = [np.zeros(n, dtype=np.uint8)]
+    touched = False
+    for p in range(n_rounds):
+        for s in range(1, n + 1):
+            if layer.is_quiescent(p, s, tb):
+                continue
+            ctx = TransmissionContext(
+                time=tb.slot_start(p, s), round_index=p, slot=s,
+                sender=s, receivers=receivers, channel=0, timebase=tb)
+            out = layer.apply(ctx)
+            for r, o in out.outcomes.items():
+                if o is ReceptionOutcome.DETECTABLE:
+                    invalid[p, s - 1, r - 1] = True
+                    touched = True
+                elif o is ReceptionOutcome.MALICIOUS:
+                    mal[p, s - 1, r - 1] = True
+                    touched = True
+            if out.malicious_payload is not None:
+                valid, bits = _payload_row(out.malicious_payload, n)
+                payload_valid.append(valid)
+                payload_bits.append(bits)
+                fid[p, s - 1] = len(payload_valid) - 1
+    if touched:
+        lowered.invalid = invalid
+        lowered.mal = mal
+        lowered.fid = fid
+        lowered.payload_valid = np.asarray(payload_valid, dtype=bool)
+        lowered.payload_bits = np.stack(payload_bits)
+
+
+def _lower_stochastic(lowered: LoweredInjection, stochastic: list,
+                      spec: Any, tb: Any, n: int, n_rounds: int,
+                      seeds: Sequence[int]) -> None:
+    n_rep = len(seeds)
+    hit: Optional[np.ndarray] = None
+    noise_specs = [sc for sc in stochastic
+                   if SCENARIO_REGISTRY[sc.type] is RandomSlotNoise]
+    other_specs = [sc for sc in stochastic
+                   if SCENARIO_REGISTRY[sc.type] is not RandomSlotNoise]
+    if other_specs:
+        hit = np.zeros((n_rep, n_rounds, n), dtype=bool)
+    noise_draws = [np.empty((n_rep, n_rounds * n), dtype=np.float64)
+                   for _ in noise_specs]
+    noise_probs = [0.0] * len(noise_specs)
+
+    for rep, seed in enumerate(seeds):
+        streams = RandomStreams(int(seed))
+        for sc in other_specs:
+            inst = sc.build(streams=streams)
+            if isinstance(inst, IntermittentSender):
+                # Round-domain process on one sender's slot; sampling is
+                # monotone in the round index, so one forward pass over
+                # the horizon reproduces the event engine's set exactly.
+                col = inst.sender - 1
+                for p in range(n_rounds):
+                    if inst.is_faulty_round(p):
+                        hit[rep, p, col] = True
+            elif isinstance(inst, PoissonTransients):
+                # Time-domain process probed per slot with the scenario's
+                # own overlap test (same comparisons, same order).
+                for p in range(n_rounds):
+                    for s in range(1, n + 1):
+                        if not inst.is_quiescent(p, s, tb):
+                            hit[rep, p, s - 1] = True
+            else:  # pragma: no cover - registry guarantees the split
+                raise UnsupportedSpecError(
+                    f"cannot lower stochastic scenario {type(inst).__name__}")
+        for i, sc in enumerate(noise_specs):
+            inst = sc.build(streams=streams)
+            noise_probs[i] = inst.probability
+            rng = inst._rng
+            noise_draws[i][rep] = [rng.random()
+                                   for _ in range(n_rounds * n)]
+    lowered.stoch_hit = hit
+    lowered.noise = [NoisePlan(probability=noise_probs[i],
+                               draws=noise_draws[i])
+                     for i in range(len(noise_specs))]
+
+
+__all__ = ["LoweredInjection", "NoisePlan", "lower_injection"]
