@@ -40,6 +40,11 @@ BACKEND_POINTS = (16, 64, 128)
 MONTE_CARLO_N = 16
 MONTE_CARLO_REPLICATES = 1000
 
+#: Stochastic-channel point: Gilbert-Elliott bursts keep the injection
+#: layer busy every round, measuring what the mask-precomputation path
+#: costs relative to per-slot event-engine sampling.
+GILBERT_ELLIOTT_N = 16
+
 
 def run_cluster(n_nodes: int, bitset: bool = True,
                 sustained_fault: bool = False) -> None:
@@ -84,6 +89,22 @@ def _backend_spec(n_nodes: int) -> RunSpec:
         scenarios=(ScenarioSpec("SenderFault",
                                 {"sender": 2, "kind": "benign",
                                  "from_round": 2}),),
+        n_rounds=ROUNDS,
+    )
+
+
+def _gilbert_elliott_spec(n_nodes: int) -> RunSpec:
+    """A bursty-channel workload: errors in ~17% of slots."""
+    return RunSpec(
+        protocol=ProtocolSpec(n_nodes=n_nodes,
+                              penalty_threshold=10 ** 6,
+                              reward_threshold=10 ** 6,
+                              criticalities=(1,) * n_nodes),
+        cluster=ClusterSpec(seed=0, trace_level=0),
+        scenarios=(ScenarioSpec("GilbertElliottChannel",
+                                {"p_gb": 0.1, "p_bg": 0.5,
+                                 "error_good": 0.0, "error_bad": 1.0,
+                                 "rng_stream": "bench-ge"}),),
         n_rounds=ROUNDS,
     )
 
@@ -139,9 +160,21 @@ def _backend_points() -> dict:
         "speedup": round((MONTE_CARLO_REPLICATES / batch_s)
                          * event_replicate_s, 1),
     }
+    ge_spec = _gilbert_elliott_spec(GILBERT_ELLIOTT_N)
+    ge_event = _event_rounds_per_s(ge_spec)
+    ge_vectorized = _vectorized_rounds_per_s(ge_spec)
+    gilbert_elliott = {
+        "n_nodes": GILBERT_ELLIOTT_N, "rounds": ROUNDS,
+        "p_gb": 0.1, "p_bg": 0.5,
+        "event_rounds_per_s": round(ge_event, 1),
+        "vectorized_rounds_per_s": round(ge_vectorized, 1),
+        "speedup": round(ge_vectorized / ge_event, 2),
+    }
+
     n64 = next(p for p in points if p["n_nodes"] == 64)
     return {"points": points, "n64_speedup": n64["speedup"],
-            "monte_carlo": monte_carlo}
+            "monte_carlo": monte_carlo,
+            "gilbert_elliott": gilbert_elliott}
 
 
 def _campaign_cache_point() -> dict:
@@ -209,6 +242,10 @@ def test_throughput_summary(benchmark):
         rows.append((f"{mc['n_nodes']} (Monte Carlo)", mc["replicates"],
                      f"{mc['replicates_per_s']:,.0f} replicates/s",
                      f"{mc['speedup']}x vs per-task event runs"))
+        ge = backends["gilbert_elliott"]
+        rows.append((f"{ge['n_nodes']} (GE bursts)", ge["rounds"],
+                     f"{ge['vectorized_rounds_per_s']:,.0f} rounds/s",
+                     f"{ge['speedup']}x vs event backend"))
     emit("simulator_throughput", render_table(
         ["N", "rounds simulated", "throughput", "slot throughput"],
         rows, title="Substrate throughput (full diagnostic stack)"))

@@ -27,8 +27,10 @@ The CLI surface is ``repro-diag campaign run|status|gc``.
 from .definitions import (
     CAMPAIGN_RESULT_SCHEMA,
     NAMED_CAMPAIGNS,
+    RARE_EVENT_RATES,
     CampaignDefinition,
     build_campaign,
+    rare_events_campaign,
     result_document,
     spec_file_campaign,
     table2_campaign,
@@ -55,8 +57,10 @@ __all__ = [
     "CampaignState",
     "CampaignTask",
     "InterruptedCampaignError",
+    "RARE_EVENT_RATES",
     "TaskTimeout",
     "build_campaign",
+    "rare_events_campaign",
     "campaign_id",
     "campaign_tasks",
     "execute_spec_task",

@@ -139,6 +139,66 @@ def table2_campaign(seed: int = 0,
         aggregate=aggregate, render=render)
 
 
+#: Gilbert-Elliott good->bad rates swept by the rare-events campaign.
+RARE_EVENT_RATES = (0.02, 0.05, 0.1)
+
+
+def rare_events_campaign(replicates: int = 5, n_nodes: int = 4,
+                         seed: int = 0) -> CampaignDefinition:
+    """False-alarm estimation under Gilbert-Elliott bursty channels.
+
+    For each good->bad rate the campaign runs ``replicates``
+    seed-shifted runs of an all-healthy cluster behind a bursty
+    channel and estimates the probability that the protocol *falsely*
+    isolates any node, with a Wilson confidence interval per rate
+    (:mod:`repro.analysis.rare`).  Every task is an ordinary RunSpec
+    with the ``"isolation"`` reducer, so the campaign store caches
+    replicates by content address like any other campaign.
+    """
+    from ..analysis.rare import MonteCarloEstimate, estimate_probability
+    from ..spec import ClusterSpec, ProtocolSpec, ScenarioSpec
+
+    protocol = ProtocolSpec(
+        n_nodes=n_nodes, penalty_threshold=2, reward_threshold=5,
+        criticalities=(1,) * n_nodes)
+    labeled: List[Tuple[str, RunSpec]] = []
+    for rate in RARE_EVENT_RATES:
+        for i in range(replicates):
+            spec = RunSpec(
+                protocol=protocol,
+                cluster=ClusterSpec(seed=seed + i, trace_level=1),
+                scenarios=(ScenarioSpec("GilbertElliottChannel", {
+                    "p_gb": rate, "p_bg": 0.5,
+                    "error_good": 0.0, "error_bad": 1.0,
+                    "rng_stream": "rare-ge"}),),
+                n_rounds=20,
+                reducer="isolation",
+            )
+            labeled.append((f"p_gb={rate}:replicate-{i}", spec))
+
+    def aggregate(results: List[Any]
+                  ) -> List[Tuple[float, "MonteCarloEstimate"]]:
+        curve = []
+        for j, rate in enumerate(RARE_EVENT_RATES):
+            chunk = results[j * replicates:(j + 1) * replicates]
+            hits = sum(bool(r["isolated"]) for r in chunk)
+            curve.append((rate, estimate_probability(hits, replicates)))
+        return curve
+
+    def render(curve: List[Tuple[float, "MonteCarloEstimate"]]) -> str:
+        rows = [(f"{rate:g}", est.trials, f"{est.p_hat:.3f}",
+                 f"[{est.ci_low:.3f}, {est.ci_high:.3f}]")
+                for rate, est in curve]
+        return render_table(
+            ["p_gb", "replicates", "false-alarm p", "95% CI"], rows,
+            title="False-alarm probability under Gilbert-Elliott bursts")
+
+    return CampaignDefinition(
+        name="rare-events", labeled_specs=labeled,
+        params={"reps": replicates, "nodes": n_nodes, "seed": seed},
+        aggregate=aggregate, render=render)
+
+
 def spec_file_campaign(path: str, text: str) -> CampaignDefinition:
     """An ad-hoc campaign from a RunSpec JSON file (object or array)."""
     import json
@@ -163,7 +223,7 @@ def spec_file_campaign(path: str, text: str) -> CampaignDefinition:
 
 
 #: Campaigns addressable by name from the CLI.
-NAMED_CAMPAIGNS = ("validate", "table2")
+NAMED_CAMPAIGNS = ("validate", "table2", "rare-events")
 
 
 def build_campaign(name: str, reps: int = 5, nodes: int = 4,
@@ -173,6 +233,9 @@ def build_campaign(name: str, reps: int = 5, nodes: int = 4,
         return validation_campaign(repetitions=reps, n_nodes=nodes)
     if name == "table2":
         return table2_campaign(seed=seed)
+    if name == "rare-events":
+        return rare_events_campaign(replicates=reps, n_nodes=nodes,
+                                    seed=seed)
     raise ValueError(
         f"unknown campaign {name!r}; named campaigns: {NAMED_CAMPAIGNS}")
 
@@ -209,8 +272,10 @@ def result_document(definition: CampaignDefinition,
 __all__ = [
     "CAMPAIGN_RESULT_SCHEMA",
     "NAMED_CAMPAIGNS",
+    "RARE_EVENT_RATES",
     "CampaignDefinition",
     "build_campaign",
+    "rare_events_campaign",
     "result_document",
     "spec_file_campaign",
     "table2_campaign",

@@ -591,16 +591,18 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
 
     p = campaign_sub.add_parser(
-        "run", help="run a named campaign (validate, table2) or a "
-                    "RunSpec JSON file through the campaign engine")
+        "run", help="run a named campaign (validate, table2, rare-events) "
+                    "or a RunSpec JSON file through the campaign engine")
     p.add_argument("source",
-                   help="campaign name (validate, table2), a RunSpec "
-                        "JSON file, or - for stdin")
+                   help="campaign name (validate, table2, rare-events), "
+                        "a RunSpec JSON file, or - for stdin")
     p.add_argument("--reps", type=int, default=5,
-                   help="repetitions per class (validate)")
+                   help="repetitions per class (validate) or replicates "
+                        "per rate (rare-events)")
     p.add_argument("--nodes", type=int, default=4,
-                   help="cluster size (validate)")
-    p.add_argument("--seed", type=int, default=0, help="seed (table2)")
+                   help="cluster size (validate, rare-events)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed (table2, rare-events)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (results identical for any value)")
     p.add_argument("--store", metavar="DIR", default=None,

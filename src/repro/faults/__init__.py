@@ -7,6 +7,15 @@ per-receiver reception outcomes, and the bus applies those outcomes
 when frames are delivered.
 """
 
+from .channels import (
+    AdaptiveSaboteur,
+    CorrelatedEMI,
+    DutyCycleIntermittent,
+    FaultStorm,
+    GilbertElliottChannel,
+    gilbert_elliott_error_rate,
+    gilbert_elliott_stationary_bad,
+)
 from .injector import InjectedOutcome, InjectionLayer, Scenario, TransmissionContext
 from .model import (
     FaultClass,
@@ -31,6 +40,13 @@ from .scenarios import (
 )
 
 __all__ = [
+    "AdaptiveSaboteur",
+    "CorrelatedEMI",
+    "DutyCycleIntermittent",
+    "FaultStorm",
+    "GilbertElliottChannel",
+    "gilbert_elliott_error_rate",
+    "gilbert_elliott_stationary_bad",
     "InjectedOutcome",
     "InjectionLayer",
     "Scenario",

@@ -42,6 +42,20 @@ from .scenarios import SerializableScenario
 _EPS = 1e-12
 
 
+def require_finite_horizon(name: str, horizon) -> None:
+    """Reject non-finite sampling horizons with a clear ``ValueError``.
+
+    The lazy pre-sampling loops extend monotonically up to the queried
+    horizon; fed ``inf`` they would never terminate, and fed ``nan``
+    every comparison is false, so the process silently reports *no*
+    arrivals for every subsequent query — wrong results with no error.
+    Every ``_extend_to`` validates through here instead.
+    """
+    if not math.isfinite(horizon):
+        raise ValueError(
+            f"{name} sampling horizon must be finite, got {horizon!r}")
+
+
 class _StochasticScenario(SerializableScenario):
     """Serialization glue shared by the RNG-driven scenarios."""
 
@@ -49,7 +63,15 @@ class _StochasticScenario(SerializableScenario):
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any], streams=None):
-        """Rebuild the scenario, resolving ``rng_stream`` via ``streams``."""
+        """Rebuild the scenario, resolving ``rng_stream`` via ``streams``.
+
+        The named stream must be *fresh* in ``streams``: a rebuilt
+        process restarts its draw sequence from the beginning, so
+        resolving it against a registry whose stream has already
+        advanced would silently produce a different arrival sequence —
+        early horizons would disagree with the original with no error.
+        That hazard is rejected here with a ``ValueError``.
+        """
         params = dict(data)
         tag = params.pop("type", cls.__name__)
         if tag != cls.__name__:
@@ -61,6 +83,13 @@ class _StochasticScenario(SerializableScenario):
         if streams is None:
             raise ValueError(
                 f"rebuilding {cls.__name__} needs a RandomStreams resolver")
+        if not streams.is_fresh(stream_name):
+            raise ValueError(
+                f"rng_stream {stream_name!r} was already materialized in "
+                f"this RandomStreams registry; a rebuilt {cls.__name__} "
+                "would resume mid-sequence and silently sample a different "
+                "arrival sequence — rebuild against a fresh registry or "
+                "use a distinct stream name")
         return cls(rng=streams.stream(stream_name),
                    rng_stream=stream_name, **params)
 
@@ -105,6 +134,7 @@ class PoissonTransients(_StochasticScenario, Scenario):
 
     def _extend_to(self, horizon: float) -> None:
         """Lazily sample arrivals up to ``horizon``."""
+        require_finite_horizon(type(self).__name__, horizon)
         while self._next_sample_from <= horizon:
             gap = self._rng.expovariate(self.rate)
             self._next_sample_from += gap
@@ -183,6 +213,7 @@ class IntermittentSender(_StochasticScenario, Scenario):
                 "rng_stream": self.rng_stream}
 
     def _extend_to(self, round_index: int) -> None:
+        require_finite_horizon(type(self).__name__, round_index)
         while self._sampled_until < round_index:
             burst_start = self._next_burst_start
             for r in range(burst_start, burst_start + self.burst_rounds):
@@ -256,4 +287,5 @@ class RandomSlotNoise(_StochasticScenario, Scenario):
         return not self._decisions[key]
 
 
-__all__ = ["PoissonTransients", "IntermittentSender", "RandomSlotNoise"]
+__all__ = ["IntermittentSender", "PoissonTransients", "RandomSlotNoise",
+           "require_finite_horizon"]

@@ -132,7 +132,8 @@ def monte_carlo_specs(spec: RunSpec, replicates: int) -> List[RunSpec]:
 def run_monte_carlo_sweep(spec: RunSpec, replicates: int,
                           jobs: int = 1,
                           with_metrics: bool = False,
-                          store: Optional[ResultStore] = None):
+                          store: Optional[ResultStore] = None,
+                          reducer: Optional[str] = None):
     """Monte Carlo: one spec across ``replicates`` seed-shifted copies.
 
     Results come back in replicate order, cached per replicate by
@@ -142,10 +143,14 @@ def run_monte_carlo_sweep(spec: RunSpec, replicates: int,
     simulated as a single lockstep kernel batch per retry round —
     identical results and store bytes, one simulation instead of N.
     With ``with_metrics`` the call returns
-    ``(results, merged_snapshot)``.
+    ``(results, merged_snapshot)``.  ``reducer`` overrides the spec's
+    named reducer on every replicate (e.g. ``"isolation"`` for the
+    rare-event estimators in :mod:`repro.analysis.rare`).
     """
     from ..campaign import run_campaign
 
+    if reducer is not None:
+        spec = replace(spec, reducer=reducer)
     specs = monte_carlo_specs(spec, replicates)
     result = run_campaign(
         [(f"replicate-{i}", replicate) for i, replicate in enumerate(specs)],

@@ -42,6 +42,16 @@ class RandomStreams:
             self._streams[name] = random.Random(derive_seed(self.master_seed, name))
         return self._streams[name]
 
+    def is_fresh(self, name: str) -> bool:
+        """Whether substream ``name`` has never been handed out.
+
+        A fresh stream is guaranteed to start at its seed; a stream that
+        already exists may have advanced.  Deserialization paths that
+        need reproducible draw sequences (e.g. rebuilding a stochastic
+        fault process) use this to refuse resuming mid-sequence.
+        """
+        return name not in self._streams
+
     def fork(self, name: str) -> "RandomStreams":
         """Create an independent registry namespaced under ``name``.
 

@@ -66,8 +66,13 @@ def build(spec: RunSpec, metrics: Optional[Any] = None) -> AnyCluster:
         target = cluster_cls(config, byzantine_nodes=v.byzantine_nodes,
                              **common)
     for scenario_spec in spec.scenarios:
-        target.cluster.add_scenario(
-            scenario_spec.build(streams=target.cluster.streams))
+        scenario = scenario_spec.build(streams=target.cluster.streams)
+        target.cluster.add_scenario(scenario)
+        # Adaptive scenarios (e.g. AdaptiveSaboteur) read live protocol
+        # state; hand them the facade they are attached to.
+        bind_observer = getattr(scenario, "bind_observer", None)
+        if callable(bind_observer):
+            bind_observer(target)
     return target
 
 

@@ -40,6 +40,7 @@ from typing import Any, Dict, Optional, Tuple, Type, Union
 
 from ..core.config import IsolationMode, ProtocolConfig
 from ..core.diagnostic import TRACE_ALL
+from ..faults import channels as _channels
 from ..faults import processes as _processes
 from ..faults import scenarios as _scenarios
 from ..faults.scenarios import SerializableScenario
@@ -54,7 +55,7 @@ BACKENDS = ("event", "vectorized")
 #: Every serializable scenario class, by its ``type`` tag.
 SCENARIO_REGISTRY: Dict[str, Type[SerializableScenario]] = {
     cls.__name__: cls
-    for module in (_scenarios, _processes)
+    for module in (_scenarios, _processes, _channels)
     for cls in vars(module).values()
     if isinstance(cls, type)
     and issubclass(cls, SerializableScenario)

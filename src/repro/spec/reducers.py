@@ -37,6 +37,7 @@ from typing import Any, Dict, Union
 PROVIDER_MODULES = (
     "repro.experiments.validation",
     "repro.experiments.table2",
+    "repro.analysis.rare",
 )
 
 _REDUCERS: Dict[str, Any] = {}

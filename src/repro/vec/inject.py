@@ -8,23 +8,34 @@ scenario objects ahead of time and materialises their effect as arrays:
   functions of ``(round, slot)``: one :meth:`InjectionLayer.apply` pass
   over the horizon yields replicate-independent ``invalid`` / ``mal``
   reception masks plus a per-slot forged-payload table.
-* **Stochastic** scenarios (Poisson transients, intermittent senders)
-  are *prefix-stable*: their lazily sampled arrival sequences depend
-  only on how far sampling has advanced, never on which slots were
-  queried.  Rebuilding each replicate's scenarios from its own seeded
-  :class:`~repro.sim.rng.RandomStreams` and probing every slot therefore
-  reproduces the event engine's draws exactly, even though the event
-  engine skips querying silent slots.
+* **Stochastic** scenarios (Poisson transients, intermittent and
+  duty-cycle senders, Gilbert-Elliott channels, fault storms,
+  correlated EMI) are *prefix-stable*: their lazily sampled arrival
+  sequences depend only on how far sampling has advanced, never on
+  which slots were queried.  Rebuilding each replicate's scenarios from
+  its own seeded :class:`~repro.sim.rng.RandomStreams` and probing
+  every slot therefore reproduces the event engine's draws exactly,
+  even though the event engine skips querying silent slots.  Correlated
+  EMI is receiver-side rather than sender-side, so it lowers into its
+  own ``stoch_invalid`` mask in ``[replicate, round, receiver, sender]``
+  layout.
+* **Adaptive** scenarios (``event_only = True`` on the class, e.g.
+  :class:`~repro.faults.channels.AdaptiveSaboteur`) decide from live
+  protocol state; they cannot be precomputed and are rejected with
+  :class:`~repro.vec.errors.UnsupportedSpecError`.
 * :class:`~repro.faults.processes.RandomSlotNoise` is the exception —
   it burns one RNG draw per *queried* transmission, and silent slots
   are never queried.  Its draws are pre-sampled into a flat array and
   the kernel advances a per-replicate cursor only on non-silent slots,
   in global slot order, mirroring the event engine's consumption.
 
-Both stochastic classes emit benign (all-receiver detectable)
-directives only, so composition with scripted outcomes reduces to
-``invalid |= hit`` and ``mal &= ~hit`` — exactly what
-:func:`~repro.faults.model.worst_outcome` computes receiver-wise.
+The sender-side stochastic classes emit benign (all-receiver
+detectable) directives only, so composition with scripted outcomes
+reduces to ``invalid |= hit`` and ``mal &= ~hit`` — exactly what
+:func:`~repro.faults.model.worst_outcome` computes receiver-wise; the
+receiver-side EMI mask composes the same way through the kernel's
+validity matrix (DETECTABLE dominates MALICIOUS because a malicious
+reception requires a *valid* frame).
 """
 
 from __future__ import annotations
@@ -34,6 +45,8 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..faults.channels import (CorrelatedEMI, DutyCycleIntermittent,
+                               FaultStorm, GilbertElliottChannel)
 from ..faults.injector import InjectionLayer, TransmissionContext
 from ..faults.model import ReceptionOutcome
 from ..faults.processes import (IntermittentSender, PoissonTransients,
@@ -46,7 +59,17 @@ from .compiler import CompiledSchedule
 from .errors import UnsupportedSpecError
 
 _STOCHASTIC_TYPES = ("PoissonTransients", "IntermittentSender",
-                     "RandomSlotNoise")
+                     "RandomSlotNoise", "GilbertElliottChannel",
+                     "CorrelatedEMI", "DutyCycleIntermittent", "FaultStorm")
+
+#: Round-domain processes hitting one sender's slot, lowered via their
+#: ``is_faulty_round`` oracle.
+_SENDER_ROUND_TYPES = (IntermittentSender, DutyCycleIntermittent)
+
+#: Whole-bus per-slot processes, lowered by probing ``is_quiescent`` on
+#: every slot in global order (the probes perform exactly the sampling
+#: ``directives`` would).
+_SLOT_PROBE_TYPES = (PoissonTransients, GilbertElliottChannel, FaultStorm)
 
 
 @dataclass
@@ -80,6 +103,9 @@ class LoweredInjection:
     payload_valid: Optional[np.ndarray] = None  # (P,) bool
     #: Per-replicate benign stochastic hits (Poisson + intermittent).
     stoch_hit: Optional[np.ndarray] = None  # (R, rounds, n) bool
+    #: Per-replicate receiver-side invalidations (correlated EMI):
+    #: layout ``[replicate, round, receiver-1, sender-1]``.
+    stoch_invalid: Optional[np.ndarray] = None  # (R, rounds, n, n) bool
     #: Random slot noise plans (consumed online by the kernel).
     noise: List[NoisePlan] = field(default_factory=list)
 
@@ -93,6 +119,11 @@ def _split_scenarios(spec: Any) -> Tuple[list, list]:
     scripted, stochastic = [], []
     for sc in spec.scenarios:
         cls = SCENARIO_REGISTRY[sc.type]
+        if getattr(cls, "event_only", False):
+            raise UnsupportedSpecError(
+                f"scenario {cls.__name__} is event-only (its decisions "
+                "read live protocol state and cannot be precomputed as "
+                "masks) — run it with backend='event'")
         if cls.__name__ in _STOCHASTIC_TYPES:
             stochastic.append(sc)
         else:
@@ -181,12 +212,18 @@ def _lower_stochastic(lowered: LoweredInjection, stochastic: list,
                       seeds: Sequence[int]) -> None:
     n_rep = len(seeds)
     hit: Optional[np.ndarray] = None
+    invalid: Optional[np.ndarray] = None
     noise_specs = [sc for sc in stochastic
                    if SCENARIO_REGISTRY[sc.type] is RandomSlotNoise]
+    emi_specs = [sc for sc in stochastic
+                 if SCENARIO_REGISTRY[sc.type] is CorrelatedEMI]
     other_specs = [sc for sc in stochastic
-                   if SCENARIO_REGISTRY[sc.type] is not RandomSlotNoise]
+                   if SCENARIO_REGISTRY[sc.type] is not RandomSlotNoise
+                   and SCENARIO_REGISTRY[sc.type] is not CorrelatedEMI]
     if other_specs:
         hit = np.zeros((n_rep, n_rounds, n), dtype=bool)
+    if emi_specs:
+        invalid = np.zeros((n_rep, n_rounds, n, n), dtype=bool)
     noise_draws = [np.empty((n_rep, n_rounds * n), dtype=np.float64)
                    for _ in noise_specs]
     noise_probs = [0.0] * len(noise_specs)
@@ -195,7 +232,7 @@ def _lower_stochastic(lowered: LoweredInjection, stochastic: list,
         streams = RandomStreams(int(seed))
         for sc in other_specs:
             inst = sc.build(streams=streams)
-            if isinstance(inst, IntermittentSender):
+            if isinstance(inst, _SENDER_ROUND_TYPES):
                 # Round-domain process on one sender's slot; sampling is
                 # monotone in the round index, so one forward pass over
                 # the horizon reproduces the event engine's set exactly.
@@ -203,9 +240,9 @@ def _lower_stochastic(lowered: LoweredInjection, stochastic: list,
                 for p in range(n_rounds):
                     if inst.is_faulty_round(p):
                         hit[rep, p, col] = True
-            elif isinstance(inst, PoissonTransients):
-                # Time-domain process probed per slot with the scenario's
-                # own overlap test (same comparisons, same order).
+            elif isinstance(inst, _SLOT_PROBE_TYPES):
+                # Whole-bus process probed per slot with the scenario's
+                # own oracle (same comparisons, same order).
                 for p in range(n_rounds):
                     for s in range(1, n + 1):
                         if not inst.is_quiescent(p, s, tb):
@@ -213,6 +250,14 @@ def _lower_stochastic(lowered: LoweredInjection, stochastic: list,
             else:  # pragma: no cover - registry guarantees the split
                 raise UnsupportedSpecError(
                     f"cannot lower stochastic scenario {type(inst).__name__}")
+        for sc in emi_specs:
+            inst = sc.build(streams=streams)
+            # One latent event per round knocks out a receiver
+            # neighbourhood for every sender's slot of that round.
+            for p in range(n_rounds):
+                affected = inst.affected_receivers(p, tb)
+                for r in affected:
+                    invalid[rep, p, r - 1, :] = True
         for i, sc in enumerate(noise_specs):
             inst = sc.build(streams=streams)
             noise_probs[i] = inst.probability
@@ -220,6 +265,7 @@ def _lower_stochastic(lowered: LoweredInjection, stochastic: list,
             noise_draws[i][rep] = [rng.random()
                                    for _ in range(n_rounds * n)]
     lowered.stoch_hit = hit
+    lowered.stoch_invalid = invalid
     lowered.noise = [NoisePlan(probability=noise_probs[i],
                                draws=noise_draws[i])
                      for i in range(len(noise_specs))]

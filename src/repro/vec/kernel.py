@@ -234,6 +234,10 @@ class _Kernel:
             V_pre &= ~low.invalid[p].T[None, :, :]
         if hit is not None:
             V_pre &= ~hit[:, None, :]
+        if low.stoch_invalid is not None:
+            # Per-replicate receiver-side invalidations (correlated
+            # EMI), already in [replicate, receiver, sender] layout.
+            V_pre &= ~low.stoch_invalid[:, p]
         # Local collision detector: the sender's own reception validity,
         # recorded before any IGNORE status masking (as the controller
         # does).  A silent own slot yields no record, i.e. False.

@@ -1,12 +1,54 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and determinism policy for the test suite.
+
+Statistical tests (marker ``statistical``, see ``pyproject.toml``)
+compare sampled frequencies against closed forms.  They are required
+to be *deterministic*: every random draw must come from an explicitly
+seeded ``random.Random`` / ``RandomStreams``, so each test observes
+one frozen sample path and its tolerance band (documented inline,
+sized at roughly four standard deviations of the estimator) either
+always holds or never holds — tier-1 cannot flake.  The autouse
+fixture below enforces the seeding discipline by poisoning the global
+``random`` module for the duration of any ``statistical`` test.
+"""
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
 from repro.core.config import ProtocolConfig, uniform_config
 from repro.core.service import DiagnosedCluster
 from repro.tt.timebase import TimeBase
+
+
+@pytest.fixture(autouse=True)
+def _statistical_tests_forbid_global_random(request):
+    """Fail any ``statistical`` test that touches the *global* RNG.
+
+    The shared ``random`` module is process-global mutable state; a
+    statistical test drawing from it would see a sample path dependent
+    on test ordering.  Only instance RNGs with explicit seeds are
+    allowed inside such tests.
+    """
+    if request.node.get_closest_marker("statistical") is None:
+        yield
+        return
+
+    def _poisoned(*_args, **_kwargs):
+        raise AssertionError(
+            "statistical tests must draw from an explicitly seeded "
+            "random.Random/RandomStreams instance, not the global "
+            "random module (ordering-dependent, can flake)")
+
+    saved = random.random, random.randrange, random.randint, random.uniform
+    random.random = random.randrange = _poisoned
+    random.randint = random.uniform = _poisoned
+    try:
+        yield
+    finally:
+        (random.random, random.randrange,
+         random.randint, random.uniform) = saved
 
 
 @pytest.fixture

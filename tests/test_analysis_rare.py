@@ -1,0 +1,248 @@
+"""Tests for the rare-event estimators (repro.analysis.rare).
+
+The estimator arithmetic is pinned against hand-computed values; the
+Monte Carlo drivers are pinned against a *scripted ground truth*: a
+fault scenario whose isolation probability has an exact closed form,
+which the estimated confidence interval must cover.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.rare import (
+    MonteCarloEstimate,
+    estimate_probability,
+    isolation_curve,
+    isolation_probability,
+    splitting_estimate,
+    stratified_estimate,
+    wilson_interval,
+)
+from repro.spec import ClusterSpec, ProtocolSpec, RunSpec, ScenarioSpec
+
+# ----------------------------------------------------------------------
+# Wilson interval / point estimate
+# ----------------------------------------------------------------------
+
+
+def test_wilson_interval_validates_inputs():
+    with pytest.raises(ValueError):
+        wilson_interval(0, 0)
+    with pytest.raises(ValueError):
+        wilson_interval(-1, 10)
+    with pytest.raises(ValueError):
+        wilson_interval(11, 10)
+
+
+def test_wilson_interval_known_value():
+    # Classic reference point: 5/10 at z=1.96 -> (0.2366, 0.7634).
+    low, high = wilson_interval(5, 10)
+    assert low == pytest.approx(0.2366, abs=1e-4)
+    assert high == pytest.approx(0.7634, abs=1e-4)
+
+
+def test_wilson_interval_behaves_at_the_boundaries():
+    low0, high0 = wilson_interval(0, 20)
+    assert low0 == 0.0 and 0.0 < high0 < 0.2
+    low1, high1 = wilson_interval(20, 20)
+    assert 0.8 < low1 < 1.0 and high1 == 1.0
+
+
+def test_estimate_probability_packs_the_interval():
+    est = estimate_probability(3, 12)
+    assert est.p_hat == pytest.approx(0.25)
+    assert (est.ci_low, est.ci_high) == wilson_interval(3, 12)
+    assert est.successes == 3 and est.trials == 12
+    assert est.contains(0.25)
+    assert not est.contains(0.99)
+    assert est.half_width() == pytest.approx(
+        (est.ci_high - est.ci_low) / 2)
+
+
+# ----------------------------------------------------------------------
+# Stratified estimator
+# ----------------------------------------------------------------------
+
+
+def test_stratified_estimate_validates_inputs():
+    with pytest.raises(ValueError):
+        stratified_estimate([])
+    with pytest.raises(ValueError):  # weights must sum to 1
+        stratified_estimate([(0.5, 1, 10)])
+    with pytest.raises(ValueError):  # zero trials
+        stratified_estimate([(1.0, 0, 0)])
+    with pytest.raises(ValueError):  # successes out of range
+        stratified_estimate([(1.0, 11, 10)])
+
+
+def test_stratified_estimate_hand_computed():
+    # Two strata: w=0.9 with 1/100, w=0.1 with 50/100.
+    est = stratified_estimate([(0.9, 1, 100), (0.1, 50, 100)])
+    assert est.p_hat == pytest.approx(0.9 * 0.01 + 0.1 * 0.5)
+    var = (0.81 * 0.01 * 0.99 / 100) + (0.01 * 0.25 / 100)
+    assert est.half_width() == pytest.approx(1.96 * math.sqrt(var),
+                                             rel=1e-6)
+    assert est.successes == 51 and est.trials == 200
+
+
+def test_stratified_single_stratum_matches_normal_interval():
+    est = stratified_estimate([(1.0, 30, 100)])
+    sigma = math.sqrt(0.3 * 0.7 / 100)
+    assert est.p_hat == pytest.approx(0.3)
+    assert est.ci_low == pytest.approx(0.3 - 1.96 * sigma)
+    assert est.ci_high == pytest.approx(0.3 + 1.96 * sigma)
+
+
+# ----------------------------------------------------------------------
+# Splitting estimator
+# ----------------------------------------------------------------------
+
+
+def test_splitting_estimate_validates_inputs():
+    with pytest.raises(ValueError):
+        splitting_estimate([])
+    with pytest.raises(ValueError):
+        splitting_estimate([(1, 0)])
+    with pytest.raises(ValueError):
+        splitting_estimate([(5, 4)])
+
+
+def test_splitting_estimate_multiplies_stages():
+    # 10/100 then 20/100: p_hat = 0.1 * 0.2 = 0.02.
+    est = splitting_estimate([(10, 100), (20, 100)])
+    assert est.p_hat == pytest.approx(0.02)
+    log_var = (0.9 / (100 * 0.1)) + (0.8 / (100 * 0.2))
+    sigma = math.sqrt(log_var)
+    assert est.ci_low == pytest.approx(0.02 * math.exp(-1.96 * sigma))
+    assert est.ci_high == pytest.approx(0.02 * math.exp(1.96 * sigma))
+    assert est.ci_low < est.p_hat < est.ci_high
+
+
+def test_splitting_estimate_single_stage_reduces_to_direct():
+    est = splitting_estimate([(10, 100)])
+    assert est.p_hat == pytest.approx(0.1)
+
+
+def test_splitting_estimate_zero_success_stage():
+    """A dry stage yields p_hat 0 with a conservative finite upper."""
+    est = splitting_estimate([(10, 100), (0, 50)])
+    assert est.p_hat == 0.0
+    assert est.ci_low == 0.0
+    cap = wilson_interval(10, 100)[1] * wilson_interval(0, 50)[1]
+    assert est.ci_high == pytest.approx(cap)
+    assert 0.0 < est.ci_high < 0.05
+
+
+# ----------------------------------------------------------------------
+# Scripted ground truth: exact isolation probability
+# ----------------------------------------------------------------------
+#
+# A FaultStorm restricted to sender 2 with intensity 1.0 hits that
+# sender in a round iff the gust coin (rate q) fires, so over a window
+# of m rounds the penalty count is Binomial(m, q).  With criticality 1,
+# penalty threshold P, and a reward threshold too large to ever fire,
+# node 2 is isolated iff the count reaches P + 1:
+#
+#     p_exact = sum_{k=P+1}^{m} C(m, k) q^k (1-q)^(m-k)
+
+Q, M, P = 0.4, 8, 3
+EXACT = sum(math.comb(M, k) * Q**k * (1 - Q) ** (M - k)
+            for k in range(P + 1, M + 1))
+
+
+def _storm_spec(seed: int = 100) -> RunSpec:
+    protocol = ProtocolSpec(n_nodes=4, penalty_threshold=P,
+                            reward_threshold=50,
+                            criticalities=(1, 1, 1, 1))
+    storm = ScenarioSpec("FaultStorm",
+                         {"gust_rate": Q, "intensity": 1.0,
+                          "senders": [2], "start_round": 2,
+                          "duration_rounds": M, "rng_stream": "storm"})
+    return RunSpec(protocol=protocol, cluster=ClusterSpec(seed=seed),
+                   scenarios=(storm,), n_rounds=15)
+
+
+@pytest.mark.slow
+def test_isolation_probability_covers_exact_ground_truth():
+    """The estimator's CI covers the closed-form probability.
+
+    120 replicates at p ~= 0.406 give a CI half-width of ~0.09; the
+    assertion is on *coverage* (the interval contains the truth), not
+    on the point estimate, so the fixed seed cannot make it flaky —
+    seed 100 is known to land inside.
+    """
+    est = isolation_probability(_storm_spec(), replicates=120,
+                                target_node=2)
+    assert isinstance(est, MonteCarloEstimate)
+    assert est.trials == 120
+    assert est.contains(EXACT), (est, EXACT)
+    # Sanity on the closed form itself.
+    assert EXACT == pytest.approx(0.4059136)
+
+
+@pytest.mark.slow
+def test_isolation_probability_backends_agree():
+    pytest.importorskip("numpy")
+    event = isolation_probability(_storm_spec(), replicates=40,
+                                  target_node=2)
+    vec = isolation_probability(
+        replace(_storm_spec(), backend="vectorized"), replicates=40,
+        target_node=2)
+    assert vec == event
+
+
+def test_isolation_probability_counts_any_node_without_target():
+    # Healthy cluster: nobody is ever isolated -> estimate 0.
+    protocol = ProtocolSpec(n_nodes=4, penalty_threshold=1,
+                            reward_threshold=2,
+                            criticalities=(1, 1, 1, 1))
+    spec = RunSpec(protocol=protocol, cluster=ClusterSpec(seed=0),
+                   scenarios=(), n_rounds=5)
+    est = isolation_probability(spec, replicates=5)
+    assert est.successes == 0
+    assert est.p_hat == 0.0
+
+
+def test_isolation_curve_pairs_x_with_estimates():
+    points = [(0.4, _storm_spec(seed=10))]
+    curve = isolation_curve(points, replicates=10, target_node=2)
+    assert len(curve) == 1
+    x, est = curve[0]
+    assert x == 0.4
+    assert est.trials == 10
+
+
+# ----------------------------------------------------------------------
+# rare-events campaign definition
+# ----------------------------------------------------------------------
+
+
+def test_rare_events_campaign_smoke():
+    from repro.campaign import (
+        RARE_EVENT_RATES,
+        build_campaign,
+        rare_events_campaign,
+        run_campaign,
+    )
+
+    definition = rare_events_campaign(replicates=2)
+    labeled = definition.labeled_specs
+    assert len(labeled) == 2 * len(RARE_EVENT_RATES)
+    result = run_campaign(labeled, name=definition.name)
+    result.raise_first_error()
+    rows = definition.aggregate(result.results)
+    assert [rate for rate, _est in rows] == list(RARE_EVENT_RATES)
+    for _rate, est in rows:
+        assert isinstance(est, MonteCarloEstimate)
+        assert est.trials == 2
+    rendered = definition.render(rows)
+    assert "False-alarm" in rendered
+    assert "p_gb" in rendered
+    # The named-campaign builder resolves to the same definition.
+    again = build_campaign("rare-events", reps=2)
+    assert [label for label, _ in again.labeled_specs] == [
+        label for label, _ in labeled]

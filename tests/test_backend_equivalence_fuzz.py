@@ -67,13 +67,52 @@ def _semantic(snapshot):
                          and not name.startswith("spec.run.")}}
 
 
+def _channel_scenario(kind, i, n, rng):
+    """One randomized channel-model ScenarioSpec (PR 7 fault library)."""
+    if kind == "gilbert":
+        return ScenarioSpec("GilbertElliottChannel", {
+            "p_gb": rng.choice((0.05, 0.15)),
+            "p_bg": rng.choice((0.3, 0.6)),
+            "error_good": rng.choice((0.0, 0.02)),
+            "error_bad": rng.choice((1.0, 0.8)),
+            "start_bad": rng.random() < 0.2,
+            "rng_stream": f"fz-ge-{i}"})
+    if kind == "emi":
+        return ScenarioSpec("CorrelatedEMI", {
+            "event_rate": rng.choice((0.1, 0.25)),
+            "width": rng.randint(1, max(2, n // 2)),
+            "rng_stream": f"fz-emi-{i}"})
+    if kind == "duty":
+        period = rng.randint(3, 6)
+        return ScenarioSpec("DutyCycleIntermittent", {
+            "sender": rng.randint(1, n),
+            "period_rounds": period,
+            "on_rounds": rng.randint(1, period),
+            "first_round": rng.choice((0, 2)),
+            "rng_stream": f"fz-duty-{i}"})
+    assert kind == "storm"
+    senders = (None if rng.random() < 0.5 else
+               sorted(rng.sample(range(1, n + 1), rng.randint(1, n))))
+    return ScenarioSpec("FaultStorm", {
+        "gust_rate": rng.choice((0.2, 0.4)),
+        "intensity": rng.choice((0.3, 0.7)),
+        "senders": senders,
+        "start_round": rng.choice((0, 3)),
+        "duration_rounds": rng.choice((None, 6)),
+        "rng_stream": f"fz-storm-{i}"})
+
+
 def _fuzz_scenarios(rng, n):
     """1-3 randomized ScenarioSpecs for an n-node cluster."""
     scenarios = []
     for i in range(rng.randint(1, 3)):
         kind = rng.choice((
             "slot-burst", "long-burst", "benign", "asymmetric",
-            "malicious", "crash", "poisson", "intermittent", "noise"))
+            "malicious", "crash", "poisson", "intermittent", "noise",
+            "gilbert", "emi", "duty", "storm"))
+        if kind in ("gilbert", "emi", "duty", "storm"):
+            scenarios.append(_channel_scenario(kind, i, n, rng))
+            continue
         if kind == "slot-burst":
             scenarios.append(ScenarioSpec("SlotBurst", {
                 "round_index": rng.randint(2, 7),
@@ -263,3 +302,131 @@ def test_unsupported_specs_fail_fast():
         with pytest.raises(UnsupportedSpecError):
             run_batch(spec)
         assert issubclass(UnsupportedSpecError, ValueError)
+
+
+# ----------------------------------------------------------------------
+# Channel-model library (PR 7): dedicated three-way differential matrix
+# over every lowerable model × seeds × fast-path, plus the jobs axis
+# and the event-only adaptive model.
+# ----------------------------------------------------------------------
+
+CHANNEL_MODELS = ("gilbert", "emi", "duty", "storm")
+
+
+def _channel_spec(model, seed, n=None, fast_path=True, rounds=FUZZ_ROUNDS):
+    """A deterministic single-channel-model RunSpec for one seed."""
+    rng = random.Random(31000 + 97 * seed + CHANNEL_MODELS.index(model))
+    if n is None:
+        n = FUZZ_NODES[seed % len(FUZZ_NODES)]
+    protocol = ProtocolSpec(
+        n_nodes=n,
+        penalty_threshold=rng.choice((1, 2, 3)),
+        reward_threshold=rng.choice((3, 50)),
+        criticalities=tuple(rng.choice((1, 1, 2)) for _ in range(n)),
+        isolation_mode=rng.choice(("ignore", "observe")),
+    )
+    return RunSpec(
+        protocol=protocol,
+        cluster=ClusterSpec(seed=seed),
+        variant=VariantSpec(fast_path=fast_path),
+        scenarios=(_channel_scenario(model, 0, n, rng),),
+        n_rounds=rounds,
+    )
+
+
+@pytest.mark.parametrize("model", CHANNEL_MODELS)
+@pytest.mark.parametrize("seed", (0, 1, 2))
+@pytest.mark.parametrize("fast_path", (True, False))
+def test_channel_model_three_way_differential(model, seed, fast_path):
+    """event/bitset == event/tuple == vectorized per channel model.
+
+    Health vectors, p/r counters, activity matrices, isolation times
+    and semantic metrics must be bit-identical across all three
+    execution paths for every new channel model, on both bus paths.
+    """
+    spec = _channel_spec(model, seed, fast_path=fast_path)
+    n = spec.protocol.n_nodes
+
+    dc_bit, snap_bit = _event_run(spec, bitset=True)
+    dc_tup, snap_tup = _event_run(spec, bitset=False)
+    view = run_batch(spec).view(0)
+
+    _assert_observables_match(dc_bit, view, n)
+    _assert_observables_match(dc_tup, view, n)
+    assert _semantic(snap_bit) == _semantic(view.metrics_snapshot())
+    assert _semantic(snap_tup) == _semantic(view.metrics_snapshot())
+
+
+@pytest.mark.parametrize("model", CHANNEL_MODELS)
+def test_channel_model_replicate_batch(model):
+    """A replicate batch equals per-seed event runs for each model."""
+    spec = _channel_spec(model, 1)
+    n = spec.protocol.n_nodes
+    batch = run_batch(spec, replicates=3)
+    for i, seed in enumerate(batch.seeds):
+        spec_r = replace(spec, cluster=replace(spec.cluster, seed=seed))
+        dc, snap = _event_run(spec_r, bitset=True)
+        view = batch.view(i)
+        _assert_observables_match(dc, view, n)
+        assert _semantic(snap) == _semantic(view.metrics_snapshot())
+
+
+@pytest.mark.slow
+def test_channel_models_across_jobs():
+    """jobs=2 pool dispatch reproduces jobs=1 for every channel model."""
+    from repro.runner.sweep import run_monte_carlo_sweep
+
+    for model in CHANNEL_MODELS:
+        spec = _channel_spec(model, 0, n=4, rounds=10)
+        serial = run_monte_carlo_sweep(spec, replicates=4, jobs=1)
+        fanned = run_monte_carlo_sweep(spec, replicates=4, jobs=2)
+        assert serial == fanned, model
+
+
+def test_adaptive_saboteur_event_paths_agree():
+    """The adaptive model is deterministic across event-engine variants.
+
+    Its decisions read live protocol state, so bitset/tuple data planes
+    and fast/slow bus paths must all see the identical memoised choice
+    sequence — pinned here by comparing every observable.
+    """
+    for n, seed in ((4, 0), (8, 1)):
+        protocol = ProtocolSpec(
+            n_nodes=n, penalty_threshold=3, reward_threshold=4,
+            criticalities=(1,) * n)
+        base = RunSpec(
+            protocol=protocol,
+            cluster=ClusterSpec(seed=seed),
+            scenarios=(ScenarioSpec("AdaptiveSaboteur",
+                                    {"sender": 2, "margin": 1}),),
+            n_rounds=16,
+        )
+        reference = None
+        for bitset in (True, False):
+            for fast_path in (True, False):
+                spec = replace(base, variant=VariantSpec(
+                    bitset=bitset, fast_path=fast_path))
+                dc = build(spec)
+                dc.run_rounds(spec.n_rounds)
+                observed = (
+                    {j: dc.health_vectors(j) for j in range(1, n + 1)},
+                    {j: dc.service(j).pr.snapshot() for j in range(1, n + 1)},
+                    dc.active_matrix(),
+                    {j: dc.first_isolation_time(j) for j in range(1, n + 1)},
+                )
+                if reference is None:
+                    reference = observed
+                else:
+                    assert observed == reference, (n, seed, bitset, fast_path)
+
+
+def test_adaptive_saboteur_is_event_only_on_vectorized():
+    """The adaptive model cannot lower; the kernel must reject it."""
+    protocol = ProtocolSpec(n_nodes=4, penalty_threshold=2,
+                            reward_threshold=5, criticalities=(1,) * 4)
+    spec = RunSpec(
+        protocol=protocol, cluster=ClusterSpec(seed=0),
+        scenarios=(ScenarioSpec("AdaptiveSaboteur", {"sender": 3}),),
+        n_rounds=10)
+    with pytest.raises(UnsupportedSpecError, match="event-only"):
+        run_batch(spec)

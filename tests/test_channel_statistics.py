@@ -1,0 +1,215 @@
+"""Statistical property tests validating the channel models' sampling
+distributions against their closed forms.
+
+Determinism policy (see also ``tests/conftest.py``): every test uses a
+fixed ``RandomStreams`` seed, so each one observes a single frozen
+sample path — the assertions can never flake.  Tolerances are sized
+analytically at roughly four standard deviations of the relevant
+estimator (binomial: ``sigma = sqrt(p (1 - p) / n)``; sample mean of
+geometric sojourns: ``sigma = sqrt(var / k)``), i.e. wide enough that
+only a genuinely wrong sampler fails, tight enough that swapping the
+stationary distribution, the draw order, or an off-by-one in the state
+update is caught.  The heaviest sample paths are ``@pytest.mark.slow``
+so ``make test-fast`` can skip them; all stay well under a second.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.faults.channels import (
+    CorrelatedEMI,
+    DutyCycleIntermittent,
+    FaultStorm,
+    GilbertElliottChannel,
+)
+from repro.sim.rng import RandomStreams
+from repro.tt.timebase import TimeBase
+
+TB = TimeBase(n_slots=4, round_length=2.5e-3)
+
+# Registered in pyproject.toml; ``tests/conftest.py`` enforces that
+# every test carrying it draws randomness only from explicit seeds.
+pytestmark = pytest.mark.statistical
+
+
+def _stream(name, seed=1234):
+    return RandomStreams(seed).stream(name)
+
+
+def _binomial_band(p, n, z=4.0):
+    """Half-width of a z-sigma band around a binomial proportion."""
+    return z * math.sqrt(p * (1.0 - p) / n)
+
+
+# ----------------------------------------------------------------------
+# Gilbert-Elliott
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_ge_stationary_error_rate_matches_closed_form():
+    """Empirical slot-error frequency vs (1-pi_B) e_g + pi_B e_b.
+
+    20_000 slots; the chain mixes fast (p_gb + p_bg = 0.5) so the
+    binomial band is only mildly widened by autocorrelation — the
+    4-sigma iid band times 2 comfortably covers it.
+    """
+    ge = GilbertElliottChannel(p_gb=0.1, p_bg=0.4, error_good=0.05,
+                               error_bad=0.9, rng=_stream("ge-rate"))
+    n = 20_000
+    errors = ge.error_sequence(n, TB)
+    expected = ge.stationary_error_rate()  # 0.8*0.05 + 0.2*0.9 = 0.22
+    band = 2.0 * _binomial_band(expected, n)  # ~= 0.023
+    assert abs(sum(errors) / n - expected) < band
+
+
+@pytest.mark.slow
+def test_ge_mean_burst_length_is_geometric():
+    """With e_g=0, e_b=1 error bursts ARE bad sojourns: mean 1/p_bg.
+
+    Sojourn lengths are Geometric(p_bg): mean 1/p_bg, variance
+    (1 - p_bg) / p_bg^2.  With ~p_gb/(1+mean) * n ~= 1300 bursts the
+    4-sigma band on the sample mean is ~0.4 slots around 3.333.
+    """
+    p_bg = 0.3
+    ge = GilbertElliottChannel(p_gb=0.15, p_bg=p_bg, error_good=0.0,
+                               error_bad=1.0, rng=_stream("ge-burst"))
+    errors = ge.error_sequence(40_000, TB)
+    bursts = []
+    run = 0
+    for e in errors:
+        if e:
+            run += 1
+        elif run:
+            bursts.append(run)
+            run = 0
+    assert len(bursts) > 500
+    mean = sum(bursts) / len(bursts)
+    expected = 1.0 / p_bg
+    sigma = math.sqrt((1.0 - p_bg) / p_bg**2 / len(bursts))
+    assert abs(mean - expected) < 4.0 * sigma
+    assert ge.mean_burst_slots() == pytest.approx(expected)
+
+
+def test_ge_start_bad_biases_early_slots():
+    """start_bad flips the slot-0 state, deterministically observable
+    with e_g=0 / e_b=1: bad start errs at slot 0, good start cannot."""
+    bad = GilbertElliottChannel(p_gb=0.01, p_bg=0.02, error_good=0.0,
+                                error_bad=1.0, start_bad=True,
+                                rng=_stream("ge-s"))
+    good = GilbertElliottChannel(p_gb=0.01, p_bg=0.02, error_good=0.0,
+                                 error_bad=1.0, start_bad=False,
+                                 rng=_stream("ge-s"))
+    assert bad.error_sequence(1, TB) == [True]
+    assert good.error_sequence(1, TB) == [False]
+    # And the sticky bad chain (mean sojourn 50 slots) errs far more
+    # over the first 20 slots than the sticky good chain.
+    assert sum(bad.error_sequence(20, TB)) > sum(good.error_sequence(20, TB))
+
+
+# ----------------------------------------------------------------------
+# Duty-cycle occupancy
+# ----------------------------------------------------------------------
+
+def test_duty_cycle_occupancy_is_exact():
+    """Occupancy over whole periods equals on/period *exactly* — the
+    model draws only the window offset, never the window size."""
+    duty = DutyCycleIntermittent(sender=1, period_rounds=7, on_rounds=3,
+                                 rng=_stream("duty"))
+    periods = 200
+    faulty = sum(duty.is_faulty_round(p) for p in range(periods * 7))
+    assert faulty == periods * 3
+    assert duty.duty_cycle() == pytest.approx(3 / 7)
+
+
+def test_duty_cycle_offsets_are_uniform():
+    """The window offset is uniform over the legal placements.
+
+    period=5, on=2 gives 4 offsets; over 2000 periods each lands in a
+    4-sigma band of 500 +- 4*sqrt(2000*0.25*0.75) ~= 500 +- 78.
+    """
+    duty = DutyCycleIntermittent(sender=1, period_rounds=5, on_rounds=2,
+                                 rng=_stream("duty-u"))
+    counts = [0, 0, 0, 0]
+    for period in range(2000):
+        first = next(p for p in range(period * 5, (period + 1) * 5)
+                     if duty.is_faulty_round(p))
+        counts[first % 5] += 1
+    band = 4.0 * math.sqrt(2000 * 0.25 * 0.75)
+    assert all(abs(c - 500) < band for c in counts), counts
+
+
+# ----------------------------------------------------------------------
+# Correlated EMI
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_emi_marginal_rate_and_pair_correlation():
+    """Per-node marginal ~= event_rate*width/n; neighbours co-fail.
+
+    With events hitting a contiguous width-2 neighbourhood on a 4-ring,
+    each node's marginal failure rate is 0.3 * 2/4 = 0.15 per round.
+    The joint rate for an adjacent pair is the chance one event covers
+    both: 0.3 * 1/4 = 0.075 — 3.3x the independent product 0.0225.
+    The gap (factor > 2 required below) is what "spatially correlated"
+    means and what an independent-per-node model cannot produce.
+    """
+    emi = CorrelatedEMI(event_rate=0.3, width=2, rng=_stream("emi"))
+    rounds = 10_000
+    node1 = node2 = joint = 0
+    for p in range(rounds):
+        affected = emi.affected_receivers(p, TB)
+        in1, in2 = 1 in affected, 2 in affected
+        node1 += in1
+        node2 += in2
+        joint += in1 and in2
+    m1, m2, j = node1 / rounds, node2 / rounds, joint / rounds
+    assert abs(m1 - 0.15) < _binomial_band(0.15, rounds)
+    assert abs(m2 - 0.15) < _binomial_band(0.15, rounds)
+    assert abs(j - 0.075) < _binomial_band(0.075, rounds)
+    assert j > 2.0 * m1 * m2  # correlated, not independent
+
+
+def test_emi_event_rate_matches_parameter():
+    emi = CorrelatedEMI(event_rate=0.2, width=1, rng=_stream("emi-r"))
+    rounds = 5_000
+    fired = sum(bool(emi.affected_receivers(p, TB)) for p in range(rounds))
+    assert abs(fired / rounds - 0.2) < _binomial_band(0.2, rounds)
+
+
+# ----------------------------------------------------------------------
+# Fault storm
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_storm_gust_rate_and_conditional_intensity():
+    """Gust-round frequency ~= gust_rate; per-sender hit rate within a
+    gust ~= intensity (each candidate is an independent coin)."""
+    storm = FaultStorm(gust_rate=0.25, intensity=0.6, rng=_stream("storm"))
+    rounds = 8_000
+    gusts = 0
+    sender_hits = 0
+    for p in range(rounds):
+        hits = storm.hit_senders(p, TB)
+        if hits:
+            gusts += 1
+            sender_hits += len(hits)
+    # A gust with zero hit senders is indistinguishable from no gust,
+    # so the observable gust rate is gust_rate * (1 - (1-q)^n).
+    observable = 0.25 * (1.0 - 0.4**4)
+    assert abs(gusts / rounds - observable) < _binomial_band(
+        observable, rounds)
+    # Conditional on >=1 hit, mean hits is n*q / (1 - (1-q)^n).
+    expected_mean = 4 * 0.6 / (1.0 - 0.4**4)
+    assert abs(sender_hits / gusts - expected_mean) < 0.1
+
+
+def test_storm_hits_only_listed_senders():
+    storm = FaultStorm(gust_rate=1.0, intensity=0.5, senders=[1, 4],
+                       rng=_stream("storm-s"))
+    seen = set()
+    for p in range(200):
+        seen |= storm.hit_senders(p, TB)
+    assert seen == {1, 4}

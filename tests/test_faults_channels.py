@@ -1,0 +1,361 @@
+"""Unit tests for the channel/fault-model library (repro.faults.channels).
+
+Three layers of pinning:
+
+* behavioural unit tests per model (validation, oracles, directive
+  shapes, probe/directive draw equivalence);
+* *seed-stability golden tests* fixing the exact sampled sequences for
+  fixed ``RandomStreams`` seeds — any refactor of the RNG stream
+  derivation or the models' draw order is caught byte-for-byte;
+* serialization round-trips through the ``SerializableScenario``
+  contract, including the stale-stream rejection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.channels import (
+    AdaptiveSaboteur,
+    CorrelatedEMI,
+    DutyCycleIntermittent,
+    FaultStorm,
+    GilbertElliottChannel,
+    gilbert_elliott_error_rate,
+    gilbert_elliott_stationary_bad,
+)
+from repro.faults.injector import InjectionLayer, TransmissionContext
+from repro.faults.model import ReceptionOutcome
+from repro.sim.rng import RandomStreams
+from repro.tt.timebase import TimeBase
+
+TB = TimeBase(n_slots=4, round_length=2.5e-3)
+
+
+def _ctx(round_index, slot, timebase=TB):
+    n = timebase.n_slots
+    return TransmissionContext(
+        time=timebase.slot_start(round_index, slot),
+        round_index=round_index, slot=slot, sender=slot,
+        receivers=tuple(range(1, n + 1)), channel=0, timebase=timebase)
+
+
+def _stream(name, seed=7):
+    return RandomStreams(seed).stream(name)
+
+
+# ----------------------------------------------------------------------
+# Gilbert-Elliott
+# ----------------------------------------------------------------------
+
+def test_gilbert_elliott_validates_parameters():
+    rng = _stream("ge")
+    with pytest.raises(ValueError):
+        GilbertElliottChannel(p_gb=0.0, p_bg=0.5, rng=rng)
+    with pytest.raises(ValueError):
+        GilbertElliottChannel(p_gb=0.5, p_bg=1.5, rng=rng)
+    with pytest.raises(ValueError):
+        GilbertElliottChannel(p_gb=0.5, p_bg=0.5, error_bad=1.2, rng=rng)
+
+
+def test_gilbert_elliott_closed_forms():
+    ge = GilbertElliottChannel(p_gb=0.1, p_bg=0.4, error_good=0.05,
+                               error_bad=0.9, rng=_stream("ge"))
+    assert ge.stationary_bad() == pytest.approx(0.1 / 0.5)
+    assert ge.stationary_error_rate() == pytest.approx(
+        0.8 * 0.05 + 0.2 * 0.9)
+    assert ge.mean_burst_slots() == pytest.approx(2.5)
+    assert gilbert_elliott_stationary_bad(0.1, 0.4) == ge.stationary_bad()
+    assert gilbert_elliott_error_rate(0.1, 0.4, 0.05, 0.9) == (
+        ge.stationary_error_rate())
+
+
+def test_gilbert_elliott_probe_matches_directives():
+    """Probing and directive evaluation sample the identical sequence."""
+    a = GilbertElliottChannel(p_gb=0.2, p_bg=0.5, rng=_stream("x"))
+    b = GilbertElliottChannel(p_gb=0.2, p_bg=0.5, rng=_stream("x"))
+    for p in range(8):
+        for s in range(1, TB.n_slots + 1):
+            probed = not a.is_quiescent(p, s, TB)
+            fired = bool(list(b.directives(_ctx(p, s))))
+            assert probed == fired, (p, s)
+
+
+def test_gilbert_elliott_rejects_mismatched_slot_count():
+    ge = GilbertElliottChannel(p_gb=0.2, p_bg=0.5, rng=_stream("x"))
+    assert ge.is_quiescent(0, 1, TB) in (True, False)
+    with pytest.raises(ValueError, match="bound to 4 slots"):
+        ge.slot_error(0, 1, TimeBase(n_slots=8, round_length=2.5e-3))
+
+
+def test_gilbert_elliott_golden_sequence():
+    """Seed-stability: the exact per-slot error flags for seed 7/"ge".
+
+    Byte-for-byte pin of the sampled sequence; a change to the stream
+    derivation, the draw order (error coin before transition coin) or
+    the state update breaks this list.
+    """
+    ge = GilbertElliottChannel(p_gb=0.1, p_bg=0.4, error_good=0.05,
+                               error_bad=0.9, rng=_stream("ge"),
+                               rng_stream="ge")
+    assert [int(b) for b in ge.error_sequence(40, TB)] == [
+        0, 0, 0, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+        0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 0]
+
+
+# ----------------------------------------------------------------------
+# Correlated EMI
+# ----------------------------------------------------------------------
+
+def test_emi_validates_parameters():
+    rng = _stream("emi")
+    with pytest.raises(ValueError):
+        CorrelatedEMI(event_rate=0.0, width=2, rng=rng)
+    with pytest.raises(ValueError):
+        CorrelatedEMI(event_rate=0.5, width=0, rng=rng)
+
+
+def test_emi_neighbourhood_is_contiguous_and_wraps():
+    emi = CorrelatedEMI(event_rate=1.0, width=2, rng=_stream("emi"))
+    for p in range(12):
+        affected = sorted(emi.affected_receivers(p, TB))
+        assert len(affected) == 2
+        lo, hi = affected
+        assert hi - lo == 1 or (lo, hi) == (1, TB.n_slots)  # ring wrap
+
+
+def test_emi_width_covering_all_nodes():
+    emi = CorrelatedEMI(event_rate=1.0, width=4, rng=_stream("emi"))
+    assert sorted(emi.affected_receivers(0, TB)) == [1, 2, 3, 4]
+
+
+def test_emi_directive_is_asymmetric_for_affected_receivers():
+    emi = CorrelatedEMI(event_rate=1.0, width=2, rng=_stream("emi"))
+    layer = InjectionLayer()
+    layer.add(emi)
+    affected = emi.affected_receivers(0, TB)
+    out = layer.apply(_ctx(0, 1))
+    for r in range(1, TB.n_slots + 1):
+        expected = (ReceptionOutcome.DETECTABLE if r in affected
+                    else ReceptionOutcome.OK)
+        assert out.outcomes[r] is expected, r
+
+
+def test_emi_probe_matches_directives_draw_for_draw():
+    a = CorrelatedEMI(event_rate=0.3, width=2, rng=_stream("e2"))
+    b = CorrelatedEMI(event_rate=0.3, width=2, rng=_stream("e2"))
+    for p in range(20):
+        probed = not a.is_quiescent(p, 1, TB)
+        fired = bool(list(b.directives(_ctx(p, 1))))
+        assert probed == fired, p
+
+
+def test_emi_golden_events():
+    """Seed-stability: exact (round -> neighbourhood) map for seed 7."""
+    emi = CorrelatedEMI(event_rate=0.3, width=2, rng=_stream("emi"),
+                        rng_stream="emi")
+    events = {p: sorted(emi.affected_receivers(p, TB))
+              for p in range(20) if emi.affected_receivers(p, TB)}
+    assert events == {2: [1, 4], 4: [2, 3], 5: [2, 3], 6: [1, 4],
+                      19: [1, 4]}
+
+
+# ----------------------------------------------------------------------
+# Duty-cycle intermittent
+# ----------------------------------------------------------------------
+
+def test_duty_cycle_validates_parameters():
+    rng = _stream("duty")
+    with pytest.raises(ValueError):
+        DutyCycleIntermittent(sender=1, period_rounds=0, on_rounds=1, rng=rng)
+    with pytest.raises(ValueError):
+        DutyCycleIntermittent(sender=1, period_rounds=4, on_rounds=5, rng=rng)
+    with pytest.raises(ValueError):
+        DutyCycleIntermittent(sender=1, period_rounds=4, on_rounds=0, rng=rng)
+
+
+def test_duty_cycle_occupancy_is_exact_per_period():
+    """Every period contains exactly ``on_rounds`` faulty rounds."""
+    duty = DutyCycleIntermittent(sender=2, period_rounds=5, on_rounds=2,
+                                 rng=_stream("d"))
+    for period in range(10):
+        rounds = range(period * 5, (period + 1) * 5)
+        assert sum(duty.is_faulty_round(p) for p in rounds) == 2, period
+
+
+def test_duty_cycle_window_is_contiguous():
+    duty = DutyCycleIntermittent(sender=1, period_rounds=6, on_rounds=3,
+                                 rng=_stream("d2"))
+    for period in range(8):
+        faulty = [p for p in range(period * 6, (period + 1) * 6)
+                  if duty.is_faulty_round(p)]
+        assert faulty == list(range(faulty[0], faulty[0] + 3)), period
+
+
+def test_duty_cycle_respects_first_round():
+    duty = DutyCycleIntermittent(sender=1, period_rounds=3, on_rounds=3,
+                                 rng=_stream("d3"), first_round=5)
+    assert not any(duty.is_faulty_round(p) for p in range(5))
+    assert all(duty.is_faulty_round(p) for p in range(5, 11))
+
+
+def test_duty_cycle_only_touches_its_sender():
+    duty = DutyCycleIntermittent(sender=2, period_rounds=3, on_rounds=3,
+                                 rng=_stream("d4"))
+    assert duty.is_quiescent(0, 1, TB)
+    assert not duty.is_quiescent(0, 2, TB)
+    assert list(duty.directives(_ctx(0, 1))) == []
+    assert len(list(duty.directives(_ctx(0, 2)))) == 1
+
+
+def test_duty_cycle_golden_rounds():
+    """Seed-stability: exact faulty-round list for seed 7/"duty"."""
+    duty = DutyCycleIntermittent(sender=2, period_rounds=5, on_rounds=2,
+                                 rng=_stream("duty"), rng_stream="duty")
+    assert [p for p in range(25) if duty.is_faulty_round(p)] == [
+        0, 1, 6, 7, 12, 13, 18, 19, 22, 23]
+
+
+# ----------------------------------------------------------------------
+# Fault storm
+# ----------------------------------------------------------------------
+
+def test_storm_validates_parameters():
+    rng = _stream("storm")
+    with pytest.raises(ValueError):
+        FaultStorm(gust_rate=0.0, intensity=0.5, rng=rng)
+    with pytest.raises(ValueError):
+        FaultStorm(gust_rate=0.5, intensity=1.5, rng=rng)
+    with pytest.raises(ValueError):
+        FaultStorm(gust_rate=0.5, intensity=0.5, senders=[], rng=rng)
+    with pytest.raises(ValueError):
+        FaultStorm(gust_rate=0.5, intensity=0.5, duration_rounds=0, rng=rng)
+
+
+def test_storm_respects_window_and_senders():
+    storm = FaultStorm(gust_rate=1.0, intensity=1.0, senders=[2, 3],
+                       start_round=3, duration_rounds=2, rng=_stream("s"))
+    for p in range(8):
+        hits = sorted(storm.hit_senders(p, TB))
+        assert hits == ([2, 3] if p in (3, 4) else []), p
+
+
+def test_storm_probe_matches_directives_draw_for_draw():
+    a = FaultStorm(gust_rate=0.4, intensity=0.6, rng=_stream("s2"))
+    b = FaultStorm(gust_rate=0.4, intensity=0.6, rng=_stream("s2"))
+    for p in range(15):
+        for s in range(1, TB.n_slots + 1):
+            probed = not a.is_quiescent(p, s, TB)
+            fired = bool(list(b.directives(_ctx(p, s))))
+            assert probed == fired, (p, s)
+
+
+def test_storm_golden_hits():
+    """Seed-stability: exact (round -> hit senders) map for seed 7."""
+    storm = FaultStorm(gust_rate=0.4, intensity=0.6, rng=_stream("storm"),
+                       rng_stream="storm")
+    hits = {p: sorted(storm.hit_senders(p, TB))
+            for p in range(15) if storm.hit_senders(p, TB)}
+    assert hits == {0: [1, 2, 4], 2: [1, 3], 3: [3, 4],
+                    11: [1, 2, 3], 12: [1, 2, 3, 4]}
+
+
+# ----------------------------------------------------------------------
+# Adaptive saboteur
+# ----------------------------------------------------------------------
+
+def test_saboteur_requires_observer():
+    sab = AdaptiveSaboteur(sender=2)
+    with pytest.raises(ValueError, match="bind_observer"):
+        list(sab.directives(_ctx(0, 2)))
+
+
+def test_saboteur_validates_margin():
+    with pytest.raises(ValueError):
+        AdaptiveSaboteur(sender=1, margin=-1)
+
+
+def test_saboteur_decision_is_memoised_per_round():
+    class _FakeService:
+        class pr:  # noqa: N801 - mimics the service attribute
+            penalties = [0, 0, 0, 0]
+
+    class _FakeFacade:
+        from repro.core.config import uniform_config
+        config = uniform_config(4, penalty_threshold=3, reward_threshold=5)
+        services = {j: _FakeService() for j in range(1, 5)}
+
+    sab = AdaptiveSaboteur(sender=2, margin=0)
+    sab.bind_observer(_FakeFacade())
+    assert not sab.is_quiescent(0, 2, TB)       # attacks at zero penalty
+    _FakeFacade.services[1].pr.penalties[1] = 99
+    # The round-0 decision is already memoised; the state change only
+    # affects later rounds.
+    assert not sab.is_quiescent(0, 2, TB)
+    assert sab.is_quiescent(1, 2, TB)           # now over the margin
+
+
+def test_saboteur_backs_off_below_threshold():
+    """End to end: with enough margin the saboteur is never isolated."""
+    from repro.spec import ClusterSpec, ProtocolSpec, RunSpec, ScenarioSpec
+    from repro.spec.build import build
+
+    protocol = ProtocolSpec(n_nodes=4, penalty_threshold=10,
+                            reward_threshold=4, criticalities=(1,) * 4)
+    spec = RunSpec(
+        protocol=protocol, cluster=ClusterSpec(seed=0),
+        scenarios=(ScenarioSpec("AdaptiveSaboteur",
+                                {"sender": 2, "margin": 6}),),
+        n_rounds=30)
+    dc = build(spec)
+    dc.run_rounds(spec.n_rounds)
+    # It attacked (penalties accrued) ...
+    assert max(dc.service(1).pr.penalties) > 0
+    # ... but stayed under the isolation threshold throughout.
+    assert dc.first_isolation_time(2) is None
+    assert dc.active_matrix()[1] == (1, 1, 1, 1)
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips and the stale-stream guard
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("factory", [
+    lambda rng: GilbertElliottChannel(p_gb=0.1, p_bg=0.4, error_good=0.05,
+                                      error_bad=0.9, rng=rng,
+                                      rng_stream="ch"),
+    lambda rng: CorrelatedEMI(event_rate=0.3, width=2, rng=rng,
+                              rng_stream="ch"),
+    lambda rng: DutyCycleIntermittent(sender=2, period_rounds=5,
+                                      on_rounds=2, rng=rng,
+                                      rng_stream="ch"),
+    lambda rng: FaultStorm(gust_rate=0.4, intensity=0.6, senders=[1, 3],
+                           start_round=1, duration_rounds=8, rng=rng,
+                           rng_stream="ch"),
+])
+def test_channel_round_trip_preserves_dict_and_repr(factory):
+    original = factory(_stream("ch"))
+    data = original.to_dict()
+    rebuilt = type(original).from_dict(data, streams=RandomStreams(7))
+    assert rebuilt.to_dict() == data
+    assert repr(rebuilt) == repr(original)
+
+
+def test_channel_from_dict_rejects_stale_stream():
+    """Rebuilding against an advanced stream is refused, not silent."""
+    streams = RandomStreams(7)
+    original = GilbertElliottChannel(p_gb=0.1, p_bg=0.4,
+                                     rng=streams.stream("ch"),
+                                     rng_stream="ch")
+    original.slot_error(3, 1, TB)  # advances the "ch" stream
+    with pytest.raises(ValueError, match="already materialized"):
+        GilbertElliottChannel.from_dict(original.to_dict(), streams=streams)
+
+
+def test_saboteur_round_trip():
+    sab = AdaptiveSaboteur(sender=3, margin=2)
+    data = sab.to_dict()
+    rebuilt = AdaptiveSaboteur.from_dict(data)
+    assert rebuilt.to_dict() == data
+    assert repr(rebuilt) == repr(sab)
+    assert AdaptiveSaboteur.event_only is True

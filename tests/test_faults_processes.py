@@ -1,5 +1,6 @@
 """Unit tests for stochastic fault processes."""
 
+import math
 import random
 
 import pytest
@@ -9,6 +10,7 @@ from repro.faults.processes import (
     IntermittentSender,
     PoissonTransients,
     RandomSlotNoise,
+    require_finite_horizon,
 )
 from repro.tt.timebase import TimeBase
 
@@ -124,3 +126,36 @@ class TestRandomSlotNoise:
     def test_validation(self):
         with pytest.raises(ValueError):
             RandomSlotNoise(1.5, rng=random.Random(0))
+
+
+class TestFiniteHorizonGuard:
+    """Non-finite sampling horizons raise instead of looping/no-opping.
+
+    ``_extend_to(inf)`` would loop forever and ``_extend_to(nan)``
+    would silently sample *nothing* (every comparison with NaN is
+    False) — both now fail fast with a clear ValueError.
+    """
+
+    def test_helper_accepts_finite_and_rejects_inf_nan(self):
+        require_finite_horizon("test", 1.5)
+        require_finite_horizon("test", 0.0)
+        with pytest.raises(ValueError, match="must be finite"):
+            require_finite_horizon("test", math.inf)
+        with pytest.raises(ValueError, match="must be finite"):
+            require_finite_horizon("test", math.nan)
+
+    def test_poisson_rejects_non_finite_horizon(self):
+        p = PoissonTransients(rate=100.0, burst_length=1e-4,
+                              rng=random.Random(0))
+        assert p.arrivals_until(0.05)  # finite horizons still work
+        with pytest.raises(ValueError, match="finite"):
+            p.arrivals_until(math.inf)
+        with pytest.raises(ValueError, match="finite"):
+            p.arrivals_until(math.nan)
+
+    def test_intermittent_rejects_non_finite_horizon(self):
+        s = IntermittentSender(1, mean_reappearance_rounds=5,
+                               rng=random.Random(0))
+        assert s.is_faulty_round(3) in (True, False)
+        with pytest.raises(ValueError, match="finite"):
+            s.is_faulty_round(math.inf)

@@ -12,6 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults import channels as channels_module
 from repro.faults import processes as processes_module
 from repro.faults import scenarios as scenarios_module
 from repro.faults.scenarios import SerializableScenario
@@ -50,7 +51,7 @@ def _protocol(n_nodes=4):
 class TestScenarioRegistry:
     def test_covers_every_serializable_scenario_class(self):
         expected = set()
-        for module in (scenarios_module, processes_module):
+        for module in (scenarios_module, processes_module, channels_module):
             for name, obj in vars(module).items():
                 if (isinstance(obj, type)
                         and issubclass(obj, SerializableScenario)
