@@ -18,7 +18,7 @@ import time
 from conftest import emit, emit_json
 
 from repro.analysis.reporting import render_table
-from repro.campaign import run_campaign, validation_campaign
+from repro.campaign import campaign_tasks, run_campaign, validation_campaign
 from repro.core.config import uniform_config
 from repro.core.service import DiagnosedCluster
 from repro.faults.scenarios import crash
@@ -178,8 +178,14 @@ def _backend_points() -> dict:
 
 
 def _campaign_cache_point() -> dict:
-    """Cold vs warm wall time for a small campaign through the store."""
+    """Cold vs warm wall time for a small campaign through the store.
+
+    Also times the warm *consultation* both ways — one indexed lookup
+    per task (the pre-``get_many`` shape) vs one batched query — since
+    on a fully-warm campaign the consultation IS the run.
+    """
     definition = validation_campaign(repetitions=1)
+    keys = [task.key for task in campaign_tasks(definition.labeled_specs)]
     with tempfile.TemporaryDirectory() as cache_dir:
         with ResultStore(cache_dir) as store:
             start = time.perf_counter()
@@ -188,6 +194,11 @@ def _campaign_cache_point() -> dict:
             start = time.perf_counter()
             warm = run_campaign(definition.labeled_specs, store=store)
             warm_s = time.perf_counter() - start
+            per_key_s = min(
+                _timed(lambda: [store.get(key) for key in keys])
+                for _ in range(3))
+            batched_s = min(
+                _timed(lambda: store.get_many(keys)) for _ in range(3))
     assert cold.misses == len(definition.labeled_specs)
     assert warm.hits == len(definition.labeled_specs)
     return {
@@ -197,6 +208,64 @@ def _campaign_cache_point() -> dict:
         "warm_hits": warm.hits,
         "warm_tasks_per_s": round(warm.hits / warm_s, 1),
         "speedup": round(cold_s / warm_s, 2),
+        "consult_per_key_tasks_per_s": round(len(keys) / per_key_s, 1),
+        "consult_batched_tasks_per_s": round(len(keys) / batched_s, 1),
+        "consult_speedup": round(per_key_s / batched_s, 2),
+    }
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _legacy_chunked_run(labeled, jobs: int):
+    """The pre-streaming dispatch shape, preserved for comparison: a
+    fresh process pool per fixed-size chunk, with a barrier after each
+    chunk (the slowest task idles every other worker)."""
+    from repro.campaign.engine import execute_spec_task
+    from repro.runner.pool import Task, run_tasks
+
+    tasks = campaign_tasks(labeled)
+    chunk = max(4, jobs)
+    results = []
+    for start in range(0, len(tasks), chunk):
+        batch = tasks[start:start + chunk]
+        results.extend(run_tasks(
+            [Task(execute_spec_task, (t.spec.to_dict(),), {})
+             for t in batch],
+            jobs=jobs, on_error="collect"))
+    return results
+
+
+DISPATCH_JOBS = 4
+DISPATCH_REPEATS = 3
+
+
+def _dispatch_point() -> dict:
+    """Persistent streaming pool vs legacy per-chunk pools, plus a
+    remote-stub smoke run, on the 18-task validation campaign."""
+    definition = validation_campaign(repetitions=1)
+    labeled = definition.labeled_specs
+    legacy_s = min(_timed(lambda: _legacy_chunked_run(labeled,
+                                                      DISPATCH_JOBS))
+                   for _ in range(DISPATCH_REPEATS))
+    streaming_s = min(
+        _timed(lambda: run_campaign(labeled, jobs=DISPATCH_JOBS,
+                                    dispatch="pool"))
+        for _ in range(DISPATCH_REPEATS))
+    remote_s = _timed(lambda: run_campaign(labeled, jobs=2,
+                                           dispatch="remote-stub"))
+    return {
+        "tasks": len(labeled),
+        "jobs": DISPATCH_JOBS,
+        "repeats": DISPATCH_REPEATS,
+        "legacy_chunked_s": round(legacy_s, 4),
+        "persistent_pool_s": round(streaming_s, 4),
+        "speedup": round(legacy_s / streaming_s, 2),
+        "remote_stub_hosts": 2,
+        "remote_stub_s": round(remote_s, 4),
     }
 
 
@@ -220,10 +289,11 @@ def test_throughput_summary(benchmark):
             sustained["bitset_rounds_per_s"]
             / sustained["tuple_rounds_per_s"], 2)
         backends = _backend_points() if NUMPY_AVAILABLE else None
-        return points, sustained, _campaign_cache_point(), backends
+        return (points, sustained, _campaign_cache_point(),
+                _dispatch_point(), backends)
 
-    points, sustained, campaign_cache, backends = benchmark.pedantic(
-        measure, rounds=1, iterations=1)
+    points, sustained, campaign_cache, dispatch, backends = \
+        benchmark.pedantic(measure, rounds=1, iterations=1)
     rows = [(p["n_nodes"], p["rounds"],
              f"{p['rounds_per_s']:,.0f} rounds/s",
              f"{p['slots_per_s']:,.0f} slots/s") for p in points]
@@ -233,6 +303,13 @@ def test_throughput_summary(benchmark):
     rows.append(("campaign (warm)", campaign_cache["tasks"],
                  f"{campaign_cache['warm_tasks_per_s']:,.0f} tasks/s",
                  f"{campaign_cache['speedup']}x vs cold"))
+    rows.append(("consult (batched)", campaign_cache["tasks"],
+                 f"{campaign_cache['consult_batched_tasks_per_s']:,.0f} "
+                 f"tasks/s",
+                 f"{campaign_cache['consult_speedup']}x vs per-key gets"))
+    rows.append((f"dispatch (jobs={dispatch['jobs']})", dispatch["tasks"],
+                 f"{dispatch['persistent_pool_s']:.2f} s campaign",
+                 f"{dispatch['speedup']}x vs per-chunk pools"))
     if backends:
         for p in backends["points"]:
             rows.append((f"{p['n_nodes']} (vectorized)", p["rounds"],
@@ -256,6 +333,7 @@ def test_throughput_summary(benchmark):
         "points": points,
         "sustained_fault": sustained,
         "campaign_cache": campaign_cache,
+        "dispatch": dispatch,
     }
     if backends:
         document["backends"] = backends

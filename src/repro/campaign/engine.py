@@ -12,28 +12,41 @@ campaign with three guarantees the bare sweep layer never had:
    fully-warm campaign is pure index lookups and its merged metrics
    are byte-identical to an uncached ``jobs=1`` run.
 2. **Checkpoint/resume.**  Completed tasks are committed to the store
-   chunk by chunk, and a tiny atomic state file
-   (:mod:`repro.campaign.state`) tracks progress.  A campaign killed
-   mid-flight resumes with ``resume=True`` (CLI ``--resume``), re-runs
-   only what the store is missing, and produces the same bytes as an
-   uninterrupted run.
+   *as each one finishes* — streaming commits bound what a SIGKILL can
+   lose to the tasks in flight at that instant, never a whole chunk —
+   and a tiny atomic state file (:mod:`repro.campaign.state`) tracks
+   progress.  A campaign killed mid-flight resumes with
+   ``resume=True`` (CLI ``--resume``), re-runs only what the store is
+   missing, and produces the same bytes as an uninterrupted run.
 3. **Fault tolerance.**  Workers run with an optional per-task
    deadline (SIGALRM inside the worker, so a hung task cannot wedge
    the sweep), failures surface as structured
-   :class:`~repro.runner.pool.TaskError` values via the pool's
-   ``on_error="collect"`` mode, and failed tasks are re-dispatched
-   with bounded exponential backoff.  A task that keeps failing ends
-   up as a ``TaskError`` in its result slot — the rest of the campaign
-   completes regardless.
+   :class:`~repro.runner.pool.TaskError` values, and a failed task
+   re-enters the **live** dispatch queue with bounded exponential
+   backoff — no retry round barrier, siblings keep streaming.  A task
+   that keeps failing ends up as a ``TaskError`` in its result slot —
+   the rest of the campaign completes regardless.
 
-Determinism contract: results and snapshots are merged in task order,
-cache hits replay exactly what execution produced, and the engine's own
-bookkeeping (``store.*`` / ``campaign.*`` counters on the *engine*
-registry) never leaks into the merged run metrics.
+Dispatch goes through a pluggable streaming backend
+(:mod:`repro.runner.backends`): a **persistent** local process pool
+by default (workers forked once for the whole campaign, results
+consumed via ``as_completed``), work-stealing multi-pool and
+remote-stub multi-host backends behind the same interface
+(``dispatch="pool" | "multipool" | "remote-stub"`` or any
+:class:`~repro.runner.backends.DispatchBackend` instance).
+
+Determinism contract: results and snapshots are merged in task order
+(every completion lands in its task-index slot, whatever order and
+whichever backend delivered it), cache hits replay exactly what
+execution produced, and the engine's own bookkeeping (``store.*`` /
+``campaign.*`` / ``dispatch.*`` counters on the *engine* registry)
+never leaks into the merged run metrics — the merged snapshot is
+byte-identical across backends and job counts.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import signal
@@ -44,7 +57,8 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..obs.registry import NULL_REGISTRY, empty_snapshot, merge_snapshots
-from ..runner.pool import Task, TaskError, run_tasks
+from ..runner.backends import DispatchBackend, WorkItem, make_backend
+from ..runner.pool import TaskError
 from ..spec import RunSpec, run_spec_dict
 from ..store import ResultStore, store_key
 from .state import CampaignState, campaign_id
@@ -210,11 +224,6 @@ def campaign_tasks(specs: SpecsInput) -> List[CampaignTask]:
     return tasks
 
 
-def _chunks(indices: List[int], size: int) -> Iterable[List[int]]:
-    for start in range(0, len(indices), size):
-        yield indices[start:start + size]
-
-
 def _valid_payload(payload: Any) -> bool:
     return (isinstance(payload, dict)
             and "result" in payload and "snapshot" in payload)
@@ -232,31 +241,52 @@ def run_campaign(specs: SpecsInput,
                  resume: bool = False,
                  state_path: Optional[str] = None,
                  metrics=NULL_REGISTRY,
-                 sleep: Callable[[float], None] = time.sleep
+                 sleep: Callable[[float], None] = time.sleep,
+                 dispatch: Union[str, DispatchBackend] = "pool"
                  ) -> CampaignResult:
-    """Run a campaign store-first with checkpointing and retries.
+    """Run a campaign store-first with streaming commits and retries.
 
     Without a ``store`` this degrades to a deterministic retrying sweep
     (no persistence, no state file) — the mode the thin
-    :mod:`repro.runner.sweep` wrappers use.  With one, completed chunks
-    are committed as they finish; ``resume=True`` is required to
+    :mod:`repro.runner.sweep` wrappers use.  With one, every completed
+    task is committed and checkpointed as it finishes, so a SIGKILL
+    loses at most the in-flight tasks; ``resume=True`` is required to
     continue a campaign whose state file says it never finished (so an
     accidental re-launch cannot silently double-run a half-done
-    campaign), and ``chunk_size`` bounds how much work a SIGKILL can
-    lose (default: ``max(4, jobs)``).
+    campaign).
+
+    ``dispatch`` selects the streaming backend: ``"pool"`` (one
+    persistent process pool, the default), ``"multipool"``
+    (work-stealing pools), ``"remote-stub"`` (subprocess hosts over
+    JSONL pipes), or a ready-made
+    :class:`~repro.runner.backends.DispatchBackend` instance, which
+    the caller keeps ownership of.  Results, aggregates and the merged
+    metrics snapshot are byte-identical across all of them and across
+    every ``jobs`` value.  ``chunk_size`` is retained for backward
+    compatibility and ignored: commits stream per task now.
     """
+    del chunk_size  # legacy knob: streaming commits replaced chunks
     tasks = campaign_tasks(specs)
     total = len(tasks)
     metrics.counter("campaign.tasks").inc(total)
+    if not tasks:
+        # A zero-task campaign is complete by definition: nothing to
+        # consult, dispatch, or checkpoint — and no state file, so a
+        # later non-empty campaign cannot trip over a stale one.
+        return CampaignResult(name=name, tasks=[], results=[],
+                              snapshots=[])
     results: List[Any] = [None] * total
     snapshots: List[dict] = [empty_snapshot() for _ in range(total)]
 
     # -- store consultation (the resume path is exactly this) ----------
+    cached: Dict[str, Any] = {}
+    if store is not None:
+        cached = store.get_many([task.key for task in tasks])
     pending: List[int] = []
     done: set = set()
     hits = 0
     for index, task in enumerate(tasks):
-        payload = store.get(task.key) if store is not None else None
+        payload = cached.get(task.key)
         if payload is not None and _valid_payload(payload):
             results[index] = payload["result"]
             snapshots[index] = payload["snapshot"]
@@ -288,87 +318,117 @@ def run_campaign(specs: SpecsInput,
             state.completed = len(done)
             state.save(state_path)
 
-    # -- dispatch misses with bounded retry ----------------------------
-    chunk = chunk_size if chunk_size and chunk_size > 0 else max(4, jobs)
+    # -- dispatch misses through a streaming backend -------------------
+    # Each completion commits (store + checkpoint) the moment it
+    # arrives; failed tasks re-enter the live queue with per-task
+    # exponential backoff instead of waiting for a retry round.
     failures: Dict[int, TaskError] = {}
+    attempts: Dict[int, int] = {index: 0 for index in pending}
     retried = 0
-    for attempt in range(retries + 1):
-        if not pending:
-            break
-        if attempt > 0:
-            retried += len(pending)
-            metrics.counter("campaign.retries").inc(len(pending))
-            sleep(min(backoff * (2 ** (attempt - 1)), max_backoff))
-        still_failing: List[int] = []
+    owns_backend = not isinstance(dispatch, DispatchBackend)
+    backend = make_backend(dispatch, jobs=jobs, metrics=metrics)
+    metrics.counter(f"dispatch.backend.{backend.name}").inc()
 
-        def _commit(index: int, result: Any, snapshot: dict) -> None:
-            results[index] = result
-            snapshots[index] = snapshot
-            done.add(index)
-            failures.pop(index, None)
-            if store is not None:
-                store.put(tasks[index].key,
-                          {"result": result, "snapshot": snapshot})
+    item_ids = itertools.count()
+    item_members: Dict[int, List[int]] = {}
 
-        def _fail(index: int, error: TaskError) -> None:
-            failures[index] = replace(error, index=index)
+    def _commit(index: int, result: Any, snapshot: dict) -> None:
+        results[index] = result
+        snapshots[index] = snapshot
+        done.add(index)
+
+    def _payload(index: int) -> dict:
+        return {"result": results[index], "snapshot": snapshots[index]}
+
+    def _submit_spec(index: int) -> None:
+        item = WorkItem(item_id=next(item_ids), kind="spec",
+                        spec=tasks[index].spec.to_dict(),
+                        timeout=task_timeout,
+                        affinity=tasks[index].key)
+        item_members[item.item_id] = [index]
+        metrics.counter("campaign.dispatched").inc()
+        backend.submit(item)
+
+    def _submit_batch(group: List[int]) -> None:
+        # Payload dedup: the whole replicate group ships one spec dict
+        # plus its seed list — one kernel execution in the worker.
+        item = WorkItem(item_id=next(item_ids), kind="batch",
+                        spec=tasks[group[0]].spec.to_dict(),
+                        seeds=[tasks[i].spec.cluster.seed for i in group],
+                        timeout=task_timeout,
+                        affinity=tasks[group[0]].key)
+        item_members[item.item_id] = list(group)
+        metrics.counter("campaign.dispatched").inc(len(group))
+        metrics.counter("campaign.batches").inc()
+        backend.submit(item)
+
+    def _register_failure(members: List[int],
+                          error: TaskError) -> List[int]:
+        """Book one failed attempt per member; return who retries."""
+        retryable = []
+        for index in members:
+            attempts[index] += 1
             metrics.counter("campaign.task_errors").inc()
             if error.timed_out:
                 metrics.counter("campaign.timeouts").inc()
-            still_failing.append(index)
+            if attempts[index] <= retries:
+                retryable.append(index)
+            else:
+                failures[index] = replace(error, index=index)
+        return retryable
 
+    try:
         # Vectorized Monte Carlo misses dispatch as whole replicate
-        # batches: one pool task (and one kernel execution) per group
+        # batches: one work item (and one kernel execution) per group
         # of specs identical up to cluster.seed.
         groups = _replicate_groups(tasks, pending)
-        if groups:
-            grouped = {index for group in groups for index in group}
-            pool_tasks = [
-                Task(execute_batch_task,
-                     (tasks[group[0]].spec.to_dict(),
-                      [tasks[i].spec.cluster.seed for i in group]),
-                     {"timeout": task_timeout})
-                for group in groups
-            ]
-            metrics.counter("campaign.dispatched").inc(len(grouped))
-            metrics.counter("campaign.batches").inc(len(groups))
-            group_results = run_tasks(pool_tasks, jobs=jobs,
-                                      on_error="collect")
-            for group, outcome in zip(groups, group_results):
-                if isinstance(outcome, TaskError):
-                    for index in group:
-                        _fail(index, outcome)
-                    continue
-                for index, (result, snapshot) in zip(group, outcome):
-                    _commit(index, result, snapshot)
-            _checkpoint()
-            pending = [i for i in pending if i not in grouped]
+        grouped = {index for group in groups for index in group}
+        for group in groups:
+            _submit_batch(group)
+        for index in pending:
+            if index not in grouped:
+                _submit_spec(index)
 
-        for batch in _chunks(pending, chunk):
-            pool_tasks = [
-                Task(execute_spec_task, (tasks[i].spec.to_dict(),),
-                     {"timeout": task_timeout})
-                for i in batch
-            ]
-            metrics.counter("campaign.dispatched").inc(len(batch))
-            batch_results = run_tasks(pool_tasks, jobs=jobs,
-                                      on_error="collect")
-            for index, outcome in zip(batch, batch_results):
-                if isinstance(outcome, TaskError):
-                    _fail(index, outcome)
-                    continue
-                result, snapshot = outcome
-                _commit(index, result, snapshot)
-            _checkpoint()
-        pending = still_failing
+        for completion in backend.as_completed():
+            members = item_members.pop(completion.item.item_id)
+            if completion.error is None:
+                if completion.item.kind == "batch":
+                    for index, (result, snapshot) in zip(
+                            members, completion.value):
+                        _commit(index, result, snapshot)
+                    if store is not None:
+                        store.put_many((tasks[index].key, _payload(index))
+                                       for index in members)
+                else:
+                    index = members[0]
+                    result, snapshot = completion.value
+                    _commit(index, result, snapshot)
+                    if store is not None:
+                        store.put(tasks[index].key, _payload(index))
+                _checkpoint()
+                continue
+            # Failure: surviving attempts re-enter the live queue.  A
+            # failed replicate batch falls back to per-task dispatch,
+            # so one poisoned seed cannot fail the whole batch twice.
+            retryable = _register_failure(members, completion.error)
+            if retryable:
+                retried += len(retryable)
+                metrics.counter("campaign.retries").inc(len(retryable))
+                sleep(min(backoff * (2 ** (attempts[retryable[0]] - 1)),
+                          max_backoff))
+                for index in retryable:
+                    _submit_spec(index)
+    finally:
+        if owns_backend:
+            backend.close()
 
     # -- finalise ------------------------------------------------------
-    for index in pending:
+    for index in sorted(failures):
         results[index] = failures[index]
         metrics.counter("campaign.failed").inc()
     if state is not None:
-        state.failed = len(pending)
-        state.status = "failed" if pending else "completed"
+        state.failed = len(failures)
+        state.status = "failed" if failures else "completed"
         _checkpoint()
     return CampaignResult(name=name, tasks=tasks, results=results,
                           snapshots=snapshots, hits=hits, misses=misses,

@@ -453,7 +453,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             definition.labeled_specs, name=definition.name, store=store,
             jobs=args.jobs, retries=args.retries,
             task_timeout=args.task_timeout, resume=args.resume,
-            metrics=engine_metrics)
+            metrics=engine_metrics,
+            dispatch=getattr(args, "dispatch", "pool"))
     except InterruptedCampaignError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
@@ -631,6 +632,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the simulation backend on every spec; "
                         "vectorized Monte Carlo replicates dispatch as "
                         "lockstep kernel batches")
+    p.add_argument("--dispatch", choices=("pool", "multipool", "remote-stub"),
+                   default="pool",
+                   help="dispatch backend: one persistent process pool, "
+                        "work-stealing multi-pool, or subprocess-per-host "
+                        "remote stub (results identical for any choice)")
     p.set_defaults(func=_cmd_campaign_run)
 
     p = campaign_sub.add_parser(

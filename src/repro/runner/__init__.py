@@ -12,20 +12,45 @@ keeping the aggregate results *exactly* equal to the serial campaign:
 * :mod:`repro.runner.pool` — the generic contract: picklable tasks,
   deterministic per-task seeds, results merged in task order (never
   completion order);
+* :mod:`repro.runner.backends` — streaming dispatch backends for the
+  campaign engine: a persistent local pool, a work-stealing multi-pool
+  and a subprocess-per-host remote stub with heartbeats
+  (:mod:`repro.runner.heartbeat`);
 * :mod:`repro.runner.sweep` — pre-built decompositions of the Sec. 8
   validation campaign and the Table 2 tuning experiment.
 
-The ``repro-diag validate --jobs N`` CLI flag and the campaign
-benchmarks are wired through these sweeps.
+The ``repro-diag validate --jobs N`` / ``campaign run --dispatch``
+CLI flags and the campaign benchmarks are wired through these.
 """
 
+from .backends import (
+    DISPATCH_BACKENDS,
+    Completion,
+    DispatchBackend,
+    LocalPoolBackend,
+    MultiPoolBackend,
+    RemoteStubBackend,
+    WorkItem,
+    make_backend,
+)
+from .heartbeat import HeartbeatEmitter, HeartbeatMonitor
 from .pool import Task, TaskError, derive_task_seeds, run_tasks
 from .sweep import run_table2_sweep, run_validation_sweep, spec_task
 
 __all__ = [
+    "DISPATCH_BACKENDS",
+    "Completion",
+    "DispatchBackend",
+    "HeartbeatEmitter",
+    "HeartbeatMonitor",
+    "LocalPoolBackend",
+    "MultiPoolBackend",
+    "RemoteStubBackend",
     "Task",
     "TaskError",
+    "WorkItem",
     "derive_task_seeds",
+    "make_backend",
     "run_tasks",
     "run_table2_sweep",
     "run_validation_sweep",

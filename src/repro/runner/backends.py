@@ -1,0 +1,673 @@
+"""Streaming dispatch backends for the campaign engine.
+
+The campaign hot loop used to pay three avoidable costs per sweep: a
+fresh :class:`~concurrent.futures.ProcessPoolExecutor` per chunk *and*
+per retry round, chunk barriers (one straggler idles every worker
+until the whole chunk returns), and a retry model that waited for a
+full round before re-dispatching anything.  This module abstracts
+dispatch behind one small interface so the engine can stream instead:
+
+* :meth:`DispatchBackend.submit` enqueues a :class:`WorkItem`;
+* :meth:`DispatchBackend.as_completed` yields :class:`Completion`
+  values in **completion order** as results arrive, and tolerates new
+  ``submit`` calls between yields — retries re-enter the live queue
+  instead of waiting for a barrier;
+* :meth:`DispatchBackend.close` releases workers.
+
+Determinism is unaffected by completion order: the engine commits each
+result into its task-index slot and merges results and metrics
+snapshots in task order, so every backend — and every worker count —
+produces byte-identical merged artefacts.
+
+Three implementations:
+
+* :class:`LocalPoolBackend` — one **persistent** process pool that
+  lives for the whole campaign.  Workers are forked once (inheriting
+  the parent's already-imported modules) and reused across tasks and
+  retry rounds.  Replicate groups ship deduplicated: one spec dict
+  plus a seed list per :class:`WorkItem`, never one spec copy per
+  replicate.  ``jobs <= 1`` degrades to inline in-process execution —
+  the reference semantics, with no subprocess ever spawned.
+* :class:`MultiPoolBackend` — several local pools with work-stealing
+  over spec digests, for NUMA/oversubscription experiments: items are
+  routed to a home pool by hashing their ``affinity`` (the spec's
+  store key, so replicates of one physics land together), and an idle
+  pool steals from the deepest backlog (counter ``dispatch.steals``).
+* :class:`RemoteStubBackend` — a subprocess-per-"host" backend
+  speaking an SSH-shaped command protocol: JSONL requests down stdin,
+  JSONL results and heartbeats up stdout
+  (:mod:`repro.runner.remote_worker`).  It proves the interface works
+  across process boundaries — payloads cross the wire through the
+  store's own codec (:func:`repro.store.encode_value`), so anything
+  the :class:`~repro.store.ResultStore` rendezvous can hold can be
+  shipped — and it demonstrates the fault model a real multi-host
+  backend needs: worker heartbeats (:mod:`repro.runner.heartbeat`),
+  dead-host detection (process exit *or* heartbeat silence), and
+  re-dispatch of in-flight work to surviving hosts (counter
+  ``dispatch.worker_restarts``).
+
+Work executes through one module-level entry point,
+:func:`execute_work_item`, resolved against the :data:`WORK_KINDS`
+registry — picklable for process pools, importable by remote workers,
+and monkeypatchable by fault-injection tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import zlib
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass, field
+from queue import Empty, Queue
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from ..obs.registry import NULL_REGISTRY
+from .heartbeat import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    HeartbeatMonitor,
+)
+from .pool import TaskError, task_error_from_exception
+
+#: The dispatch backends the CLI and engine accept by name.
+DISPATCH_BACKENDS = ("pool", "multipool", "remote-stub")
+
+#: How many consecutive dead-host re-dispatches one item survives
+#: before it is failed as a structured error (guards against a task
+#: that kills every worker it lands on).
+MAX_REDISPATCHES = 3
+
+
+# ----------------------------------------------------------------------
+# Work items and the worker entry point
+# ----------------------------------------------------------------------
+@dataclass
+class WorkItem:
+    """One unit of dispatch: a spec run or a replicate batch.
+
+    ``kind`` selects the handler from :data:`WORK_KINDS`; ``spec`` is
+    the plain ``RunSpec.to_dict()`` payload; a batch item carries the
+    replicate group's ``seeds`` beside **one** shared spec dict (the
+    payload-dedup shape).  ``affinity`` is a routing key — the spec's
+    store key — used by :class:`MultiPoolBackend` to keep related
+    items on one pool until stolen.  ``redispatches`` counts dead-host
+    re-dispatches (remote backend only).
+    """
+
+    item_id: int
+    kind: str
+    spec: dict
+    seeds: Optional[List[int]] = None
+    timeout: Optional[float] = None
+    affinity: str = ""
+    redispatches: int = 0
+
+
+@dataclass
+class Completion:
+    """One finished :class:`WorkItem`: a value or a structured error.
+
+    ``error`` carries ``index=-1`` — the engine rewrites it per task
+    slot, since one batch item maps to several campaign indices.
+    """
+
+    item: WorkItem
+    value: Any = None
+    error: Optional[TaskError] = None
+
+
+def _spec_handler(spec_dict: dict, seeds: Optional[List[int]],
+                  timeout: Optional[float]) -> Any:
+    from ..campaign.engine import execute_spec_task
+
+    return execute_spec_task(spec_dict, timeout=timeout)
+
+
+def _batch_handler(spec_dict: dict, seeds: Optional[List[int]],
+                   timeout: Optional[float]) -> Any:
+    from ..campaign.engine import execute_batch_task
+
+    return execute_batch_task(spec_dict, list(seeds or ()), timeout=timeout)
+
+
+#: Work-kind registry: handler(spec_dict, seeds, timeout) -> value.
+#: A dict (not a match statement) so fault-injection tests can wrap a
+#: handler to poison specific seeds inside the worker.
+WORK_KINDS: Dict[str, Callable[[dict, Optional[List[int]],
+                                Optional[float]], Any]] = {
+    "spec": _spec_handler,
+    "batch": _batch_handler,
+}
+
+
+def execute_work_item(kind: str, spec_dict: dict,
+                      seeds: Optional[List[int]] = None,
+                      timeout: Optional[float] = None) -> Any:
+    """The one worker entry point every backend executes.
+
+    Module-level (picklable for process pools) and registry-resolved
+    (importable by remote workers from the ``kind`` string alone).
+    """
+    try:
+        handler = WORK_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown work kind {kind!r}; expected one of "
+            f"{tuple(WORK_KINDS)}") from None
+    return handler(spec_dict, seeds, timeout)
+
+
+def _run_inline(item: WorkItem) -> Completion:
+    try:
+        return Completion(item, value=execute_work_item(
+            item.kind, item.spec, item.seeds, item.timeout))
+    except Exception as exc:
+        return Completion(item, error=task_error_from_exception(exc))
+
+
+def _completion_from_future(item: WorkItem, future: Future) -> Completion:
+    exc = future.exception()
+    if exc is None:
+        return Completion(item, value=future.result())
+    return Completion(item, error=task_error_from_exception(exc))
+
+
+# ----------------------------------------------------------------------
+# The interface
+# ----------------------------------------------------------------------
+class DispatchBackend:
+    """Submit work, stream completions, release workers.
+
+    The contract the engine relies on:
+
+    * ``submit`` never blocks on task execution (it may enqueue);
+    * ``as_completed`` yields one :class:`Completion` per submitted
+      item and returns when no submitted work remains; calling
+      ``submit`` between yields extends the stream (retries re-enter
+      the live queue);
+    * ``close`` is idempotent and releases every worker resource.
+    """
+
+    #: Short name used for the ``dispatch.backend.<name>`` counter.
+    name = "abstract"
+
+    def submit(self, item: WorkItem) -> None:
+        """Enqueue ``item`` for execution (never blocks on a task)."""
+        raise NotImplementedError
+
+    def as_completed(self) -> Iterator[Completion]:
+        """Yield one :class:`Completion` per item, completion order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release every worker resource (idempotent)."""
+        raise NotImplementedError
+
+    def __enter__(self) -> "DispatchBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Local persistent pool
+# ----------------------------------------------------------------------
+class LocalPoolBackend(DispatchBackend):
+    """A persistent process pool living for the whole campaign.
+
+    The executor is created lazily on first submit — a fully-warm
+    campaign never forks a worker — and reused across every task and
+    retry until :meth:`close`.  With ``jobs <= 1`` items execute
+    inline in the parent process when :meth:`as_completed` drains the
+    queue: the serial reference semantics.
+    """
+
+    name = "pool"
+
+    def __init__(self, jobs: int = 1, metrics=NULL_REGISTRY) -> None:
+        self._jobs = max(1, int(jobs))
+        self._metrics = metrics
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._futures: Dict[Future, WorkItem] = {}
+        self._inline: deque = deque()
+        self._closed = False
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._jobs)
+        return self._pool
+
+    def submit(self, item: WorkItem) -> None:
+        """Queue ``item`` inline (``jobs <= 1``) or on the pool."""
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if self._jobs <= 1:
+            self._inline.append(item)
+            return
+        future = self._ensure_pool().submit(
+            execute_work_item, item.kind, item.spec, item.seeds,
+            item.timeout)
+        self._futures[future] = item
+
+    def as_completed(self) -> Iterator[Completion]:
+        """Stream completions; inline items run here, lazily."""
+        while self._inline or self._futures:
+            if self._inline:
+                yield _run_inline(self._inline.popleft())
+                continue
+            done, _ = futures_wait(list(self._futures),
+                                   return_when=FIRST_COMPLETED)
+            for future in done:
+                yield _completion_from_future(self._futures.pop(future),
+                                              future)
+
+    def close(self) -> None:
+        """Shut the pool down and drop any queued work."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._futures.clear()
+        self._inline.clear()
+
+
+# ----------------------------------------------------------------------
+# Multiple pools with work-stealing
+# ----------------------------------------------------------------------
+class MultiPoolBackend(DispatchBackend):
+    """Several local pools with work-stealing over spec digests.
+
+    ``jobs`` workers are split across ``pools`` executors.  Each item
+    has a *home* pool — ``crc32(affinity) % pools`` — so replicates of
+    one spec stay together (warm page cache, shared imports, and on a
+    NUMA box one socket).  A pool with a drained backlog steals from
+    the back of the deepest competitor backlog; every steal bumps the
+    ``dispatch.steals`` counter.  The point of this backend is the
+    experiment — measuring what locality vs stealing costs under
+    oversubscription — not a default recommendation.
+    """
+
+    name = "multipool"
+
+    def __init__(self, jobs: int = 2, pools: int = 2,
+                 metrics=NULL_REGISTRY) -> None:
+        jobs = max(1, int(jobs))
+        self._n = max(1, min(int(pools), jobs))
+        self._jobs_per_pool = max(1, jobs // self._n)
+        self._metrics = metrics
+        self._pools: List[Optional[ProcessPoolExecutor]] = [None] * self._n
+        self._backlogs: List[deque] = [deque() for _ in range(self._n)]
+        self._inflight: List[Dict[Future, WorkItem]] = [
+            {} for _ in range(self._n)]
+        self._closed = False
+
+    def _ensure_pool(self, index: int) -> ProcessPoolExecutor:
+        if self._pools[index] is None:
+            self._pools[index] = ProcessPoolExecutor(
+                max_workers=self._jobs_per_pool)
+        return self._pools[index]
+
+    def _home(self, item: WorkItem) -> int:
+        if item.affinity:
+            return zlib.crc32(item.affinity.encode("utf-8")) % self._n
+        return item.item_id % self._n
+
+    def submit(self, item: WorkItem) -> None:
+        """Queue ``item`` on its home pool's backlog."""
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        self._backlogs[self._home(item)].append(item)
+        self._fill()
+
+    def _fill(self) -> None:
+        """Top every pool up to capacity from its own backlog, then by
+        stealing from the deepest other backlog."""
+        for i in range(self._n):
+            while len(self._inflight[i]) < self._jobs_per_pool:
+                if self._backlogs[i]:
+                    item = self._backlogs[i].popleft()
+                else:
+                    donor = max(range(self._n),
+                                key=lambda j: len(self._backlogs[j]))
+                    if not self._backlogs[donor]:
+                        break
+                    item = self._backlogs[donor].pop()
+                    self._metrics.counter("dispatch.steals").inc()
+                future = self._ensure_pool(i).submit(
+                    execute_work_item, item.kind, item.spec, item.seeds,
+                    item.timeout)
+                self._inflight[i][future] = item
+
+    def as_completed(self) -> Iterator[Completion]:
+        """Stream completions across all pools, refilling as they
+        drain (steals happen here)."""
+        while any(self._inflight) or any(self._backlogs):
+            self._fill()
+            pending = [f for flight in self._inflight for f in flight]
+            done, _ = futures_wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                for flight in self._inflight:
+                    item = flight.pop(future, None)
+                    if item is not None:
+                        yield _completion_from_future(item, future)
+                        break
+
+    def close(self) -> None:
+        """Shut every pool down and drop queued work."""
+        self._closed = True
+        for i, pool in enumerate(self._pools):
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+                self._pools[i] = None
+        for flight in self._inflight:
+            flight.clear()
+        for backlog in self._backlogs:
+            backlog.clear()
+
+
+# ----------------------------------------------------------------------
+# Remote stub: subprocess "hosts" over a JSONL pipe protocol
+# ----------------------------------------------------------------------
+@dataclass
+class _StubHost:
+    """One live worker subprocess plus its reader-thread plumbing."""
+
+    serial: str
+    proc: subprocess.Popen
+    reader: threading.Thread
+    inflight: Optional[WorkItem] = None
+    dead: bool = False
+    sends: int = field(default=0)
+
+    def send(self, message: dict) -> bool:
+        """Write one JSONL request; False means the pipe is gone."""
+        try:
+            self.proc.stdin.write(json.dumps(message) + "\n")
+            self.proc.stdin.flush()
+            self.sends += 1
+            return True
+        except (OSError, ValueError):
+            return False
+
+
+class RemoteStubBackend(DispatchBackend):
+    """Subprocess-per-host dispatch over JSONL pipes.
+
+    Localhost stand-in for an SSH/job-array backend: each "host" is
+    ``python -m repro.runner.remote_worker`` reading task requests on
+    stdin and writing results and heartbeats on stdout.  The parent
+    keeps at most one task in flight per host, re-assigns the backlog
+    as hosts free up, and treats a host as dead when its process exits
+    *or* its heartbeat goes silent past ``heartbeat_timeout``.  A dead
+    host's in-flight item re-enters the queue head and a replacement
+    host is spawned (``dispatch.worker_restarts``); an item that kills
+    :data:`MAX_REDISPATCHES` hosts in a row is failed with a
+    structured :class:`~repro.runner.pool.TaskError` instead of
+    looping forever.
+
+    Results cross the pipe through the store codec
+    (:func:`repro.store.encode_value`), so exactly the payload shapes
+    the :class:`~repro.store.ResultStore` rendezvous accepts survive
+    the host boundary.
+    """
+
+    name = "remote-stub"
+
+    def __init__(self, hosts: int = 2, metrics=NULL_REGISTRY,
+                 heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 poll_interval: float = 0.05,
+                 max_redispatches: int = MAX_REDISPATCHES) -> None:
+        self._target_hosts = max(1, int(hosts))
+        self._metrics = metrics
+        self._heartbeat_interval = heartbeat_interval
+        self._monitor = HeartbeatMonitor(timeout=heartbeat_timeout)
+        self._poll = poll_interval
+        self._max_redispatches = max_redispatches
+        self._hosts: List[_StubHost] = []
+        self._events: Queue = Queue()
+        self._backlog: deque = deque()
+        self._dead_letters: deque = deque()
+        self._spawned = 0
+        self._closed = False
+
+    # -- host lifecycle ------------------------------------------------
+    def _worker_env(self) -> dict:
+        import repro
+
+        package_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + existing if existing else "")
+        env["REPRO_HEARTBEAT_INTERVAL"] = repr(self._heartbeat_interval)
+        return env
+
+    def _spawn_host(self) -> _StubHost:
+        serial = f"host-{self._spawned}"
+        self._spawned += 1
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.runner.remote_worker"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            env=self._worker_env(), text=True, bufsize=1)
+        reader = threading.Thread(
+            target=self._read_loop, args=(serial, proc), daemon=True,
+            name=f"remote-stub-reader-{serial}")
+        host = _StubHost(serial=serial, proc=proc, reader=reader)
+        self._monitor.expect(serial)
+        reader.start()
+        self._hosts.append(host)
+        return host
+
+    def _read_loop(self, serial: str, proc: subprocess.Popen) -> None:
+        try:
+            for line in proc.stdout:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                except ValueError:
+                    continue
+                self._events.put((serial, message))
+        except (OSError, ValueError):
+            pass
+        self._events.put((serial, None))
+
+    def _ensure_hosts(self) -> None:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        while len(self._hosts) < self._target_hosts:
+            self._spawn_host()
+
+    def _host_by_serial(self, serial: str) -> Optional[_StubHost]:
+        for host in self._hosts:
+            if host.serial == serial:
+                return host
+        return None
+
+    # -- dispatch ------------------------------------------------------
+    def submit(self, item: WorkItem) -> None:
+        """Queue ``item``; hosts pick work up during
+        :meth:`as_completed`."""
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        self._backlog.append(item)
+
+    def _assign(self) -> None:
+        for host in self._hosts:
+            if not self._backlog:
+                return
+            if host.dead or host.inflight is not None:
+                continue
+            item = self._backlog.popleft()
+            request = {"type": "task", "id": item.item_id,
+                       "kind": item.kind, "spec": item.spec,
+                       "seeds": item.seeds, "timeout": item.timeout}
+            if host.send(request):
+                host.inflight = item
+            else:
+                self._backlog.appendleft(item)
+                self._declare_dead(host)
+
+    def _declare_dead(self, host: _StubHost) -> None:
+        if host.dead:
+            return
+        host.dead = True
+        try:
+            host.proc.kill()
+        except OSError:
+            pass
+        self._monitor.forget(host.serial)
+        self._hosts.remove(host)
+        self._metrics.counter("dispatch.worker_restarts").inc()
+        item = host.inflight
+        host.inflight = None
+        if item is not None:
+            item.redispatches += 1
+            if item.redispatches > self._max_redispatches:
+                self._dead_letters.append(Completion(
+                    item, error=TaskError(
+                        index=-1, error_type="WorkerDied",
+                        message=f"host died {item.redispatches} times "
+                                f"while running this task")))
+            else:
+                self._backlog.appendleft(item)
+        if not self._closed:
+            self._spawn_host()
+
+    def _reap(self) -> None:
+        for host in list(self._hosts):
+            if host.dead:
+                continue
+            if host.proc.poll() is not None or self._monitor.stale(
+                    host.serial):
+                self._declare_dead(host)
+
+    def _pending(self) -> bool:
+        return bool(self._backlog or self._dead_letters
+                    or any(h.inflight is not None for h in self._hosts))
+
+    def as_completed(self) -> Iterator[Completion]:
+        """Stream completions from the host fleet.
+
+        Also the supervision loop: assigns backlog to free hosts,
+        consumes heartbeats, reaps dead hosts (process exit or
+        heartbeat silence) and re-dispatches their in-flight work.
+        """
+        from ..store import decode_value
+
+        if self._pending():
+            self._ensure_hosts()
+        while self._pending():
+            while self._dead_letters:
+                yield self._dead_letters.popleft()
+            self._assign()
+            try:
+                serial, message = self._events.get(timeout=self._poll)
+            except Empty:
+                self._reap()
+                continue
+            host = self._host_by_serial(serial)
+            if host is None or host.dead:
+                continue  # stale message from an already-buried host
+            if message is None:
+                self._declare_dead(host)
+                continue
+            kind = message.get("type")
+            if kind in ("heartbeat", "ready"):
+                self._monitor.beat(serial)
+                continue
+            if kind != "result":
+                continue
+            self._monitor.beat(serial)
+            item = host.inflight
+            host.inflight = None
+            if item is None or message.get("id") != item.item_id:
+                continue
+            if message.get("ok"):
+                try:
+                    value = decode_value(message["enc"],
+                                         message["payload"])
+                except Exception as exc:
+                    yield Completion(item,
+                                     error=task_error_from_exception(exc))
+                else:
+                    yield Completion(item, value=value)
+            else:
+                error = message.get("error") or {}
+                yield Completion(item, error=TaskError(
+                    index=-1,
+                    error_type=error.get("error_type", "RemoteError"),
+                    message=error.get("message", ""),
+                    traceback=error.get("traceback", ""),
+                    timed_out=bool(error.get("timed_out"))))
+
+    def close(self) -> None:
+        """Politely shut hosts down, then kill whatever lingers."""
+        self._closed = True
+        for host in self._hosts:
+            host.send({"type": "shutdown"})
+        for host in self._hosts:
+            try:
+                host.proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                host.proc.kill()
+                host.proc.wait()
+            except OSError:
+                pass
+            for stream in (host.proc.stdin, host.proc.stdout):
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        self._hosts.clear()
+        self._backlog.clear()
+        self._dead_letters.clear()
+
+
+# ----------------------------------------------------------------------
+# Factory
+# ----------------------------------------------------------------------
+def make_backend(dispatch: Union[str, DispatchBackend], jobs: int = 1,
+                 metrics=NULL_REGISTRY) -> DispatchBackend:
+    """Resolve a dispatch selector (name or instance) to a backend.
+
+    ``"pool"`` maps ``jobs`` to pool workers, ``"multipool"`` splits
+    them across two pools, ``"remote-stub"`` runs one task at a time
+    on each of ``jobs`` subprocess hosts.  An already-built backend
+    passes through untouched (the caller keeps ownership).
+    """
+    if isinstance(dispatch, DispatchBackend):
+        return dispatch
+    if dispatch == "pool":
+        return LocalPoolBackend(jobs=jobs, metrics=metrics)
+    if dispatch == "multipool":
+        return MultiPoolBackend(jobs=jobs, metrics=metrics)
+    if dispatch == "remote-stub":
+        return RemoteStubBackend(hosts=jobs, metrics=metrics)
+    raise ValueError(f"unknown dispatch backend {dispatch!r}; expected "
+                     f"one of {DISPATCH_BACKENDS}")
+
+
+__all__ = [
+    "DISPATCH_BACKENDS",
+    "MAX_REDISPATCHES",
+    "Completion",
+    "DispatchBackend",
+    "LocalPoolBackend",
+    "MultiPoolBackend",
+    "RemoteStubBackend",
+    "WORK_KINDS",
+    "WorkItem",
+    "execute_work_item",
+    "make_backend",
+]

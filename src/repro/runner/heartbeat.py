@@ -1,0 +1,125 @@
+"""Worker liveness: heartbeat emission and staleness tracking.
+
+The remote-stub dispatch backend (:mod:`repro.runner.backends`) runs
+each "host" as a subprocess speaking JSONL over pipes.  A host that is
+merely *slow* must be left alone — campaign tasks legitimately run for
+minutes — but a host that is *gone* (killed, wedged, unscheduled) must
+be detected so its in-flight work can re-enter the live queue.  The
+two halves of that contract live here:
+
+* :class:`HeartbeatEmitter` — worker side.  A daemon thread invoking a
+  ``send`` callback every ``interval`` seconds, independent of the
+  task the worker main thread is executing, so liveness is decoupled
+  from task duration.  Python threads keep running while the main
+  thread computes, so a busy worker still beats; only a dead or
+  stopped *process* falls silent.
+* :class:`HeartbeatMonitor` — parent side.  Records the last beat per
+  host against an injectable monotonic clock and answers "is this
+  host stale?".  Spawning a host registers an initial implicit beat,
+  so startup (interpreter boot + imports) counts against the same
+  timeout as silence.
+
+Both classes are transport-agnostic: the emitter takes any callable
+and the monitor any hashable host id, so tests drive them without
+subprocesses and the backend wires them to JSONL pipes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Hashable
+
+#: Seconds between worker heartbeat messages.
+DEFAULT_HEARTBEAT_INTERVAL = 0.25
+
+#: Seconds of silence after which a host is declared dead.  Generous
+#: by default — heartbeats flow from a dedicated thread, so only a
+#: truly gone process stays silent this long.
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+
+class HeartbeatEmitter:
+    """Emit a heartbeat via ``send()`` every ``interval`` seconds.
+
+    The first beat is sent synchronously from :meth:`start` (so a
+    freshly booted worker announces liveness before its first task),
+    then a daemon thread keeps beating until :meth:`stop` or process
+    exit.  ``send`` failures stop the loop silently: a broken pipe
+    means the parent is gone and the worker is about to be reaped.
+    """
+
+    def __init__(self, send: Callable[[], None],
+                 interval: float = DEFAULT_HEARTBEAT_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self._send = send
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="heartbeat-emitter")
+
+    def start(self) -> None:
+        """Send the first beat synchronously, then beat from a daemon
+        thread every ``interval`` seconds."""
+        self._send()
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the beat loop (the daemon thread exits on its next
+        wakeup)."""
+        self._stop.set()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._send()
+            except Exception:
+                return
+
+
+class HeartbeatMonitor:
+    """Track last-beat times per host and decide staleness.
+
+    ``clock`` defaults to :func:`time.monotonic`; tests inject a fake
+    clock to make staleness decisions deterministic.
+    """
+
+    def __init__(self, timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.timeout = timeout
+        self._clock = clock
+        self._last: Dict[Hashable, float] = {}
+
+    def expect(self, host_id: Hashable) -> None:
+        """Register ``host_id`` with an implicit beat at the current
+        time (called at spawn, so boot time counts against the
+        timeout)."""
+        self._last[host_id] = self._clock()
+
+    def beat(self, host_id: Hashable) -> None:
+        """Record a beat from ``host_id`` at the current time."""
+        self._last[host_id] = self._clock()
+
+    def stale(self, host_id: Hashable) -> bool:
+        """Whether ``host_id`` has been silent past the timeout.
+
+        Unknown hosts are never stale (they were never expected)."""
+        last = self._last.get(host_id)
+        if last is None:
+            return False
+        return (self._clock() - last) > self.timeout
+
+    def forget(self, host_id: Hashable) -> None:
+        """Stop tracking ``host_id`` (a buried host is never stale)."""
+        self._last.pop(host_id, None)
+
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "HeartbeatEmitter",
+    "HeartbeatMonitor",
+]

@@ -80,7 +80,15 @@ class TaskError:
                 f"{self.error_type}: {self.message})")
 
 
-def _task_error(index: int, exc: BaseException) -> TaskError:
+def task_error_from_exception(exc: BaseException,
+                              index: int = -1) -> TaskError:
+    """Structure ``exc`` as a :class:`TaskError` for slot ``index``.
+
+    Shared by the chunked :func:`run_tasks` collector and the streaming
+    dispatch backends (:mod:`repro.runner.backends`), which pass the
+    placeholder ``index=-1`` and let the campaign engine rewrite it per
+    task slot.
+    """
     return TaskError(
         index=index,
         error_type=type(exc).__name__,
@@ -89,6 +97,10 @@ def _task_error(index: int, exc: BaseException) -> TaskError:
             type(exc), exc, exc.__traceback__)),
         timed_out=isinstance(exc, TimeoutError),
     )
+
+
+def _task_error(index: int, exc: BaseException) -> TaskError:
+    return task_error_from_exception(exc, index=index)
 
 
 def derive_task_seeds(master_seed: int, name: str, count: int) -> List[int]:
@@ -156,4 +168,5 @@ def run_tasks(tasks: Sequence[Task], jobs: int = 1,
     return results
 
 
-__all__ = ["Task", "TaskError", "derive_task_seeds", "run_tasks"]
+__all__ = ["Task", "TaskError", "derive_task_seeds", "run_tasks",
+           "task_error_from_exception"]

@@ -69,7 +69,8 @@ def run_validation_sweep(repetitions: int = 100,
                          n_nodes: int = PAPER_N_NODES,
                          jobs: int = 1,
                          with_metrics: bool = False,
-                         store: Optional[ResultStore] = None):
+                         store: Optional[ResultStore] = None,
+                         dispatch: str = "pool"):
     """The Sec. 8 validation campaign, optionally fanned across workers.
 
     The aggregate :class:`CampaignSummary` is identical for every
@@ -89,7 +90,7 @@ def run_validation_sweep(repetitions: int = 100,
     definition = validation_campaign(repetitions=repetitions,
                                      n_nodes=n_nodes)
     result = run_campaign(definition.labeled_specs, name=definition.name,
-                          store=store, jobs=jobs)
+                          store=store, jobs=jobs, dispatch=dispatch)
     result.raise_first_error()
     summary = definition.aggregate(result.results)
     if with_metrics:
@@ -101,7 +102,8 @@ def run_table2_sweep(seed: int = 0,
                      round_length: float = PAPER_ROUND_LENGTH,
                      jobs: int = 1,
                      with_metrics: bool = False,
-                     store: Optional[ResultStore] = None):
+                     store: Optional[ResultStore] = None,
+                     dispatch: str = "pool"):
     """The Sec. 9 tuning experiment, one worker per (domain, class).
 
     Decomposes :func:`~repro.experiments.table2.table2` into its
@@ -114,7 +116,7 @@ def run_table2_sweep(seed: int = 0,
 
     definition = table2_campaign(seed=seed, round_length=round_length)
     result = run_campaign(definition.labeled_specs, name=definition.name,
-                          store=store, jobs=jobs)
+                          store=store, jobs=jobs, dispatch=dispatch)
     result.raise_first_error()
     rows = definition.aggregate(result.results)
     if with_metrics:
@@ -133,7 +135,8 @@ def run_monte_carlo_sweep(spec: RunSpec, replicates: int,
                           jobs: int = 1,
                           with_metrics: bool = False,
                           store: Optional[ResultStore] = None,
-                          reducer: Optional[str] = None):
+                          reducer: Optional[str] = None,
+                          dispatch: str = "pool"):
     """Monte Carlo: one spec across ``replicates`` seed-shifted copies.
 
     Results come back in replicate order, cached per replicate by
@@ -154,7 +157,7 @@ def run_monte_carlo_sweep(spec: RunSpec, replicates: int,
     specs = monte_carlo_specs(spec, replicates)
     result = run_campaign(
         [(f"replicate-{i}", replicate) for i, replicate in enumerate(specs)],
-        name="monte-carlo", store=store, jobs=jobs)
+        name="monte-carlo", store=store, jobs=jobs, dispatch=dispatch)
     result.raise_first_error()
     if with_metrics:
         return result.results, result.merged_snapshot()

@@ -248,6 +248,11 @@ class ResultStore:
                 blob = fh.read(length)
         except OSError:
             return None
+        return self._verify_record(blob, length, digest, key)
+
+    @staticmethod
+    def _verify_record(blob: bytes, length: int, digest: str,
+                       key: str) -> Optional[Dict[str, Any]]:
         if len(blob) != length:
             return None  # truncated shard: skip and re-run, never crash
         if hashlib.sha256(blob).hexdigest() != digest:
@@ -285,6 +290,115 @@ class ResultStore:
              hashlib.sha256(blob).hexdigest(), now, now))
         self._db.commit()
         self.metrics.counter("store.put").inc()
+
+    # -- batched primitives --------------------------------------------
+    #: Keys per IN-clause chunk, comfortably under SQLite's default
+    #: 999-variable limit.
+    _IN_CHUNK = 400
+
+    def get_many(self, keys) -> Dict[str, Any]:
+        """Payloads for every hit among ``keys``, as ``{key: value}``.
+
+        The campaign warm path used to issue one indexed SELECT, one
+        last-used UPDATE and one commit *per task*; this consults the
+        index in :data:`_IN_CHUNK`-sized ``IN`` batches, opens each
+        shard file once for all its records, batches the last-used
+        refresh through ``executemany`` and commits once.  Verification
+        and eviction semantics are identical to :meth:`get` — counters
+        included — so callers may mix the two freely.
+        """
+        keys = list(keys)
+        rows: Dict[str, Tuple[str, int, int, str]] = {}
+        for start in range(0, len(keys), self._IN_CHUNK):
+            chunk = keys[start:start + self._IN_CHUNK]
+            marks = ",".join("?" * len(chunk))
+            for key, shard, offset, length, digest in self._db.execute(
+                    f"SELECT key, shard, offset, length, sha256"
+                    f" FROM entries WHERE key IN ({marks})", chunk):
+                rows[key] = (shard, offset, length, digest)
+
+        by_shard: Dict[str, list] = {}
+        for key in keys:
+            if key in rows:
+                by_shard.setdefault(rows[key][0], []).append(key)
+            else:
+                self.metrics.counter("store.miss").inc()
+
+        found: Dict[str, Any] = {}
+        corrupt: list = []
+        for shard, shard_keys in sorted(by_shard.items()):
+            try:
+                fh = open(self._shard_path(shard), "rb")
+            except OSError:
+                corrupt.extend(shard_keys)
+                continue
+            with fh:
+                for key in shard_keys:
+                    _, offset, length, digest = rows[key]
+                    fh.seek(offset)
+                    record = self._verify_record(fh.read(length), length,
+                                                 digest, key)
+                    if record is None:
+                        corrupt.append(key)
+                        continue
+                    try:
+                        found[key] = decode_value(record["enc"],
+                                                  record["payload"])
+                    except Exception:
+                        corrupt.append(key)
+
+        for key in corrupt:
+            self.metrics.counter("store.corrupt").inc()
+            self.metrics.counter("store.miss").inc()
+            self._db.execute("DELETE FROM entries WHERE key = ?", (key,))
+        if found:
+            self.metrics.counter("store.hit").inc(len(found))
+            now = time.time()
+            self._db.executemany(
+                "UPDATE entries SET last_used = ? WHERE key = ?",
+                [(now, key) for key in found])
+        if found or corrupt:
+            self._db.commit()
+        return found
+
+    def put_many(self, items) -> None:
+        """Store every ``(key, value)`` pair (last write wins).
+
+        One shard append + fsync per distinct shard and one index
+        commit for the whole batch — the engine uses this to commit a
+        replicate batch's worth of results in one durability round-trip
+        instead of one per replicate.
+        """
+        by_shard: Dict[str, list] = {}
+        count = 0
+        for key, value in items:
+            enc, payload = encode_value(value, self.compress_threshold)
+            line = json.dumps({"schema": STORE_SCHEMA, "key": key,
+                               "enc": enc, "payload": payload},
+                              sort_keys=True, separators=(",", ":"))
+            by_shard.setdefault(self._shard_for(key), []).append(
+                (key, line.encode("utf-8")))
+            count += 1
+        if not count:
+            return
+        now = time.time()
+        index_rows = []
+        for shard, records in sorted(by_shard.items()):
+            with open(self._shard_path(shard), "ab") as fh:
+                for key, blob in records:
+                    offset = fh.tell()
+                    fh.write(blob + b"\n")
+                    index_rows.append(
+                        (key, shard, offset, len(blob),
+                         hashlib.sha256(blob).hexdigest(), now, now))
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._db.executemany(
+            "INSERT OR REPLACE INTO entries"
+            " (key, shard, offset, length, sha256, created, last_used)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)", index_rows)
+        self._db.commit()
+        self.metrics.counter("store.put").inc(count)
 
     # -- maintenance ---------------------------------------------------
     def stats(self) -> Dict[str, Any]:

@@ -153,6 +153,17 @@ class TestCheckpointResume:
 
 
 class TestFaultTolerance:
+    def test_empty_campaign_returns_empty_result(self, store):
+        # An empty spec list is a valid degenerate campaign: it must
+        # return an empty (and ok) result without touching the store's
+        # checkpoint machinery or spinning up any backend.
+        result = run_campaign([], store=store)
+        assert result.tasks == []
+        assert result.results == []
+        assert result.snapshots == []
+        assert result.ok
+        assert load_all_states(store.campaign_dir) == []
+
     def test_failing_task_does_not_abort_siblings(self):
         sleeps = []
         metrics = MetricsRegistry()

@@ -148,6 +148,65 @@ class TestResultStore:
             open(shard, "wb").write(bytes(blob))
             assert store.get(key) is None
 
+    def test_get_many_matches_get_semantics(self, tmp_path):
+        metrics = MetricsRegistry()
+        with ResultStore(str(tmp_path), metrics=metrics) as store:
+            keys = [f"{i:02d}" + "a" * 62 for i in range(5)]
+            for i, key in enumerate(keys[:3]):
+                store.put(key, {"i": i})
+            found = store.get_many(keys)
+            assert found == {keys[0]: {"i": 0}, keys[1]: {"i": 1},
+                             keys[2]: {"i": 2}}
+        counters = metrics.snapshot()["counters"]
+        assert counters["store.hit"] == 3
+        assert counters["store.miss"] == 2
+
+    def test_get_many_chunks_past_sqlite_variable_limit(self, tmp_path):
+        with ResultStore(str(tmp_path)) as store:
+            keys = [f"{i:04d}" + "b" * 60
+                    for i in range(ResultStore._IN_CHUNK * 2 + 7)]
+            store.put_many((key, i) for i, key in enumerate(keys))
+            found = store.get_many(keys)
+            assert len(found) == len(keys)
+            assert found[keys[-1]] == len(keys) - 1
+
+    def test_get_many_evicts_corrupt_records(self, tmp_path):
+        metrics = MetricsRegistry()
+        with ResultStore(str(tmp_path), metrics=metrics) as store:
+            good, bad = "1a" + "g" * 62, "1b" + "g" * 62  # same shard
+            store.put(good, {"v": 1})
+            store.put(bad, {"big": "x" * 200})
+            shard = os.path.join(store.shard_dir, store._shard_for(bad))
+            with open(shard, "r+b") as fh:
+                fh.truncate(os.path.getsize(shard) - 20)
+            found = store.get_many([good, bad])
+            assert found == {good: {"v": 1}}
+            assert not store.has(bad)  # evicted, like get()
+        counters = metrics.snapshot()["counters"]
+        assert counters["store.corrupt"] == 1
+        assert counters["store.miss"] == 1
+        assert counters["store.hit"] == 1
+
+    def test_put_many_roundtrips_and_counts(self, tmp_path):
+        metrics = MetricsRegistry()
+        with ResultStore(str(tmp_path), metrics=metrics) as store:
+            items = [("2a" + "h" * 62, {"v": 1}),
+                     ("3b" + "h" * 62, [1, 2, 3]),
+                     ("2c" + "h" * 62, "text")]
+            store.put_many(items)
+            for key, value in items:
+                assert store.get(key) == value
+            store.put_many([])  # no-op, no crash
+        assert metrics.snapshot()["counters"]["store.put"] == 3
+
+    def test_put_many_last_write_wins_vs_put(self, tmp_path):
+        with ResultStore(str(tmp_path)) as store:
+            key = "4d" + "j" * 62
+            store.put(key, 1)
+            store.put_many([(key, 2)])
+            assert store.get(key) == 2
+            assert len(store) == 1
+
     def test_gc_evicts_lru_and_compacts(self, tmp_path):
         with ResultStore(str(tmp_path)) as store:
             for i in range(10):
