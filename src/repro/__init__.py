@@ -78,7 +78,7 @@ from .spec import (
 )
 from .tt import Cluster, TimeBase
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CriticalityClass",

@@ -13,20 +13,74 @@ emits tables with a consistent look::
 
 from __future__ import annotations
 
+import math
 from typing import Any, Iterable, List, Optional, Sequence
 
 
 def format_cell(value: Any) -> str:
-    """Human-friendly cell formatting."""
+    """Human-friendly cell formatting.
+
+    The single numeric-formatting rule for every renderer (ASCII,
+    markdown, LaTeX, CSV): ``None`` reads as ``-``, bools keep their
+    ``True``/``False`` spelling (bool is an int subclass, so it must be
+    caught before any numeric branch), floats collapse to ``0`` at zero
+    regardless of sign (``-0.0`` would otherwise leak a sign that no
+    measurement distinguishes), and magnitudes outside ``[1e-3, 1e4)``
+    switch to scientific notation.
+    """
     if value is None:
         return "-"
+    if isinstance(value, bool):
+        return str(value)
     if isinstance(value, float):
         if value == 0:
+            # Covers -0.0 too: copysign is not consulted on purpose.
             return "0"
+        if math.isnan(value):
+            return "nan"
         if abs(value) >= 1e4 or abs(value) < 1e-3:
             return f"{value:.3g}"
         return f"{value:.4g}"
     return str(value)
+
+
+#: LaTeX specials that must be escaped inside a tabular cell.
+_LATEX_SPECIALS = {
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+}
+
+
+def escape_markdown_cell(text: str) -> str:
+    """Escape a formatted cell for a GitHub-markdown table.
+
+    Only the characters that break *table structure* are escaped — a
+    literal ``|`` would end the cell — so numeric cells pass through
+    byte-identical to :func:`format_cell`.
+    """
+    return text.replace("\\", "\\\\").replace("|", "\\|")
+
+
+def escape_latex_cell(text: str) -> str:
+    """Escape a formatted cell for a LaTeX tabular.
+
+    ``&`` (column separator), ``%`` (comment) and friends would
+    otherwise silently corrupt the emitted table.
+    """
+    out = []
+    for ch in text:
+        if ch == "\\":
+            out.append(r"\textbackslash{}")
+        else:
+            out.append(_LATEX_SPECIALS.get(ch, ch))
+    return "".join(out)
 
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
@@ -69,4 +123,11 @@ def render_series(name: str, xs: Sequence[Any], ys: Sequence[Any],
         [x_label, y_label], list(zip(xs, ys)), title=name)
 
 
-__all__ = ["format_cell", "render_table", "render_comparison", "render_series"]
+__all__ = [
+    "escape_latex_cell",
+    "escape_markdown_cell",
+    "format_cell",
+    "render_comparison",
+    "render_series",
+    "render_table",
+]

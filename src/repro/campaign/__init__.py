@@ -26,10 +26,12 @@ The CLI surface is ``repro-diag campaign run|status|gc``.
 
 from .definitions import (
     CAMPAIGN_RESULT_SCHEMA,
+    COMPATIBLE_RESULT_SCHEMAS,
     NAMED_CAMPAIGNS,
     RARE_EVENT_RATES,
     CampaignDefinition,
     build_campaign,
+    definition_for_params,
     rare_events_campaign,
     result_document,
     spec_file_campaign,
@@ -50,6 +52,7 @@ from .state import CampaignState, campaign_id, load_all_states
 
 __all__ = [
     "CAMPAIGN_RESULT_SCHEMA",
+    "COMPATIBLE_RESULT_SCHEMAS",
     "NAMED_CAMPAIGNS",
     "CampaignDefinition",
     "CampaignFailedError",
@@ -60,6 +63,7 @@ __all__ = [
     "RARE_EVENT_RATES",
     "TaskTimeout",
     "build_campaign",
+    "definition_for_params",
     "rare_events_campaign",
     "campaign_id",
     "campaign_tasks",

@@ -22,14 +22,21 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Tuple
 
-from ..analysis.reporting import render_table
+from ..results.render import render_ascii
+from ..results.tables import Column, SeriesSpec, TableSpec
 from ..runner.pool import TaskError
 from ..spec import RunSpec
 from ..store.result_store import encode_value
 from .engine import CampaignResult
 
-#: Schema tag of the ``campaign run --out`` document.
-CAMPAIGN_RESULT_SCHEMA = "repro-campaign-result/1"
+#: Schema tag of the ``campaign run --out`` document.  ``/2`` embeds
+#: the campaign's built tables so the document is self-describing;
+#: readers accept both tags (``/1`` documents simply carry no tables).
+CAMPAIGN_RESULT_SCHEMA = "repro-campaign-result/2"
+
+#: Document schema tags the results pipeline accepts.
+COMPATIBLE_RESULT_SCHEMAS = ("repro-campaign-result/1",
+                             "repro-campaign-result/2")
 
 
 @dataclass(frozen=True)
@@ -43,14 +50,32 @@ class CampaignDefinition:
     params: Dict[str, Any]
     #: Task-order results -> aggregate value.
     aggregate: Callable[[List[Any]], Any]
-    #: Aggregate value -> human-readable text.
-    render: Callable[[Any], str]
+    #: Declarative tables over the aggregate (may be empty for ad-hoc
+    #: spec-file campaigns, which fall back to ``str()`` per result).
+    tables: Tuple[TableSpec, ...] = ()
+    #: Declarative plot series over the aggregate.
+    series: Tuple[SeriesSpec, ...] = ()
+
+    def build_tables(self, value: Any) -> List[Any]:
+        """Materialise every declared table against one aggregate."""
+        return [spec.build(value) for spec in self.tables]
+
+    def render(self, value: Any) -> str:
+        """Aggregate value -> human-readable text (ASCII tables)."""
+        if not self.tables:
+            return "\n".join(str(result) for result in value)
+        return "\n\n".join(render_ascii(table)
+                           for table in self.build_tables(value))
 
 
 def validation_campaign(repetitions: int = 5,
                         n_nodes: int = 4) -> CampaignDefinition:
     """The Sec. 8 fault-injection campaign as a campaign definition."""
-    from ..experiments.validation import CampaignSummary, validation_specs
+    from ..experiments.validation import (
+        VALIDATION_TABLE,
+        CampaignSummary,
+        validation_specs,
+    )
 
     labeled = validation_specs(repetitions, n_nodes)
 
@@ -60,20 +85,10 @@ def validation_campaign(repetitions: int = 5,
             summary.add(cls, result.passed)
         return summary
 
-    def render(summary: "CampaignSummary") -> str:
-        rates = summary.pass_rates()
-        rows = [(cls, len(outcomes), f"{100 * rates[cls]:.0f}%")
-                for cls, outcomes in sorted(summary.results.items())]
-        table = render_table(
-            ["experiment class", "injections", "pass rate"], rows,
-            title=f"Sec. 8 validation campaign "
-                  f"({summary.total_injections} injections)")
-        return f"{table}\nall passed: {summary.all_passed}"
-
     return CampaignDefinition(
         name="validate", labeled_specs=labeled,
         params={"reps": repetitions, "nodes": n_nodes},
-        aggregate=aggregate, render=render)
+        aggregate=aggregate, tables=(VALIDATION_TABLE,))
 
 
 def table2_campaign(seed: int = 0,
@@ -84,7 +99,11 @@ def table2_campaign(seed: int = 0,
         AUTOMOTIVE_TOLERATED_OUTAGE,
         PAPER_REWARD_THRESHOLD,
     )
-    from ..experiments.table2 import Table2Row, penalty_budget_spec
+    from ..experiments.table2 import (
+        TABLE2_TABLE,
+        Table2Row,
+        penalty_budget_spec,
+    )
     from ..tt.cluster import PAPER_ROUND_LENGTH
 
     if round_length is None:
@@ -123,24 +142,41 @@ def table2_campaign(seed: int = 0,
                 ))
         return rows
 
-    def render(rows: List["Table2Row"]) -> str:
-        cells = [(r.domain, r.criticality_class.name,
-                  f"{r.tolerated_outage * 1e3:.0f} ms", r.measured_budget,
-                  r.criticality, r.penalty_threshold,
-                  f"{r.reward_threshold:.0e}") for r in rows]
-        return render_table(
-            ["Domain", "Class", "Tolerated outage", "Measured budget",
-             "Crit. lvl (s_i)", "P", "R"],
-            cells, title="Table 2: experimental tuning of the p/r algorithm")
-
     return CampaignDefinition(
         name="table2", labeled_specs=labeled,
         params={"seed": seed, "round_length": round_length},
-        aggregate=aggregate, render=render)
+        aggregate=aggregate, tables=(TABLE2_TABLE,))
 
 
 #: Gilbert-Elliott good->bad rates swept by the rare-events campaign.
 RARE_EVENT_RATES = (0.02, 0.05, 0.1)
+
+#: The rare-events aggregate — ``[(rate, MonteCarloEstimate), ...]`` —
+#: as a declarative table.
+RARE_EVENTS_TABLE = TableSpec(
+    name="rare-events",
+    title="False-alarm probability under Gilbert-Elliott bursts",
+    columns=(
+        Column("p_gb", lambda row: f"{row[0]:g}"),
+        Column("replicates", lambda row: row[1].trials),
+        Column("false-alarm p", lambda row: f"{row[1].p_hat:.3f}"),
+        Column("95% CI",
+               lambda row: f"[{row[1].ci_low:.3f}, {row[1].ci_high:.3f}]"),
+    ),
+)
+
+#: The same aggregate as a plot: the estimate with its CI envelope.
+RARE_EVENTS_SERIES = SeriesSpec(
+    name="rare-events",
+    title="False-alarm probability under Gilbert-Elliott bursts",
+    x_label="good->bad rate p_gb",
+    y_label="false-alarm probability",
+    curves=lambda curve: {
+        "p_hat": [(rate, est.p_hat) for rate, est in curve],
+        "95% CI low": [(rate, est.ci_low) for rate, est in curve],
+        "95% CI high": [(rate, est.ci_high) for rate, est in curve],
+    },
+)
 
 
 def rare_events_campaign(replicates: int = 5, n_nodes: int = 4,
@@ -185,18 +221,11 @@ def rare_events_campaign(replicates: int = 5, n_nodes: int = 4,
             curve.append((rate, estimate_probability(hits, replicates)))
         return curve
 
-    def render(curve: List[Tuple[float, "MonteCarloEstimate"]]) -> str:
-        rows = [(f"{rate:g}", est.trials, f"{est.p_hat:.3f}",
-                 f"[{est.ci_low:.3f}, {est.ci_high:.3f}]")
-                for rate, est in curve]
-        return render_table(
-            ["p_gb", "replicates", "false-alarm p", "95% CI"], rows,
-            title="False-alarm probability under Gilbert-Elliott bursts")
-
     return CampaignDefinition(
         name="rare-events", labeled_specs=labeled,
         params={"reps": replicates, "nodes": n_nodes, "seed": seed},
-        aggregate=aggregate, render=render)
+        aggregate=aggregate, tables=(RARE_EVENTS_TABLE,),
+        series=(RARE_EVENTS_SERIES,))
 
 
 def spec_file_campaign(path: str, text: str) -> CampaignDefinition:
@@ -213,13 +242,10 @@ def spec_file_campaign(path: str, text: str) -> CampaignDefinition:
     def aggregate(results: List[Any]) -> List[Any]:
         return results
 
-    def render(results: List[Any]) -> str:
-        return "\n".join(str(result) for result in results)
-
     return CampaignDefinition(
         name="spec-file", labeled_specs=labeled,
         params={"specs": len(labeled)},
-        aggregate=aggregate, render=render)
+        aggregate=aggregate)
 
 
 #: Campaigns addressable by name from the CLI.
@@ -240,14 +266,43 @@ def build_campaign(name: str, reps: int = 5, nodes: int = 4,
         f"unknown campaign {name!r}; named campaigns: {NAMED_CAMPAIGNS}")
 
 
+def definition_for_params(name: str,
+                          params: Dict[str, Any]) -> CampaignDefinition:
+    """Rebuild a named campaign from a result document's ``params``.
+
+    This is the results pipeline's compat path for ``/1`` documents
+    (and the digest-keyed diff's source of per-label specs): the params
+    dict is exactly what :func:`result_document` wrote, so the rebuilt
+    definition enumerates the same labels in the same order.
+    """
+    if name == "validate":
+        return validation_campaign(repetitions=params["reps"],
+                                   n_nodes=params["nodes"])
+    if name == "table2":
+        return table2_campaign(seed=params["seed"],
+                               round_length=params["round_length"])
+    if name == "rare-events":
+        return rare_events_campaign(replicates=params["reps"],
+                                    n_nodes=params["nodes"],
+                                    seed=params["seed"])
+    raise ValueError(
+        f"cannot rebuild campaign {name!r} from params; "
+        f"named campaigns: {NAMED_CAMPAIGNS}")
+
+
 def result_document(definition: CampaignDefinition,
                     result: CampaignResult) -> Dict[str, Any]:
     """The deterministic ``--out`` document for a finished campaign.
 
     Execution details (jobs, hit counts, retry counts) are deliberately
-    absent; see the module docstring.
+    absent; see the module docstring.  When the definition declares
+    tables and every task succeeded, the built tables are embedded
+    (schema ``/2``) so the document renders without re-running
+    aggregation code — the self-describing form the future HTTP
+    service will hand out.
     """
     tasks = []
+    failed = False
     for task, value in zip(result.tasks, result.results):
         entry: Dict[str, Any] = {"label": task.label,
                                  "digest": task.spec.digest(),
@@ -256,25 +311,35 @@ def result_document(definition: CampaignDefinition,
             entry["error"] = {"type": value.error_type,
                               "message": value.message,
                               "timed_out": value.timed_out}
+            failed = True
         else:
             enc, payload = encode_value(value)
             entry["result"] = {"enc": enc, "payload": payload}
         tasks.append(entry)
-    return {
+    document = {
         "schema": CAMPAIGN_RESULT_SCHEMA,
         "campaign": definition.name,
         "params": dict(definition.params),
         "tasks": tasks,
         "metrics": result.merged_snapshot(),
     }
+    if definition.tables and not failed:
+        value = definition.aggregate(result.results)
+        document["tables"] = [t.to_dict()
+                              for t in definition.build_tables(value)]
+    return document
 
 
 __all__ = [
     "CAMPAIGN_RESULT_SCHEMA",
+    "COMPATIBLE_RESULT_SCHEMAS",
     "NAMED_CAMPAIGNS",
+    "RARE_EVENTS_SERIES",
+    "RARE_EVENTS_TABLE",
     "RARE_EVENT_RATES",
     "CampaignDefinition",
     "build_campaign",
+    "definition_for_params",
     "rare_events_campaign",
     "result_document",
     "spec_file_campaign",

@@ -21,7 +21,16 @@ Installed as ``repro-diag``.  Subcommands map to the evaluation:
   retried with backoff under a per-task ``--task-timeout``;
 * ``repro-diag campaign status``     — checkpoint states + store footprint;
 * ``repro-diag campaign gc``         — evict old cache entries, compact
-  the payload shards.
+  the payload shards;
+* ``repro-diag results render SOURCE`` — render a campaign ``--out``
+  document (or a named campaign's cached store results) as ascii,
+  markdown, latex, csv or json without re-running anything;
+* ``repro-diag results diff A B``    — digest-keyed cross-campaign diff:
+  cell-by-cell table comparison plus the diverging spec parameters
+  behind every changed task digest;
+* ``repro-diag results plot SOURCE`` — matplotlib plot emitters for the
+  declared series (soft dependency: exits 2 with an actionable message
+  when matplotlib is missing).
 
 ``validate``, ``table2``, ``stats`` and ``run`` accept
 ``--metrics-out PATH`` to write a deterministic JSON run report (see
@@ -55,6 +64,8 @@ def _write_metrics_report(path: str, command: str, params: dict,
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    from .experiments.validation import VALIDATION_TABLE
+    from .results.render import render_ascii
     from .runner.sweep import run_validation_sweep
 
     if args.metrics_out:
@@ -62,14 +73,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             repetitions=args.reps, jobs=args.jobs, with_metrics=True)
     else:
         summary = run_validation_sweep(repetitions=args.reps, jobs=args.jobs)
-    rows = [(cls, len(results), f"{100 * rate:.0f}%")
-            for (cls, results), rate in
-            zip(sorted(summary.results.items()),
-                (summary.pass_rates()[c] for c in sorted(summary.results)))]
-    print(render_table(["experiment class", "injections", "pass rate"], rows,
-                       title=f"Sec. 8 validation campaign "
-                             f"({summary.total_injections} injections)"))
-    print(f"all passed: {summary.all_passed}")
+    print(render_ascii(VALIDATION_TABLE.build(summary)))
     if args.metrics_out:
         _write_metrics_report(args.metrics_out, "validate",
                               {"reps": args.reps}, snapshot)
@@ -86,14 +90,10 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     else:
         table_rows = run_table2_sweep(seed=args.seed,
                                       jobs=getattr(args, "jobs", 1))
-    rows = [(r.domain, r.criticality_class.name,
-             f"{r.tolerated_outage * 1e3:.0f} ms", r.measured_budget,
-             r.criticality, r.penalty_threshold, f"{r.reward_threshold:.0e}")
-            for r in table_rows]
-    print(render_table(
-        ["Domain", "Class", "Tolerated outage", "Measured budget",
-         "Crit. lvl (s_i)", "P", "R"],
-        rows, title="Table 2: experimental tuning of the p/r algorithm"))
+    from .experiments.table2 import TABLE2_TABLE
+    from .results.render import render_ascii
+
+    print(render_ascii(TABLE2_TABLE.build(table_rows)))
     if metrics_out:
         _write_metrics_report(metrics_out, "table2",
                               {"seed": args.seed}, snapshot)
@@ -101,29 +101,25 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_table4(args: argparse.Namespace) -> int:
-    from .experiments.adverse import table4
+    from .experiments.adverse import TABLE4_TABLE, table4
+    from .results.render import render_ascii
 
-    rows = [r.row() for r in table4(seed=args.seed)]
-    print(render_table(["Setting", "Criticality class", "Time to isolation"],
-                       rows, title="Table 4: time to incorrect isolation"))
+    print(render_ascii(TABLE4_TABLE.build(table4(seed=args.seed))))
     return 0
 
 
 def _cmd_figure3(args: argparse.Namespace) -> int:
-    from .experiments.figure3 import figure3_series, paper_choice_summary
+    from .experiments.figure3 import (
+        FIGURE3_TABLE,
+        figure3_series,
+        paper_choice_line,
+    )
+    from .results.render import render_ascii
 
     for series in figure3_series():
-        rows = [(p.reward_threshold, f"{p.window_seconds:.0f}",
-                 f"{p.p_correlate_transient:.4g}")
-                for p in series.points]
-        print(render_table(
-            ["R", "window R*T (s)", "P(correlate 2nd transient)"], rows,
-            title=f"Fig. 3 — external transient rate "
-                  f"{series.rate_per_hour}/hour"))
+        print(render_ascii(FIGURE3_TABLE.build(series)))
         print()
-    summary = paper_choice_summary()
-    print(f"paper's choice: R = {summary['reward_threshold']:.0e} "
-          f"-> window ≈ {summary['window_minutes']:.1f} min")
+    print(paper_choice_line())
     return 0
 
 
@@ -159,50 +155,37 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_portability(args: argparse.Namespace) -> int:
-    from .experiments.portability import portability_sweep
+    from .experiments.portability import PORTABILITY_TABLE, portability_sweep
+    from .results.render import render_ascii
 
-    rows = [(r.platform, r.n_nodes, f"{r.round_ms:.1f} ms",
-             r.latency_rounds, f"{r.latency_ms:.1f} ms",
-             f"{r.message_bits} bits",
-             "ok" if r.oracle_ok else "VIOLATED")
-            for r in portability_sweep(seed=args.seed)]
-    print(render_table(
-        ["platform", "N", "round", "latency (rounds)", "latency (ms)",
-         "per message", "oracle"],
-        rows, title="Portability: identical protocol per TT platform"))
+    print(render_ascii(
+        PORTABILITY_TABLE.build(portability_sweep(seed=args.seed))))
     return 0
 
 
 def _cmd_resilience(args: argparse.Namespace) -> int:
-    from .experiments.resilience import capacity_frontier, resilience_sweep
+    from .experiments.resilience import (
+        RESILIENCE_TABLE,
+        capacity_frontier,
+        resilience_sweep,
+    )
+    from .results.render import render_ascii
 
     points = resilience_sweep(seeds=(args.seed,))
-    frontier = capacity_frontier()
-    rows = []
-    for n in sorted(frontier):
-        checked = [p for p in points if p.n_nodes == n]
-        ok = sum(1 for p in checked if p.properties_hold)
-        rows.append((n, len(checked), f"{ok}/{len(checked)}",
-                     ", ".join(f"s={s}: b<={b}"
-                               for s, b in frontier[n].items())))
-    print(render_table(
-        ["N", "allocations", "properties held", "Lemma 2 frontier"],
-        rows, title="Resilience scaling (coincident faults)"))
+    print(render_ascii(
+        RESILIENCE_TABLE.build((points, capacity_frontier()))))
     return 0
 
 
 def _cmd_discrimination(args: argparse.Namespace) -> int:
-    from .experiments.discrimination import discrimination_study
+    from .experiments.discrimination import (
+        DISCRIMINATION_TABLE,
+        discrimination_study,
+    )
+    from .results.render import render_ascii
 
-    rows = [(s.filter_name, f"{100 * s.detection_rate:.0f}%",
-             "-" if s.mean_detection_round is None
-             else f"{s.mean_detection_round:.0f} rounds",
-             f"{100 * s.false_positive_rate:.0f}%")
-            for s in discrimination_study(repetitions=args.reps)]
-    print(render_table(
-        ["filter", "unhealthy detected", "mean time to isolation",
-         "healthy isolated"],
-        rows, title="Healthy/unhealthy discrimination study"))
+    print(render_ascii(DISCRIMINATION_TABLE.build(
+        discrimination_study(repetitions=args.reps))))
     return 0
 
 
@@ -532,6 +515,139 @@ def _cmd_campaign_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``results render --format`` spellings -> canonical renderer names.
+_FORMAT_ALIASES = {"md": "markdown", "tex": "latex"}
+
+
+def _cmd_results_render(args: argparse.Namespace) -> int:
+    from .campaign import NAMED_CAMPAIGNS, build_campaign
+    from .results import source
+    from .results.render import render_tables
+
+    fmt = _FORMAT_ALIASES.get(args.format, args.format)
+
+    def select(tables):
+        if not args.table:
+            return tables
+        chosen = [t for t in tables if t.name == args.table]
+        if not chosen:
+            names = ", ".join(t.name for t in tables)
+            raise source.DocumentError(
+                f"no table named {args.table!r}; available: {names}")
+        return chosen
+
+    try:
+        if args.source in NAMED_CAMPAIGNS:
+            # Live store lookups by content address: render what the
+            # campaign engine already cached, executing nothing.
+            from .obs import MetricsRegistry
+
+            definition = build_campaign(args.source, reps=args.reps,
+                                        nodes=args.nodes, seed=args.seed)
+            store = _open_store(args, MetricsRegistry(enabled=False))
+            try:
+                tables = source.tables_from_store(definition, store)
+            finally:
+                store.close()
+            text = render_tables(select(tables), fmt)
+        else:
+            doc = source.load_document(args.source)
+            text = _render_document(doc, fmt, select, args.store)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"rendered results written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _render_document(doc, fmt: str, select, store_dir: str) -> str:
+    """Render one document, memoizing in the store when one is given."""
+    from .results import source
+    from .results.render import render_tables
+
+    def compute() -> str:
+        return render_tables(select(source.tables_for_document(doc)), fmt)
+
+    if not store_dir:
+        return compute()
+    from .obs import MetricsRegistry
+    from .results.cache import DerivedCache
+    from .store import ResultStore
+
+    store = ResultStore(store_dir, metrics=MetricsRegistry(enabled=False))
+    try:
+        cache = DerivedCache(store)
+        fingerprint = source.document_fingerprint(doc)
+        return cache.get_or_compute(fingerprint, f"render.{fmt}", compute)
+    finally:
+        store.close()
+
+
+def _cmd_results_diff(args: argparse.Namespace) -> int:
+    from .results import source
+    from .results.diff import diff_documents, render_diff
+
+    try:
+        doc_a = source.load_document(args.a)
+        doc_b = source.load_document(args.b)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_documents(doc_a, doc_b)
+    store = None
+    if args.store:
+        from .obs import MetricsRegistry
+        from .store import ResultStore
+
+        store = ResultStore(args.store,
+                            metrics=MetricsRegistry(enabled=False))
+    try:
+        print(render_diff(diff, store=store))
+    finally:
+        if store is not None:
+            store.close()
+    return 0 if diff.identical else 1
+
+
+def _cmd_results_plot(args: argparse.Namespace) -> int:
+    from .results.plots import PlotUnavailableError, require_matplotlib
+
+    try:
+        # Gate before any document work, mirroring _apply_backend's
+        # numpy check: missing matplotlib is a clean exit 2.
+        require_matplotlib()
+    except PlotUnavailableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from .results import source
+    from .results.plots import emit_plots
+
+    try:
+        if args.source == "figure3":
+            from .experiments.figure3 import FIGURE3_SERIES, figure3_series
+
+            series = [FIGURE3_SERIES.build(figure3_series())]
+        else:
+            doc = source.load_document(args.source)
+            series = source.series_for_document(doc)
+            if not series:
+                print(f"error: campaign {doc.campaign!r} declares no plot "
+                      f"series", file=sys.stderr)
+                return 2
+        paths = emit_plots(series, args.out_dir, fmt=args.format)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for path in paths:
+        print(f"plot written to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-diag",
@@ -652,6 +768,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-age-days", type=float, default=None,
                    help="evict entries unused for this many days")
     p.set_defaults(func=_cmd_campaign_gc)
+
+    p = sub.add_parser("results",
+                       help="render, diff and plot campaign results "
+                            "without re-running anything")
+    results_sub = p.add_subparsers(dest="results_command", required=True)
+
+    p = results_sub.add_parser(
+        "render", help="render a campaign document (or a named campaign's "
+                       "cached results) as ascii/markdown/latex/csv/json")
+    p.add_argument("source",
+                   help="campaign result JSON (--out document), - for "
+                        "stdin, or a named campaign (validate, table2, "
+                        "rare-events) to read live from the store")
+    p.add_argument("--format", choices=("ascii", "md", "markdown", "latex",
+                                        "tex", "csv", "json"),
+                   default="ascii",
+                   help="output format (md/tex are aliases)")
+    p.add_argument("--table", metavar="NAME", default=None,
+                   help="render only the named table")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write to a file instead of stdout")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="result store directory; required for named "
+                        "campaigns, enables the derived-value cache for "
+                        "documents")
+    p.add_argument("--reps", type=int, default=5,
+                   help="named campaigns: repetitions per class/rate")
+    p.add_argument("--nodes", type=int, default=4,
+                   help="named campaigns: cluster size")
+    p.add_argument("--seed", type=int, default=0,
+                   help="named campaigns: seed")
+    p.set_defaults(func=_cmd_results_render)
+
+    p = results_sub.add_parser(
+        "diff", help="compare two campaign documents cell-by-cell and "
+                     "name the spec parameters behind diverging digests")
+    p.add_argument("a", help="first campaign result JSON")
+    p.add_argument("b", help="second campaign result JSON")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="result store directory: annotate diverging "
+                        "digests with their cached store keys")
+    p.set_defaults(func=_cmd_results_diff)
+
+    p = results_sub.add_parser(
+        "plot", help="emit matplotlib plots for a campaign document's "
+                     "declared series (requires matplotlib)")
+    p.add_argument("source",
+                   help="campaign result JSON, - for stdin, or 'figure3' "
+                        "for the Fig. 3 tradeoff curves")
+    p.add_argument("--out-dir", metavar="DIR", default=".",
+                   help="directory the plot files are written to")
+    p.add_argument("--format", choices=("png", "svg", "pdf"), default="png",
+                   help="image format")
+    p.set_defaults(func=_cmd_results_plot)
 
     p = sub.add_parser("run", help="execute RunSpec JSON from a file "
                                    "or stdin (-)")

@@ -11,6 +11,7 @@
 from .adverse import (
     AUTOMOTIVE_NODE_CLASSES,
     PAPER_TABLE4,
+    TABLE4_TABLE,
     AdverseResult,
     aerospace_adverse,
     automotive_adverse,
@@ -18,13 +19,17 @@ from .adverse import (
     table4,
 )
 from .figure3 import (
+    FIGURE3_SERIES,
+    FIGURE3_TABLE,
     Figure3Series,
     figure3_series,
+    paper_choice_line,
     paper_choice_summary,
     pr_counter_replay_check,
     simulate_point,
 )
 from .discrimination import (
+    DISCRIMINATION_TABLE,
     DiscriminationSummary,
     FilterOutcome,
     discrimination_study,
@@ -32,6 +37,7 @@ from .discrimination import (
     replay_filters,
 )
 from .oracle import (
+    ORACLE_TABLE,
     OracleReport,
     OracleViolation,
     check_against_oracle,
@@ -39,28 +45,45 @@ from .oracle import (
     lemma_conditions_hold,
 )
 from .portability import (
+    PORTABILITY_TABLE,
     PortabilityResult,
     diagnosed_cluster_for,
     portability_sweep,
     run_on_platform,
 )
 from .reintegration_tuning import (
+    REINTEGRATION_TABLE,
     ReintegrationPoint,
     run_threshold,
     threshold_sweep,
 )
-from .sensitivity import PhasePoint, band, phase_sweep, run_phase
+from .sensitivity import (
+    SENSITIVITY_TABLE,
+    PhasePoint,
+    band,
+    phase_sweep,
+    run_phase,
+)
 from .resilience import (
+    RESILIENCE_TABLE,
     ResiliencePoint,
     capacity_frontier,
     max_benign_within_bound,
     resilience_sweep,
     run_allocation,
 )
-from .table2 import PAPER_TABLE2, Table2Row, analytic_cross_check, measure_penalty_budget, table2
+from .table2 import (
+    PAPER_TABLE2,
+    TABLE2_TABLE,
+    Table2Row,
+    analytic_cross_check,
+    measure_penalty_budget,
+    table2,
+)
 from .validation import (
     FAULT_ROUND,
     PAPER_N_NODES,
+    VALIDATION_TABLE,
     BurstResult,
     CampaignSummary,
     CliqueResult,
@@ -76,6 +99,17 @@ from .validation import (
 
 __all__ = [
     "AUTOMOTIVE_NODE_CLASSES",
+    "DISCRIMINATION_TABLE",
+    "FIGURE3_SERIES",
+    "FIGURE3_TABLE",
+    "ORACLE_TABLE",
+    "PORTABILITY_TABLE",
+    "REINTEGRATION_TABLE",
+    "RESILIENCE_TABLE",
+    "SENSITIVITY_TABLE",
+    "TABLE2_TABLE",
+    "TABLE4_TABLE",
+    "VALIDATION_TABLE",
     "DiscriminationSummary",
     "FilterOutcome",
     "discrimination_study",
@@ -110,6 +144,7 @@ __all__ = [
     "table4",
     "Figure3Series",
     "figure3_series",
+    "paper_choice_line",
     "paper_choice_summary",
     "pr_counter_replay_check",
     "simulate_point",

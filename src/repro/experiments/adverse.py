@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.config import CriticalityClass, aerospace_config, automotive_config
 from ..core.service import DiagnosedCluster
 from ..faults.scenarios import BurstSequence, blinking_light
+from ..results.tables import Column, TableSpec
 from ..tt.cluster import PAPER_ROUND_LENGTH
 
 #: Paper Table 4 reference values (seconds).
@@ -120,6 +121,18 @@ def immediate_isolation_ablation(seed: int = 0) -> ImmediateIsolationAblation:
                                       pr_times=pr.times)
 
 
+#: Table 4 as a declarative table over a ``List[AdverseResult]``.
+TABLE4_TABLE = TableSpec(
+    name="table4",
+    title="Table 4: time to incorrect isolation",
+    columns=(
+        Column("Setting", lambda r: r.row()[0]),
+        Column("Criticality class", lambda r: r.row()[1]),
+        Column("Time to isolation", lambda r: r.row()[2]),
+    ),
+)
+
+
 def table4(seed: int = 0) -> List[AdverseResult]:
     """Regenerate Table 4 (both domains)."""
     return [automotive_adverse(seed=seed), aerospace_adverse(seed=seed)]
@@ -128,6 +141,7 @@ def table4(seed: int = 0) -> List[AdverseResult]:
 __all__ = [
     "PAPER_TABLE4",
     "AUTOMOTIVE_NODE_CLASSES",
+    "TABLE4_TABLE",
     "AdverseResult",
     "automotive_adverse",
     "aerospace_adverse",

@@ -30,6 +30,7 @@ from ..core.config import uniform_config
 from ..core.penalty_reward import PenaltyRewardState
 from ..core.service import DiagnosedCluster
 from ..faults.processes import IntermittentSender, PoissonTransients
+from ..results.tables import Column, TableSpec
 
 #: The unhealthy node in every generated scenario.
 UNHEALTHY_NODE = 2
@@ -148,6 +149,22 @@ class DiscriminationSummary:
         )
 
 
+#: The discrimination study as a declarative table over its summaries.
+DISCRIMINATION_TABLE = TableSpec(
+    name="discrimination",
+    title="Healthy/unhealthy discrimination study",
+    columns=(
+        Column("filter", lambda s: s.filter_name),
+        Column("unhealthy detected", lambda s: f"{100 * s.detection_rate:.0f}%"),
+        Column("mean time to isolation",
+               lambda s: ("-" if s.mean_detection_round is None
+                          else f"{s.mean_detection_round:.0f} rounds")),
+        Column("healthy isolated",
+               lambda s: f"{100 * s.false_positive_rate:.0f}%"),
+    ),
+)
+
+
 def discrimination_study(repetitions: int = 10, n_rounds: int = 800,
                          **stream_kwargs) -> List[DiscriminationSummary]:
     """Full study: generate ``repetitions`` streams, replay all filters."""
@@ -163,6 +180,7 @@ def discrimination_study(repetitions: int = 10, n_rounds: int = 800,
 
 
 __all__ = [
+    "DISCRIMINATION_TABLE",
     "UNHEALTHY_NODE",
     "FilterOutcome",
     "DiscriminationSummary",

@@ -31,6 +31,7 @@ from ..analysis.reliability import (
 )
 from ..core.config import uniform_config
 from ..core.penalty_reward import PenaltyRewardState
+from ..results.tables import Column, SeriesSpec, TableSpec
 
 #: External transient rates plotted in the reproduction (per hour).
 #: They bracket the regimes automotive/aerospace EMI measurements give:
@@ -47,6 +48,41 @@ class Figure3Series:
 
     rate_per_hour: float
     points: Sequence[RewardTradeoffPoint]
+
+
+#: One Fig. 3 curve as a declarative table (built per series).
+FIGURE3_TABLE = TableSpec(
+    name="figure3",
+    title=lambda s: (f"Fig. 3 — external transient rate "
+                     f"{s.rate_per_hour}/hour"),
+    columns=(
+        Column("R", lambda p: p.reward_threshold),
+        Column("window R*T (s)", lambda p: f"{p.window_seconds:.0f}"),
+        Column("P(correlate 2nd transient)",
+               lambda p: f"{p.p_correlate_transient:.4g}"),
+    ),
+    rows=lambda s: s.points,
+)
+
+#: The whole curve family as one plot series (one curve per rate).
+FIGURE3_SERIES = SeriesSpec(
+    name="figure3",
+    title="Fig. 3 — reward-threshold tradeoff",
+    x_label="reward threshold R",
+    y_label="P(correlate 2nd transient)",
+    curves=lambda family: {
+        f"{s.rate_per_hour}/hour": [(p.reward_threshold,
+                                     p.p_correlate_transient)
+                                    for p in s.points]
+        for s in family},
+)
+
+
+def paper_choice_line(round_length: float = PAPER_T) -> str:
+    """The one-line Sec. 9 summary the CLI prints under the tables."""
+    summary = paper_choice_summary(round_length)
+    return (f"paper's choice: R = {summary['reward_threshold']:.0e} "
+            f"-> window ≈ {summary['window_minutes']:.1f} min")
 
 
 def figure3_series(rates_per_hour: Sequence[float] = DEFAULT_RATES_PER_HOUR,
@@ -129,9 +165,12 @@ def paper_choice_summary(round_length: float = PAPER_T) -> dict:
 __all__ = [
     "DEFAULT_RATES_PER_HOUR",
     "DEFAULT_REWARD_SWEEP",
+    "FIGURE3_SERIES",
+    "FIGURE3_TABLE",
     "Figure3Series",
     "figure3_series",
     "simulate_point",
     "pr_counter_replay_check",
+    "paper_choice_line",
     "paper_choice_summary",
 ]

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 
 from ..core.service import DiagnosedCluster
 from ..faults.model import FaultClass
+from ..results.tables import Column, TableSpec
 from ..sim.trace import Trace
 
 
@@ -142,6 +143,24 @@ class OracleReport:
         return not self.violations
 
 
+#: An :class:`OracleReport` as a declarative table (one violation per
+#: row; the checked/skipped tally travels in the footer).
+ORACLE_TABLE = TableSpec(
+    name="oracle",
+    title="Oracle report: property violations",
+    columns=(
+        Column("diagnosed round", lambda v: v.diagnosed_round),
+        Column("property", lambda v: v.kind),
+        Column("detail", lambda v: v.detail),
+    ),
+    rows=lambda report: report.violations,
+    footer=lambda report: (
+        f"rounds checked: {report.rounds_checked}, "
+        f"skipped (hypotheses not met): {report.rounds_skipped}, "
+        f"ok: {report.ok}",),
+)
+
+
 def check_against_oracle(dc: DiagnosedCluster,
                          pipeline_rounds: Optional[int] = None) -> OracleReport:
     """Score every diagnosed round of a finished run.
@@ -197,6 +216,7 @@ def check_against_oracle(dc: DiagnosedCluster,
 
 
 __all__ = [
+    "ORACLE_TABLE",
     "RoundGroundTruth",
     "ground_truth_from_trace",
     "lemma_conditions_hold",

@@ -21,6 +21,7 @@ from ..analysis.metrics import detection_latency_rounds
 from ..core.config import uniform_config
 from ..core.service import DiagnosedCluster
 from ..faults.scenarios import SlotBurst
+from ..results.tables import Column, TableSpec
 from ..tt.frames import round_bandwidth_bits, syndrome_size_bits
 from ..tt.platforms import PLATFORMS, PlatformProfile
 from .oracle import check_against_oracle
@@ -40,6 +41,22 @@ class PortabilityResult:
     message_bits: int
     round_bits: int
     oracle_ok: bool
+
+
+#: The Sec. 10 platform sweep as a declarative table.
+PORTABILITY_TABLE = TableSpec(
+    name="portability",
+    title="Portability: identical protocol per TT platform",
+    columns=(
+        Column("platform", lambda r: r.platform),
+        Column("N", lambda r: r.n_nodes),
+        Column("round", lambda r: f"{r.round_ms:.1f} ms"),
+        Column("latency (rounds)", lambda r: r.latency_rounds),
+        Column("latency (ms)", lambda r: f"{r.latency_ms:.1f} ms"),
+        Column("per message", lambda r: f"{r.message_bits} bits"),
+        Column("oracle", lambda r: "ok" if r.oracle_ok else "VIOLATED"),
+    ),
+)
 
 
 def diagnosed_cluster_for(profile: PlatformProfile,
@@ -90,5 +107,5 @@ def portability_sweep(seed: int = 0) -> List[PortabilityResult]:
             for profile in PLATFORMS.values()]
 
 
-__all__ = ["PortabilityResult", "diagnosed_cluster_for", "run_on_platform",
-           "portability_sweep", "FAULT_ROUND"]
+__all__ = ["PORTABILITY_TABLE", "PortabilityResult", "diagnosed_cluster_for",
+           "run_on_platform", "portability_sweep", "FAULT_ROUND"]

@@ -31,6 +31,7 @@ from ..analysis.metrics import availability_seconds
 from ..core.config import IsolationMode, aerospace_config
 from ..core.service import DiagnosedCluster, attach_reintegration_everywhere
 from ..faults.scenarios import BurstSequence
+from ..results.tables import Column, TableSpec
 from ..tt.cluster import PAPER_ROUND_LENGTH
 
 #: Mission window observed, in seconds (the strike occupies ~6 s).
@@ -87,6 +88,21 @@ def run_threshold(threshold_rounds: int, seed: int = 0,
     )
 
 
+#: The reintegration tradeoff as a declarative table over
+#: ``List[ReintegrationPoint]``.
+REINTEGRATION_TABLE = TableSpec(
+    name="reintegration",
+    title="Reintegration reward threshold tradeoff (lightning bolt)",
+    columns=(
+        Column("threshold (rounds)", lambda p: p.threshold_rounds),
+        Column("availability", lambda p: f"{100 * p.availability_fraction:.1f}%"),
+        Column("isolations", lambda p: p.isolations),
+        Column("reintegrations", lambda p: p.reintegrations),
+        Column("flapping cycles", lambda p: p.flapping_cycles),
+    ),
+)
+
+
 def threshold_sweep(thresholds: Sequence[int] = (50, 150, 250, 400, 2000),
                     seed: int = 0) -> List[ReintegrationPoint]:
     """Sweep the reintegration threshold over the lightning scenario.
@@ -98,5 +114,5 @@ def threshold_sweep(thresholds: Sequence[int] = (50, 150, 250, 400, 2000),
     return [run_threshold(t, seed=seed) for t in thresholds]
 
 
-__all__ = ["ReintegrationPoint", "run_threshold", "threshold_sweep",
-           "DEFAULT_HORIZON", "STRIKE_AT"]
+__all__ = ["REINTEGRATION_TABLE", "ReintegrationPoint", "run_threshold",
+           "threshold_sweep", "DEFAULT_HORIZON", "STRIKE_AT"]

@@ -28,6 +28,7 @@ from ..analysis.metrics import (
 from ..core.config import uniform_config
 from ..core.service import DiagnosedCluster
 from ..faults.scenarios import SenderFault
+from ..results.tables import Column, TableSpec
 
 FAULT_ROUND = 6
 
@@ -41,6 +42,34 @@ class ResiliencePoint:
     benign: int
     within_bound: bool
     properties_hold: bool
+
+
+def _resilience_rows(value):
+    """Rows of the resilience table from ``(points, frontier)``."""
+    points, frontier = value
+    rows = []
+    for n in sorted(frontier):
+        checked = [p for p in points if p.n_nodes == n]
+        ok = sum(1 for p in checked if p.properties_hold)
+        rows.append((n, len(checked), f"{ok}/{len(checked)}",
+                     ", ".join(f"s={s}: b<={b}"
+                               for s, b in frontier[n].items())))
+    return rows
+
+
+#: The Lemma 2 scaling sweep as a declarative table; the aggregate
+#: value is ``(resilience_sweep(...), capacity_frontier())``.
+RESILIENCE_TABLE = TableSpec(
+    name="resilience",
+    title="Resilience scaling (coincident faults)",
+    columns=(
+        Column("N", lambda row: row[0]),
+        Column("allocations", lambda row: row[1]),
+        Column("properties held", lambda row: row[2]),
+        Column("Lemma 2 frontier", lambda row: row[3]),
+    ),
+    rows=_resilience_rows,
+)
 
 
 def max_benign_within_bound(n: int, s: int, a: int = 0) -> int:
@@ -107,6 +136,7 @@ def capacity_frontier(n_range=(4, 5, 6, 8, 10)) -> Dict[int, Dict[int, int]]:
 
 
 __all__ = [
+    "RESILIENCE_TABLE",
     "ResiliencePoint",
     "max_benign_within_bound",
     "run_allocation",

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.config import CriticalityClass, automotive_config
 from ..core.service import DiagnosedCluster
 from ..faults.scenarios import PeriodicBurst
+from ..results.tables import Column, TableSpec
 from ..tt.cluster import PAPER_ROUND_LENGTH
 from .adverse import AUTOMOTIVE_NODE_CLASSES
 
@@ -69,6 +70,20 @@ def run_phase(phase_fraction: float, min_overlap: float = 0.0,
                       min_overlap=min_overlap, times=times)
 
 
+#: The phase sweep as a declarative table over ``List[PhasePoint]``.
+SENSITIVITY_TABLE = TableSpec(
+    name="sensitivity",
+    title="Burst-phase sensitivity of times to isolation",
+    columns=(
+        Column("phase", lambda p: f"{p.phase_fraction:.1f}"),
+        Column("min overlap", lambda p: f"{p.min_overlap:.1f}"),
+        Column("SC (s)", lambda p: p.times.get(C.SC)),
+        Column("SR (s)", lambda p: p.times.get(C.SR)),
+        Column("NSR (s)", lambda p: p.times.get(C.NSR)),
+    ),
+)
+
+
 def phase_sweep(phases: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
                 overlaps: Sequence[float] = (0.0, 0.5, 0.9),
                 seed: int = 0) -> List[PhasePoint]:
@@ -85,4 +100,5 @@ def band(points: Sequence[PhasePoint],
     return {"min": min(values), "max": max(values)}
 
 
-__all__ = ["PhasePoint", "run_phase", "phase_sweep", "band", "CLASS_NODES"]
+__all__ = ["SENSITIVITY_TABLE", "PhasePoint", "run_phase", "phase_sweep",
+           "band", "CLASS_NODES"]

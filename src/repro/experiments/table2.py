@@ -29,6 +29,7 @@ from ..core.config import (
     CriticalityClass,
     uniform_config,
 )
+from ..results.tables import Column, TableSpec
 from ..spec import (
     ClusterSpec,
     ProtocolSpec,
@@ -137,6 +138,22 @@ class Table2Row:
     round_length: float
 
 
+#: Table 2 as a declarative table over a ``List[Table2Row]`` aggregate.
+TABLE2_TABLE = TableSpec(
+    name="table2",
+    title="Table 2: experimental tuning of the p/r algorithm",
+    columns=(
+        Column("Domain", lambda r: r.domain),
+        Column("Class", lambda r: r.criticality_class.name),
+        Column("Tolerated outage", lambda r: f"{r.tolerated_outage * 1e3:.0f} ms"),
+        Column("Measured budget", lambda r: r.measured_budget),
+        Column("Crit. lvl (s_i)", lambda r: r.criticality),
+        Column("P", lambda r: r.penalty_threshold),
+        Column("R", lambda r: f"{r.reward_threshold:.0e}"),
+    ),
+)
+
+
 def table2(seed: int = 0,
            round_length: float = PAPER_ROUND_LENGTH) -> List[Table2Row]:
     """Run the tuning experiment for both domains and assemble Table 2."""
@@ -174,6 +191,7 @@ def analytic_cross_check(round_length: float = PAPER_ROUND_LENGTH
 
 __all__ = [
     "PAPER_TABLE2",
+    "TABLE2_TABLE",
     "Table2Row",
     "PenaltyBudgetReducer",
     "penalty_budget_spec",

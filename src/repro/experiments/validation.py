@@ -39,6 +39,7 @@ from ..analysis.metrics import (
 )
 from ..core.config import ProtocolConfig, uniform_config
 from ..faults.scenarios import SenderFault, every_nth_round
+from ..results.tables import Column, TableSpec
 from ..spec import (
     ClusterSpec,
     ProtocolSpec,
@@ -426,6 +427,23 @@ class CampaignSummary:
     def pass_rates(self) -> Dict[str, float]:
         """Per-class fraction of passed injections."""
         return {cls: sum(v) / len(v) for cls, v in self.results.items()}
+
+
+#: The Sec. 8 campaign summary as a declarative table (rows are the
+#: ``(experiment class, outcomes)`` items of a :class:`CampaignSummary`).
+VALIDATION_TABLE = TableSpec(
+    name="validation",
+    title=lambda s: (f"Sec. 8 validation campaign "
+                     f"({s.total_injections} injections)"),
+    columns=(
+        Column("experiment class", lambda row: row[0]),
+        Column("injections", lambda row: len(row[1])),
+        Column("pass rate",
+               lambda row: f"{100 * sum(row[1]) / len(row[1]):.0f}%"),
+    ),
+    rows=lambda s: sorted(s.results.items()),
+    footer=lambda s: (f"all passed: {s.all_passed}",),
+)
 
 
 def validation_specs(repetitions: int = 100,

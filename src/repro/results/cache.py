@@ -1,0 +1,62 @@
+"""Memoized derived values over campaign documents.
+
+Re-rendering a large sweep should cost O(bytes read), not O(re-running
+the aggregation): rendered strings and built tables are derived purely
+from a document's semantic content, so they are cached under
+
+    <document fingerprint>:derived.<kind>:<version>
+
+in the same content-addressed :class:`~repro.store.ResultStore` that
+holds the task results (the ``derived.`` reducer namespace cannot
+collide with task keys, whose reducer names are registered reducer
+identifiers; the version segment invalidates derived values whenever
+the rendering code changes, exactly like task results).
+
+An in-process memo fronts the store so repeated renders inside one
+process never re-serialise, and the whole cache degrades to
+compute-on-demand when no store is given.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+class DerivedCache:
+    """Two-level (memo + store) cache for derived document values."""
+
+    def __init__(self, store=None, version: Optional[str] = None):
+        if version is None:
+            from .. import __version__ as version
+        self.store = store
+        self.version = version
+        self._memo: Dict[Tuple[str, str], Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, fingerprint: str, kind: str) -> str:
+        """The store key one derived value lives under."""
+        return f"{fingerprint}:derived.{kind}:{self.version}"
+
+    def get_or_compute(self, fingerprint: str, kind: str,
+                       compute: Callable[[], Any]) -> Any:
+        """The cached value, computing (and persisting) on first miss."""
+        memo_key = (fingerprint, kind)
+        if memo_key in self._memo:
+            self.hits += 1
+            return self._memo[memo_key]
+        if self.store is not None:
+            cached = self.store.get(self.key(fingerprint, kind))
+            if cached is not None:
+                self.hits += 1
+                self._memo[memo_key] = cached
+                return cached
+        value = compute()
+        self.misses += 1
+        self._memo[memo_key] = value
+        if self.store is not None:
+            self.store.put(self.key(fingerprint, kind), value)
+        return value
+
+
+__all__ = ["DerivedCache"]

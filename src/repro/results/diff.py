@@ -1,0 +1,226 @@
+"""Digest-keyed diff between two campaign result documents.
+
+Comparative diagnosis work evaluates protocols by diffing result
+tables across configurations; this module does it mechanically for any
+two ``campaign run --out`` documents:
+
+* **tasks** are aligned by label and compared by spec digest — the
+  content address pins *all* run inputs, so two equal digests mean the
+  simulations were identical by construction.  For diverging digests
+  the named campaign's definitions are rebuilt from each document's
+  ``params`` and the flattened spec dicts are compared, so the diff
+  names the exact diverging parameters (``cluster.seed: 0 -> 1``), not
+  just "something changed";
+* **tables** are materialised for both documents and compared
+  cell-by-cell (row-aligned, matched by table name);
+* **provenance**: given a store, each diverging digest is looked up
+  with :meth:`~repro.store.ResultStore.keys_for_prefix` — an index
+  query, no shard scan — to report whether the result is cached
+  locally and under how many reducer/version keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from .source import (
+    CampaignDocument,
+    DocumentError,
+    generic_task_table,
+    rebuild_definition,
+    tables_for_document,
+)
+from .tables import Table
+
+
+def flatten(value: Any, prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested dicts/lists into ``a.b[0].c -> leaf`` paths."""
+    out: Dict[str, Any] = {}
+    if isinstance(value, dict):
+        for key in sorted(value):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(value[key], path))
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            out.update(flatten(item, f"{prefix}[{i}]"))
+    else:
+        out[prefix] = value
+    return out
+
+
+def diff_flat(a: Any, b: Any) -> List[Tuple[str, Any, Any]]:
+    """Sorted ``(path, a_value, b_value)`` list of diverging leaves."""
+    flat_a, flat_b = flatten(a), flatten(b)
+    paths = sorted(set(flat_a) | set(flat_b))
+    return [(p, flat_a.get(p, "<absent>"), flat_b.get(p, "<absent>"))
+            for p in paths if flat_a.get(p, "<absent>")
+            != flat_b.get(p, "<absent>")]
+
+
+@dataclass(frozen=True)
+class TaskDiff:
+    """One label whose spec digest diverged between the documents."""
+
+    label: str
+    digest_a: str
+    digest_b: str
+    #: ``(path, a, b)`` of diverging spec parameters (empty when the
+    #: specs could not be rebuilt, e.g. ad-hoc spec-file campaigns).
+    diverging_params: Tuple[Tuple[str, Any, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class CellDiff:
+    """One table cell that differs."""
+
+    table: str
+    row: int
+    column: str
+    a: str
+    b: str
+
+
+@dataclass
+class DocumentDiff:
+    """Everything that differs between two campaign documents."""
+
+    campaign_a: str
+    campaign_b: str
+    params: List[Tuple[str, Any, Any]] = field(default_factory=list)
+    only_a: List[str] = field(default_factory=list)
+    only_b: List[str] = field(default_factory=list)
+    tasks: List[TaskDiff] = field(default_factory=list)
+    cells: List[CellDiff] = field(default_factory=list)
+    tables_only_a: List[str] = field(default_factory=list)
+    tables_only_b: List[str] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return (self.campaign_a == self.campaign_b and not self.params
+                and not self.only_a and not self.only_b and not self.tasks
+                and not self.cells and not self.tables_only_a
+                and not self.tables_only_b)
+
+
+def _specs_by_label(doc: CampaignDocument) -> Dict[str, Dict[str, Any]]:
+    """Rebuilt ``label -> spec dict`` for a document (or empty)."""
+    try:
+        definition = rebuild_definition(doc)
+    except ValueError:
+        return {}
+    return {label: spec.to_dict()
+            for label, spec in definition.labeled_specs}
+
+
+def _diff_tables(tables_a: List[Table], tables_b: List[Table],
+                 out: DocumentDiff) -> None:
+    by_name_a = {t.name: t for t in tables_a}
+    by_name_b = {t.name: t for t in tables_b}
+    out.tables_only_a = sorted(set(by_name_a) - set(by_name_b))
+    out.tables_only_b = sorted(set(by_name_b) - set(by_name_a))
+    for name in sorted(set(by_name_a) & set(by_name_b)):
+        ta, tb = by_name_a[name], by_name_b[name]
+        headers = ta.headers if ta.headers == tb.headers else None
+        for i in range(max(len(ta.rows), len(tb.rows))):
+            row_a = ta.rows[i] if i < len(ta.rows) else ()
+            row_b = tb.rows[i] if i < len(tb.rows) else ()
+            for j in range(max(len(row_a), len(row_b))):
+                cell_a = row_a[j] if j < len(row_a) else "<absent>"
+                cell_b = row_b[j] if j < len(row_b) else "<absent>"
+                if cell_a != cell_b:
+                    column = (headers[j] if headers and j < len(headers)
+                              else f"col {j}")
+                    out.cells.append(CellDiff(table=name, row=i,
+                                              column=column,
+                                              a=cell_a, b=cell_b))
+
+
+def diff_documents(doc_a: CampaignDocument,
+                   doc_b: CampaignDocument) -> DocumentDiff:
+    """Compare two documents: params, digests, spec params, cells."""
+    out = DocumentDiff(campaign_a=doc_a.campaign, campaign_b=doc_b.campaign)
+    out.params = diff_flat(doc_a.params, doc_b.params)
+
+    tasks_a = {t["label"]: t for t in doc_a.tasks}
+    tasks_b = {t["label"]: t for t in doc_b.tasks}
+    out.only_a = [label for label in doc_a.labels if label not in tasks_b]
+    out.only_b = [label for label in doc_b.labels if label not in tasks_a]
+
+    specs_a = specs_b = None
+    for label in (lb for lb in doc_a.labels if lb in tasks_b):
+        digest_a = tasks_a[label]["digest"]
+        digest_b = tasks_b[label]["digest"]
+        if digest_a == digest_b:
+            continue
+        if specs_a is None:
+            specs_a, specs_b = _specs_by_label(doc_a), _specs_by_label(doc_b)
+        diverging: Tuple[Tuple[str, Any, Any], ...] = ()
+        if label in specs_a and label in specs_b:
+            diverging = tuple(diff_flat(specs_a[label], specs_b[label]))
+        out.tasks.append(TaskDiff(label=label, digest_a=digest_a,
+                                  digest_b=digest_b,
+                                  diverging_params=diverging))
+
+    _diff_tables(_tables_or_generic(doc_a), _tables_or_generic(doc_b), out)
+    return out
+
+
+def _tables_or_generic(doc: CampaignDocument) -> List[Table]:
+    """Tables for a document; failed-task documents degrade to the
+    generic per-task table (which shows the errors) instead of raising."""
+    try:
+        return tables_for_document(doc)
+    except DocumentError:
+        return [generic_task_table(doc)]
+
+
+def render_diff(diff: DocumentDiff, store=None) -> str:
+    """Human-readable diff report (deterministic line order).
+
+    With a ``store``, every diverging digest gains a provenance line:
+    how many cached keys the store indexes under that digest prefix.
+    """
+    lines: List[str] = []
+    if diff.identical:
+        lines.append(f"documents identical (campaign "
+                     f"{diff.campaign_a!r}): same params, same task "
+                     f"digests, same table cells")
+        return "\n".join(lines)
+    if diff.campaign_a != diff.campaign_b:
+        lines.append(f"campaign: {diff.campaign_a!r} -> {diff.campaign_b!r}")
+    for path, a, b in diff.params:
+        lines.append(f"param {path}: {a!r} -> {b!r}")
+    for label in diff.only_a:
+        lines.append(f"task only in A: {label}")
+    for label in diff.only_b:
+        lines.append(f"task only in B: {label}")
+    for task in diff.tasks:
+        lines.append(f"task {task.label}: digest {task.digest_a} -> "
+                     f"{task.digest_b}")
+        for path, a, b in task.diverging_params:
+            lines.append(f"  spec {path}: {a!r} -> {b!r}")
+        if store is not None:
+            for side, digest in (("A", task.digest_a), ("B", task.digest_b)):
+                keys = store.keys_for_prefix(digest)
+                lines.append(f"  provenance {side}: {len(keys)} cached "
+                             f"key(s) under digest {digest}")
+    for name in diff.tables_only_a:
+        lines.append(f"table only in A: {name}")
+    for name in diff.tables_only_b:
+        lines.append(f"table only in B: {name}")
+    for cell in diff.cells:
+        lines.append(f"table {cell.table} row {cell.row} "
+                     f"[{cell.column}]: {cell.a!r} -> {cell.b!r}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CellDiff",
+    "DocumentDiff",
+    "TaskDiff",
+    "diff_documents",
+    "diff_flat",
+    "flatten",
+    "render_diff",
+]

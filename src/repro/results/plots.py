@@ -1,0 +1,114 @@
+"""Matplotlib plot emitters — a soft dependency, gated like numpy.
+
+Mirrors how :mod:`repro.vec` treats numpy: importing this module never
+raises; :data:`MATPLOTLIB_AVAILABLE` says whether plotting works, and
+:func:`require_matplotlib` raises :class:`PlotUnavailableError` with an
+actionable message *before* any figure work happens, so the CLI can
+exit 2 cleanly instead of surfacing an ImportError from inside a
+renderer.
+
+The emitters consume the materialised
+:class:`~repro.results.tables.Series` values the campaign definitions
+declare — tradeoff curves (Fig. 3) and rare-event trend lines — and
+write one file per series with a deterministic name.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from .tables import Series
+
+
+class PlotUnavailableError(RuntimeError):
+    """A plot was requested but matplotlib is not installed.
+
+    Raised before any figure is created so callers (CLI, future HTTP
+    service) can report a clean actionable message, mirroring
+    :class:`repro.vec.BackendUnavailableError` for numpy.
+    """
+
+
+try:  # pragma: no cover - exercised by the CI soft-dep job
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as _plt
+
+    _MATPLOTLIB_ERROR: Optional[ImportError] = None
+except ImportError as exc:
+    _plt = None
+    _MATPLOTLIB_ERROR = exc
+
+#: Whether plot emitters can run in this environment.
+MATPLOTLIB_AVAILABLE = _MATPLOTLIB_ERROR is None
+
+
+def require_matplotlib() -> None:
+    """Raise :class:`PlotUnavailableError` unless matplotlib works."""
+    if not MATPLOTLIB_AVAILABLE:
+        raise PlotUnavailableError(
+            "plot emission requires matplotlib, which is not installed "
+            f"(import failed: {_MATPLOTLIB_ERROR}); install matplotlib or "
+            "use `results render` for text formats")
+
+
+def _spans_decades(values: Sequence[float]) -> bool:
+    positive = [v for v in values if v > 0]
+    return bool(positive) and max(positive) / min(positive) >= 1e3
+
+
+def plot_series(series: Series, path: str) -> str:  # pragma: no cover
+    """Write one series as a line plot; returns the path written.
+
+    Covered by the CI results-pipeline job, which installs matplotlib;
+    the tier-1/coverage environments run without it and only exercise
+    the gate above.
+    """
+    require_matplotlib()
+    fig, ax = _plt.subplots(figsize=(7.0, 4.5))
+    xs_all: List[float] = []
+    ys_all: List[float] = []
+    for label, points in series.curves:
+        xs = [x for x, _y in points]
+        ys = [y for _x, y in points]
+        xs_all.extend(xs)
+        ys_all.extend(ys)
+        ax.plot(xs, ys, marker="o", label=label)
+    if _spans_decades(xs_all):
+        ax.set_xscale("log")
+    if _spans_decades(ys_all):
+        ax.set_yscale("log")
+    ax.set_xlabel(series.x_label)
+    ax.set_ylabel(series.y_label)
+    if series.title:
+        ax.set_title(series.title)
+    if len(series.curves) > 1:
+        ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(path)
+    _plt.close(fig)
+    return path
+
+
+def emit_plots(series_list: Sequence[Series], out_dir: str,
+               fmt: str = "png") -> List[str]:  # pragma: no cover
+    """Write every series to ``out_dir`` as ``<name>.<fmt>``."""
+    require_matplotlib()
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for series in series_list:
+        path = os.path.join(out_dir, f"{series.name}.{fmt}")
+        paths.append(plot_series(series, path))
+    return paths
+
+
+__all__ = [
+    "MATPLOTLIB_AVAILABLE",
+    "PlotUnavailableError",
+    "emit_plots",
+    "plot_series",
+    "require_matplotlib",
+]

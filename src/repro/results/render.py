@@ -1,0 +1,138 @@
+"""Renderers: one :class:`~repro.results.tables.Table` in, text out.
+
+Every renderer consumes the *same* materialised table — cells are
+formatted once by :func:`~repro.analysis.reporting.format_cell` at
+build time — so the ASCII, markdown, LaTeX and CSV outputs can never
+disagree on a number, only on markup:
+
+* ``ascii`` delegates to :func:`repro.analysis.reporting.render_table`,
+  which is what the experiment verbs have always printed — routing a
+  verb through a :class:`TableSpec` is byte-identical to its historic
+  inline formatting;
+* ``markdown`` emits a GitHub pipe table (cells escaped so a literal
+  ``|`` cannot break a row);
+* ``latex`` emits a self-contained ``table``/``tabular`` environment
+  (cells escaped so ``&``/``%``/``_`` cannot corrupt it);
+* ``csv`` emits machine-readable rows through the stdlib writer with
+  ``\n`` line endings (byte-stable for golden files);
+* ``json`` emits the stable sorted-key document the rest of the repo
+  uses for golden artefacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, List, Sequence
+
+from ..analysis.reporting import (
+    escape_latex_cell,
+    escape_markdown_cell,
+    render_table,
+)
+from .tables import Table
+
+#: Formats accepted by ``repro-diag results render --format``.
+FORMATS = ("ascii", "markdown", "latex", "csv", "json")
+
+
+def render_ascii(table: Table) -> str:
+    """The historic fixed-width table, footer lines appended."""
+    text = render_table(table.headers, table.rows, title=table.title)
+    return "\n".join([text, *table.footer])
+
+
+def render_markdown(table: Table) -> str:
+    """A GitHub-flavoured markdown pipe table."""
+    lines: List[str] = []
+    if table.title:
+        lines.append(f"### {table.title}")
+        lines.append("")
+    headers = [escape_markdown_cell(h) for h in table.headers]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in table.rows:
+        cells = [escape_markdown_cell(c) for c in row]
+        lines.append("| " + " | ".join(cells) + " |")
+    for note in table.footer:
+        lines.append("")
+        lines.append(f"*{escape_markdown_cell(note)}*")
+    return "\n".join(lines)
+
+
+def render_latex(table: Table) -> str:
+    """A paste-ready ``table`` environment (no package dependencies)."""
+    lines = [r"\begin{table}[ht]", r"\centering"]
+    if table.title:
+        lines.append(rf"\caption{{{escape_latex_cell(table.title)}}}")
+    spec = "l" * len(table.headers)
+    lines.append(rf"\begin{{tabular}}{{{spec}}}")
+    lines.append(r"\hline")
+    lines.append(" & ".join(escape_latex_cell(h)
+                            for h in table.headers) + r" \\")
+    lines.append(r"\hline")
+    for row in table.rows:
+        lines.append(" & ".join(escape_latex_cell(c) for c in row) + r" \\")
+    lines.append(r"\hline")
+    lines.append(r"\end{tabular}")
+    for note in table.footer:
+        lines.append(rf"\par\small {escape_latex_cell(note)}")
+    lines.append(r"\end{table}")
+    return "\n".join(lines)
+
+
+def render_csv(table: Table) -> str:
+    """Header + data rows; title/footer travel as ``#`` comment lines."""
+    buf = io.StringIO()
+    if table.title:
+        buf.write(f"# {table.title}\n")
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(table.headers)
+    writer.writerows(table.rows)
+    for note in table.footer:
+        buf.write(f"# {note}\n")
+    return buf.getvalue().rstrip("\n")
+
+
+def render_json_tables(tables: Sequence[Table]) -> str:
+    """The stable JSON document for a table collection."""
+    doc = {"schema": "repro-results/1",
+           "tables": [t.to_dict() for t in tables]}
+    return json.dumps(doc, sort_keys=True, indent=2)
+
+
+_SINGLE = {
+    "ascii": render_ascii,
+    "markdown": render_markdown,
+    "latex": render_latex,
+    "csv": render_csv,
+}
+
+
+def render_tables(tables: Iterable[Table], fmt: str = "ascii") -> str:
+    """Render a table collection in one format.
+
+    Tables are separated by a blank line; ``json`` emits one document
+    covering all of them.
+    """
+    tables = list(tables)
+    if fmt == "json":
+        return render_json_tables(tables)
+    try:
+        renderer = _SINGLE[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown format {fmt!r}; formats: {FORMATS}") from None
+    return "\n\n".join(renderer(t) for t in tables)
+
+
+__all__ = [
+    "FORMATS",
+    "render_ascii",
+    "render_csv",
+    "render_json_tables",
+    "render_latex",
+    "render_markdown",
+    "render_tables",
+]

@@ -1,0 +1,166 @@
+"""Declarative result tables and series over campaign aggregates.
+
+A :class:`TableSpec` states *what* a table shows — named columns with
+extractor callables over row objects, a ``rows`` reducer over the
+campaign's aggregate value, an optional title and footer — without
+committing to any output format.  :meth:`TableSpec.build` materialises
+it into a :class:`Table`: a frozen, renderer-neutral value whose cells
+are already :func:`~repro.analysis.reporting.format_cell` strings, so
+
+* every renderer (ASCII, markdown, LaTeX, CSV, JSON) consumes the same
+  cells and can only disagree on markup, never on numbers;
+* a built table serialises losslessly (``to_dict``/``from_dict``) and
+  can be embedded into ``repro-campaign-result/2`` documents, making
+  stored campaign results self-describing.
+
+:class:`SeriesSpec`/:class:`Series` are the plot-facing twins: labelled
+``(x, y)`` curves for the matplotlib emitters in
+:mod:`repro.results.plots`.
+
+The experiment modules declare their paper tables as module-level
+``TableSpec`` constants; :class:`~repro.campaign.CampaignDefinition`
+carries them so the CLI, the ``--out`` document and the ``results``
+verb family all render through the same declarations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
+
+from ..analysis.reporting import format_cell
+
+
+def _identity_rows(value: Any) -> Sequence[Any]:
+    return value
+
+
+@dataclass(frozen=True)
+class Column:
+    """One table column: a header plus an extractor over a row object."""
+
+    header: str
+    cell: Callable[[Any], Any]
+
+
+@dataclass(frozen=True)
+class Table:
+    """A materialised table: pure data, every cell already formatted."""
+
+    name: str
+    headers: Tuple[str, ...]
+    rows: Tuple[Tuple[str, ...], ...]
+    title: Optional[str] = None
+    footer: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form (embedded in ``repro-campaign-result/2``)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "footer": list(self.footer),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Table":
+        """Invert :meth:`to_dict` (the ``/2`` compat reader)."""
+        return cls(
+            name=data["name"],
+            headers=tuple(data["headers"]),
+            rows=tuple(tuple(str(c) for c in row) for row in data["rows"]),
+            title=data.get("title"),
+            footer=tuple(data.get("footer", ())),
+        )
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Declarative table over a campaign aggregate value.
+
+    ``rows`` maps the aggregate to row objects (default: the aggregate
+    *is* the row sequence); each :class:`Column` extracts one display
+    value per row; ``title`` may be a string or a callable over the
+    aggregate; ``footer`` yields trailing lines (e.g. the validation
+    campaign's ``all passed:`` verdict).
+    """
+
+    name: str
+    columns: Tuple[Column, ...]
+    rows: Callable[[Any], Sequence[Any]] = field(default=_identity_rows)
+    title: Union[None, str, Callable[[Any], str]] = None
+    footer: Optional[Callable[[Any], Sequence[str]]] = None
+
+    def build(self, value: Any) -> Table:
+        """Materialise against one aggregate value."""
+        title = self.title(value) if callable(self.title) else self.title
+        rows = tuple(
+            tuple(format_cell(col.cell(row)) for col in self.columns)
+            for row in self.rows(value))
+        footer = tuple(self.footer(value)) if self.footer is not None else ()
+        return Table(name=self.name,
+                     headers=tuple(col.header for col in self.columns),
+                     rows=rows, title=title, footer=footer)
+
+
+@dataclass(frozen=True)
+class Series:
+    """Materialised plot data: labelled curves of ``(x, y)`` points."""
+
+    name: str
+    x_label: str
+    y_label: str
+    curves: Tuple[Tuple[str, Tuple[Tuple[float, float], ...]], ...]
+    title: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form, symmetric with :meth:`Table.to_dict`."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "curves": [{"label": label, "points": [list(p) for p in pts]}
+                       for label, pts in self.curves],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Series":
+        """Invert :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            x_label=data["x_label"],
+            y_label=data["y_label"],
+            curves=tuple(
+                (c["label"], tuple((float(x), float(y))
+                                   for x, y in c["points"]))
+                for c in data["curves"]),
+            title=data.get("title"),
+        )
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """Declarative plot series over a campaign aggregate value.
+
+    ``curves`` maps the aggregate to ``{label: [(x, y), ...]}``.
+    """
+
+    name: str
+    x_label: str
+    y_label: str
+    curves: Callable[[Any], Dict[str, Sequence[Tuple[float, float]]]]
+    title: Union[None, str, Callable[[Any], str]] = None
+
+    def build(self, value: Any) -> Series:
+        """Materialise against one aggregate value."""
+        title = self.title(value) if callable(self.title) else self.title
+        curves = tuple(
+            (label, tuple((float(x), float(y)) for x, y in points))
+            for label, points in self.curves(value).items())
+        return Series(name=self.name, x_label=self.x_label,
+                      y_label=self.y_label, curves=curves, title=title)
+
+
+__all__ = ["Column", "Series", "SeriesSpec", "Table", "TableSpec"]

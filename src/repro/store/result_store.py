@@ -51,7 +51,7 @@ import sqlite3
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..obs.registry import NULL_REGISTRY
 
@@ -400,14 +400,42 @@ class ResultStore:
         self._db.commit()
         self.metrics.counter("store.put").inc(count)
 
+    def keys_for_prefix(self, prefix: str) -> List[str]:
+        """Sorted keys starting with ``prefix``, from the index alone.
+
+        The prefix of a store key is a spec digest, so this answers
+        "which cached results exist for this spec?" (across reducers
+        and code versions) without touching any shard — the provenance
+        query ``results diff`` makes per diverging digest.
+        """
+        escaped = (prefix.replace("\\", "\\\\")
+                   .replace("%", "\\%").replace("_", "\\_"))
+        rows = self._db.execute(
+            "SELECT key FROM entries WHERE key LIKE ? ESCAPE '\\'"
+            " ORDER BY key", (escaped + "%",))
+        return [key for (key,) in rows]
+
     # -- maintenance ---------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """Index and shard footprint (for ``campaign status``)."""
-        shard_bytes = sum(
-            os.path.getsize(self._shard_path(name))
-            for name in os.listdir(self.shard_dir))
+        """Index and shard footprint (for ``campaign status``).
+
+        Alongside the totals, ``shards`` breaks entries and bytes down
+        per shard file — orphaned bytes show up as shards whose size
+        outgrows their live entries, which is what ``gc`` reclaims.
+        """
+        shards: Dict[str, Dict[str, int]] = {}
+        for name in sorted(os.listdir(self.shard_dir)):
+            shards[name] = {
+                "entries": 0,
+                "bytes": os.path.getsize(self._shard_path(name)),
+            }
+        for shard, count in self._db.execute(
+                "SELECT shard, COUNT(*) FROM entries GROUP BY shard"):
+            shards.setdefault(shard, {"entries": 0, "bytes": 0})
+            shards[shard]["entries"] = count
+        shard_bytes = sum(s["bytes"] for s in shards.values())
         return {"entries": len(self), "shard_bytes": shard_bytes,
-                "root": self.root}
+                "root": self.root, "shards": shards}
 
     def gc(self, max_entries: Optional[int] = None,
            max_age_seconds: Optional[float] = None) -> GCStats:

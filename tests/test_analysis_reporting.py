@@ -57,3 +57,55 @@ def test_render_series():
     out = render_series("fig", [1, 2], [0.1, 0.2], x_label="R", y_label="p")
     assert "fig" in out
     assert "| R" in out
+
+
+class TestFormatCellEdgeCases:
+    @pytest.mark.parametrize("value,expected", [
+        (True, "True"),
+        (False, "False"),
+        (-0.0, "0"),
+        (0.0, "0"),
+        (float("nan"), "nan"),
+        (None, "-"),
+        (9999.0, "9999"),
+        (10000.0, "1e+04"),
+        (0.001, "0.001"),
+        (0.0009999, "0.001"),       # < 1e-3 switches to .3g
+        (-123456.0, "-1.23e+05"),
+        (42, "42"),
+        ("already a string", "already a string"),
+    ])
+    def test_single_formatting_rule(self, value, expected):
+        from repro.analysis.reporting import format_cell
+        assert format_cell(value) == expected
+
+    def test_bool_beats_numeric_branch(self):
+        # bool is an int subclass; True must never render as "1"
+        from repro.analysis.reporting import format_cell
+        assert format_cell(True) != "1"
+
+
+class TestCellEscaping:
+    @pytest.mark.parametrize("text,expected", [
+        ("plain", "plain"),
+        ("a|b", "a\\|b"),
+        ("a\\|b", "a\\\\\\|b"),
+        ("1.23e+05", "1.23e+05"),   # numbers pass through untouched
+    ])
+    def test_markdown_escapes_table_breakers(self, text, expected):
+        from repro.analysis.reporting import escape_markdown_cell
+        assert escape_markdown_cell(text) == expected
+
+    @pytest.mark.parametrize("text,expected", [
+        ("plain", "plain"),
+        ("a&b", r"a\&b"),
+        ("95% CI", r"95\% CI"),
+        ("p_gb", r"p\_gb"),
+        ("$5 #1 {x}", r"\$5 \#1 \{x\}"),
+        ("a~b^c", r"a\textasciitilde{}b\textasciicircum{}c"),
+        ("a\\b", r"a\textbackslash{}b"),
+        ("1.23e+05", "1.23e+05"),
+    ])
+    def test_latex_escapes_specials(self, text, expected):
+        from repro.analysis.reporting import escape_latex_cell
+        assert escape_latex_cell(text) == expected

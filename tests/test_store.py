@@ -235,3 +235,54 @@ class TestResultStore:
             stats = store.gc()
             assert stats.orphans_dropped == 1
             assert store.get(key) == 2
+
+
+class TestStatsAndIndexQueries:
+    def test_stats_breaks_down_per_shard(self, tmp_path):
+        with ResultStore(str(tmp_path)) as store:
+            store.put("aa" + "x" * 62, {"v": 1})
+            store.put("aa" + "y" * 62, {"v": 2})
+            store.put("bb" + "x" * 62, {"v": 3})
+            stats = store.stats()
+            assert stats["entries"] == 3
+            shards = stats["shards"]
+            assert shards["aa.jsonl"]["entries"] == 2
+            assert shards["bb.jsonl"]["entries"] == 1
+            assert all(s["bytes"] > 0 for s in shards.values())
+            assert stats["shard_bytes"] == sum(
+                s["bytes"] for s in shards.values())
+
+    def test_stats_counts_orphaned_bytes_in_shard_size(self, tmp_path):
+        # a superseded record stays on disk until gc: the shard's bytes
+        # outgrow what its single live entry needs
+        with ResultStore(str(tmp_path)) as store:
+            key = "cc" + "z" * 62
+            store.put(key, {"v": "x" * 100})
+            once = store.stats()["shards"]["cc.jsonl"]["bytes"]
+            store.put(key, {"v": "y" * 100})
+            stats = store.stats()
+            assert stats["entries"] == 1
+            assert stats["shards"]["cc.jsonl"]["entries"] == 1
+            assert stats["shards"]["cc.jsonl"]["bytes"] > once
+
+    def test_keys_for_prefix_selects_by_digest(self, tmp_path):
+        with ResultStore(str(tmp_path)) as store:
+            spec_a, spec_b = _spec(seed=0), _spec(seed=1)
+            key_a, key_b = store_key(spec_a), store_key(spec_b)
+            store.put(key_a, 1)
+            store.put(key_b, 2)
+            digest = spec_a.full_digest()
+            assert store.keys_for_prefix(digest) == [key_a]
+            assert store.keys_for_prefix(spec_b.full_digest()) == [key_b]
+            assert store.keys_for_prefix("0" * 64) == []
+
+    def test_keys_for_prefix_is_sorted_and_literal(self, tmp_path):
+        with ResultStore(str(tmp_path)) as store:
+            store.put("ab2" + "x" * 61, 1)
+            store.put("ab1" + "x" * 61, 2)
+            store.put("zz" + "x" * 62, 3)
+            assert store.keys_for_prefix("ab") == [
+                "ab1" + "x" * 61, "ab2" + "x" * 61]
+            # LIKE wildcards in the prefix must not act as wildcards
+            assert store.keys_for_prefix("a_") == []
+            assert store.keys_for_prefix("%") == []
