@@ -269,6 +269,97 @@ def _dispatch_point() -> dict:
     }
 
 
+SERVICE_WARM_REQUESTS = 25
+SERVICE_CONCURRENT_CLIENTS = 8
+
+
+def _service_point() -> dict:
+    """The HTTP service: warm vs cold request cost, and N-client dedup.
+
+    A cold POST pays one simulation; warm POSTs of the same submission
+    are pure store lookups over the wire, and N concurrent identical
+    clients dedup onto a single execution — the service counters are
+    the proof.
+    """
+    import json as _json
+    import threading
+    import urllib.request
+
+    from repro.service import JobManager, ServiceThread, create_app
+
+    def post(url: str, body: bytes) -> dict:
+        req = urllib.request.Request(url + "/v1/jobs", data=body)
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return _json.loads(resp.read())
+
+    def wait_done(url: str, job_id: str) -> None:
+        while True:
+            with urllib.request.urlopen(f"{url}/v1/jobs/{job_id}",
+                                        timeout=60) as resp:
+                if _json.loads(resp.read())["state"] in ("done", "failed"):
+                    return
+            time.sleep(0.01)
+
+    spec = _backend_spec(4).with_updates(n_rounds=min(ROUNDS, 50))
+    body = _json.dumps(spec.to_dict()).encode("utf-8")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        manager = JobManager(store_root=cache_dir, workers=4,
+                             queue_limit=16)
+        server = ServiceThread(create_app(manager)).start()
+        try:
+            url = server.url
+            start = time.perf_counter()
+            created = post(url, body)
+            wait_done(url, created["job_id"])
+            cold_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            for _ in range(SERVICE_WARM_REQUESTS):
+                response = post(url, body)
+                assert response["cached"] is True
+            warm_s = time.perf_counter() - start
+
+            # N concurrent identical clients on a fresh submission.
+            fresh = _json.dumps(
+                spec.with_updates(
+                    cluster=ClusterSpec(seed=1, trace_level=0)
+                ).to_dict()).encode("utf-8")
+            responses = []
+
+            def client():
+                responses.append(post(url, fresh))
+
+            threads = [threading.Thread(target=client)
+                       for _ in range(SERVICE_CONCURRENT_CLIENTS)]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wait_done(url, responses[0]["job_id"])
+            fanin_s = time.perf_counter() - start
+            counters = manager.metrics_snapshot()["service"]["counters"]
+        finally:
+            server.stop()
+            manager.shutdown()
+    assert len({r["job_id"] for r in responses}) == 1
+    # 2 = the cold job + the fan-in job; everything else attached.
+    executed = counters["service.created"]
+    assert executed == 2, counters
+    return {
+        "rounds": spec.n_rounds,
+        "cold_s": round(cold_s, 4),
+        "warm_requests": SERVICE_WARM_REQUESTS,
+        "warm_s": round(warm_s, 4),
+        "warm_requests_per_s": round(SERVICE_WARM_REQUESTS / warm_s, 1),
+        "speedup": round(cold_s / (warm_s / SERVICE_WARM_REQUESTS), 2),
+        "concurrent_clients": SERVICE_CONCURRENT_CLIENTS,
+        "concurrent_s": round(fanin_s, 4),
+        "simulations_executed": executed - 1,
+        "submissions": counters["service.submitted"],
+    }
+
+
 def test_throughput_summary(benchmark):
     def measure():
         points = []
@@ -290,9 +381,9 @@ def test_throughput_summary(benchmark):
             / sustained["tuple_rounds_per_s"], 2)
         backends = _backend_points() if NUMPY_AVAILABLE else None
         return (points, sustained, _campaign_cache_point(),
-                _dispatch_point(), backends)
+                _dispatch_point(), _service_point(), backends)
 
-    points, sustained, campaign_cache, dispatch, backends = \
+    points, sustained, campaign_cache, dispatch, service, backends = \
         benchmark.pedantic(measure, rounds=1, iterations=1)
     rows = [(p["n_nodes"], p["rounds"],
              f"{p['rounds_per_s']:,.0f} rounds/s",
@@ -310,6 +401,13 @@ def test_throughput_summary(benchmark):
     rows.append((f"dispatch (jobs={dispatch['jobs']})", dispatch["tasks"],
                  f"{dispatch['persistent_pool_s']:.2f} s campaign",
                  f"{dispatch['speedup']}x vs per-chunk pools"))
+    rows.append(("service (warm)", service["warm_requests"],
+                 f"{service['warm_requests_per_s']:,.0f} req/s",
+                 f"{service['speedup']}x vs cold POST"))
+    rows.append((f"service ({service['concurrent_clients']} clients)",
+                 service["concurrent_clients"],
+                 f"{service['simulations_executed']} simulation executed",
+                 "content-addressed dedup"))
     if backends:
         for p in backends["points"]:
             rows.append((f"{p['n_nodes']} (vectorized)", p["rounds"],
@@ -334,6 +432,7 @@ def test_throughput_summary(benchmark):
         "sustained_fault": sustained,
         "campaign_cache": campaign_cache,
         "dispatch": dispatch,
+        "service": service,
     }
     if backends:
         document["backends"] = backends

@@ -32,7 +32,14 @@ The library provides:
   package version, with corruption-tolerant reads and GC;
 * :mod:`repro.campaign` — a store-first campaign engine with
   checkpoint/resume, bounded retries and per-task deadlines, behind
-  ``repro-diag campaign run|status|gc``.
+  ``repro-diag campaign run|status|gc``;
+* :mod:`repro.results` — a declarative results pipeline: table/series
+  specs carried by campaign definitions, renderers for every output
+  format, cross-campaign diffs and plot emitters, behind
+  ``repro-diag results render|diff|plot``;
+* :mod:`repro.service` — diagnosis as a service: an HTTP job server
+  (``repro-diag serve``) with content-addressed job dedup against the
+  store, SSE progress streams, and bounded-queue back-pressure.
 
 Quickstart::
 
@@ -78,7 +85,7 @@ from .spec import (
 )
 from .tt import Cluster, TimeBase
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CriticalityClass",

@@ -242,7 +242,8 @@ def run_campaign(specs: SpecsInput,
                  state_path: Optional[str] = None,
                  metrics=NULL_REGISTRY,
                  sleep: Callable[[float], None] = time.sleep,
-                 dispatch: Union[str, DispatchBackend] = "pool"
+                 dispatch: Union[str, DispatchBackend] = "pool",
+                 progress: Optional[Callable[[dict], None]] = None
                  ) -> CampaignResult:
     """Run a campaign store-first with streaming commits and retries.
 
@@ -264,8 +265,22 @@ def run_campaign(specs: SpecsInput,
     metrics snapshot are byte-identical across all of them and across
     every ``jobs`` value.  ``chunk_size`` is retained for backward
     compatibility and ignored: commits stream per task now.
+
+    ``progress`` is an optional callback receiving small structured
+    event dicts as the campaign advances — ``{"kind": "plan"}`` after
+    store consultation, ``{"kind": "task"}`` per committed task,
+    ``{"kind": "retry"}`` per re-dispatch, ``{"kind": "task_failed"}``
+    per exhausted task and ``{"kind": "finished"}`` at the end.  The
+    HTTP service streams these to SSE subscribers; ``None`` costs
+    nothing.  Callbacks run on the engine thread in commit order, so a
+    recording observer sees the exact sequence results landed in.
     """
     del chunk_size  # legacy knob: streaming commits replaced chunks
+
+    def _notify(event: dict) -> None:
+        if progress is not None:
+            progress(event)
+
     tasks = campaign_tasks(specs)
     total = len(tasks)
     metrics.counter("campaign.tasks").inc(total)
@@ -295,6 +310,8 @@ def run_campaign(specs: SpecsInput,
         else:
             pending.append(index)
     misses = len(pending)
+    _notify({"kind": "plan", "total": total, "hits": hits,
+             "misses": misses})
 
     # -- checkpoint state ----------------------------------------------
     state: Optional[CampaignState] = None
@@ -336,6 +353,9 @@ def run_campaign(specs: SpecsInput,
         results[index] = result
         snapshots[index] = snapshot
         done.add(index)
+        _notify({"kind": "task", "index": index,
+                 "label": tasks[index].label,
+                 "completed": len(done), "total": total})
 
     def _payload(index: int) -> dict:
         return {"result": results[index], "snapshot": snapshots[index]}
@@ -417,6 +437,8 @@ def run_campaign(specs: SpecsInput,
                 sleep(min(backoff * (2 ** (attempts[retryable[0]] - 1)),
                           max_backoff))
                 for index in retryable:
+                    _notify({"kind": "retry", "index": index,
+                             "attempt": attempts[index]})
                     _submit_spec(index)
     finally:
         if owns_backend:
@@ -426,10 +448,19 @@ def run_campaign(specs: SpecsInput,
     for index in sorted(failures):
         results[index] = failures[index]
         metrics.counter("campaign.failed").inc()
+        error = failures[index]
+        _notify({"kind": "task_failed", "index": index,
+                 "label": tasks[index].label,
+                 "error_type": error.error_type,
+                 "message": error.message,
+                 "timed_out": error.timed_out})
     if state is not None:
         state.failed = len(failures)
         state.status = "failed" if failures else "completed"
         _checkpoint()
+    _notify({"kind": "finished", "completed": len(done),
+             "failed": len(failures), "hits": hits, "misses": misses,
+             "retried": retried, "total": total})
     return CampaignResult(name=name, tasks=tasks, results=results,
                           snapshots=snapshots, hits=hits, misses=misses,
                           retried=retried)

@@ -24,13 +24,18 @@ Installed as ``repro-diag``.  Subcommands map to the evaluation:
   the payload shards;
 * ``repro-diag results render SOURCE`` — render a campaign ``--out``
   document (or a named campaign's cached store results) as ascii,
-  markdown, latex, csv or json without re-running anything;
+  markdown, latex, csv, html or json without re-running anything;
 * ``repro-diag results diff A B``    — digest-keyed cross-campaign diff:
   cell-by-cell table comparison plus the diverging spec parameters
   behind every changed task digest;
 * ``repro-diag results plot SOURCE`` — matplotlib plot emitters for the
   declared series (soft dependency: exits 2 with an actionable message
-  when matplotlib is missing).
+  when matplotlib is missing);
+* ``repro-diag serve``               — the diagnosis-as-a-service HTTP
+  job server (:mod:`repro.service`): POST RunSpec/campaign JSON to
+  ``/v1/jobs``, identical submissions dedup onto one run by content
+  address, progress streams as replayable SSE, results come back as
+  the same documents ``campaign run --out`` writes.
 
 ``validate``, ``table2``, ``stats`` and ``run`` accept
 ``--metrics-out PATH`` to write a deterministic JSON run report (see
@@ -44,6 +49,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from . import __version__
@@ -648,6 +654,59 @@ def _cmd_results_plot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import JobManager, create_app
+    from .service.asgi import ServiceUnavailableError, require_uvicorn
+
+    if args.impl == "uvicorn":
+        try:
+            # Gate before building anything, mirroring the numpy /
+            # matplotlib soft-dependency checks: exit 2 with the
+            # install hint when the `service` extra is missing.
+            require_uvicorn()
+        except ServiceUnavailableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    manager = JobManager(
+        store_root=args.store,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        engine_jobs=args.jobs,
+        retries=args.retries,
+        task_timeout=args.task_timeout,
+        snapshot_every=args.snapshot_every,
+    )
+    app = create_app(manager)
+    try:
+        if args.impl == "uvicorn":
+            from .service.asgi import run_uvicorn
+
+            run_uvicorn(app, args.host, args.port)
+            return 0
+        from .service.http import ServiceThread
+
+        server = ServiceThread(app, host=args.host, port=args.port)
+        try:
+            server.start()
+        except OSError as exc:
+            print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"repro-diag service listening on {server.url}")
+        print("POST /v1/jobs to submit; ctrl-c to drain and stop")
+        sys.stdout.flush()
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down: draining in-flight jobs...")
+        finally:
+            server.stop()
+        return 0
+    finally:
+        manager.shutdown()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-diag",
@@ -776,13 +835,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = results_sub.add_parser(
         "render", help="render a campaign document (or a named campaign's "
-                       "cached results) as ascii/markdown/latex/csv/json")
+                       "cached results) as ascii/markdown/latex/csv/"
+                       "html/json")
     p.add_argument("source",
                    help="campaign result JSON (--out document), - for "
                         "stdin, or a named campaign (validate, table2, "
                         "rare-events) to read live from the store")
     p.add_argument("--format", choices=("ascii", "md", "markdown", "latex",
-                                        "tex", "csv", "json"),
+                                        "tex", "csv", "html", "json"),
                    default="ascii",
                    help="output format (md/tex are aliases)")
     p.add_argument("--table", metavar="NAME", default=None,
@@ -822,6 +882,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("png", "svg", "pdf"), default="png",
                    help="image format")
     p.set_defaults(func=_cmd_results_plot)
+
+    p = sub.add_parser("serve",
+                       help="serve diagnosis campaigns over HTTP: "
+                            "content-addressed job dedup, SSE progress, "
+                            "store-first caching (repro.service)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback)")
+    p.add_argument("--port", type=int, default=8377,
+                   help="bind port (0 = pick a free port)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="result store directory (default: REPRO_CACHE_DIR "
+                        "or ~/.cache/repro-diag)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="campaign worker threads")
+    p.add_argument("--queue-limit", type=int, default=8,
+                   help="max queued+running jobs before HTTP 429")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="engine worker processes per campaign (1 = serial "
+                        "and fully deterministic event streams)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="re-dispatch rounds for failed tasks")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-task deadline enforced inside the worker")
+    p.add_argument("--snapshot-every", type=int, default=0,
+                   help="emit a metrics snapshot event every N committed "
+                        "tasks (0 = only at completion)")
+    p.add_argument("--impl", choices=("stdlib", "uvicorn"),
+                   default="stdlib",
+                   help="HTTP host: the built-in stdlib asyncio server, "
+                        "or uvicorn (requires the `service` extra)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("run", help="execute RunSpec JSON from a file "
                                    "or stdin (-)")

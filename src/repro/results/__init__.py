@@ -9,7 +9,8 @@ anything.
   declarations the experiment modules export, materialised into
   renderer-neutral :class:`Table`/:class:`Series` values;
 * :mod:`repro.results.render` — ASCII (byte-identical to the historic
-  experiment verbs), GitHub markdown, LaTeX, CSV and JSON renderers;
+  experiment verbs), GitHub markdown, LaTeX, CSV, HTML and JSON
+  renderers;
 * :mod:`repro.results.source` — campaign-document loading (schemas
   ``repro-campaign-result/1`` and ``/2``), live store lookups by full
   spec digest, document fingerprints;
@@ -32,6 +33,7 @@ from .render import (
     FORMATS,
     render_ascii,
     render_csv,
+    render_html,
     render_json_tables,
     render_latex,
     render_markdown,
@@ -48,6 +50,7 @@ __all__ = [
     "TableSpec",
     "render_ascii",
     "render_csv",
+    "render_html",
     "render_json_tables",
     "render_latex",
     "render_markdown",

@@ -15,6 +15,9 @@ disagree on a number, only on markup:
   (cells escaped so ``&``/``%``/``_`` cannot corrupt it);
 * ``csv`` emits machine-readable rows through the stdlib writer with
   ``\n`` line endings (byte-stable for golden files);
+* ``html`` emits a self-contained ``<table>`` element (cells escaped
+  with :func:`html.escape`) — what the HTTP service serves for
+  ``?format=html`` and ``results render --format html`` writes;
 * ``json`` emits the stable sorted-key document the rest of the repo
   uses for golden artefacts.
 """
@@ -22,6 +25,7 @@ disagree on a number, only on markup:
 from __future__ import annotations
 
 import csv
+import html as _html
 import io
 import json
 from typing import Iterable, List, Sequence
@@ -34,7 +38,7 @@ from ..analysis.reporting import (
 from .tables import Table
 
 #: Formats accepted by ``repro-diag results render --format``.
-FORMATS = ("ascii", "markdown", "latex", "csv", "json")
+FORMATS = ("ascii", "markdown", "latex", "csv", "html", "json")
 
 
 def render_ascii(table: Table) -> str:
@@ -95,6 +99,36 @@ def render_csv(table: Table) -> str:
     return buf.getvalue().rstrip("\n")
 
 
+def render_html(table: Table) -> str:
+    """A self-contained ``<table>`` element, no styling dependencies.
+
+    The title travels as ``<caption>``, footer notes as a
+    ``colspan``-wide ``<tfoot>`` row; every cell goes through
+    :func:`html.escape`, so table content can never inject markup.
+    """
+    cols = len(table.headers)
+    lines = ['<table class="repro-results">']
+    if table.title:
+        lines.append(f"  <caption>{_html.escape(table.title)}</caption>")
+    lines.append("  <thead>")
+    lines.append("    <tr>" + "".join(f"<th>{_html.escape(h)}</th>"
+                                      for h in table.headers) + "</tr>")
+    lines.append("  </thead>")
+    lines.append("  <tbody>")
+    for row in table.rows:
+        lines.append("    <tr>" + "".join(f"<td>{_html.escape(c)}</td>"
+                                          for c in row) + "</tr>")
+    lines.append("  </tbody>")
+    if table.footer:
+        lines.append("  <tfoot>")
+        for note in table.footer:
+            lines.append(f'    <tr><td colspan="{cols}"><em>'
+                         f"{_html.escape(note)}</em></td></tr>")
+        lines.append("  </tfoot>")
+    lines.append("</table>")
+    return "\n".join(lines)
+
+
 def render_json_tables(tables: Sequence[Table]) -> str:
     """The stable JSON document for a table collection."""
     doc = {"schema": "repro-results/1",
@@ -107,6 +141,7 @@ _SINGLE = {
     "markdown": render_markdown,
     "latex": render_latex,
     "csv": render_csv,
+    "html": render_html,
 }
 
 
@@ -131,6 +166,7 @@ __all__ = [
     "FORMATS",
     "render_ascii",
     "render_csv",
+    "render_html",
     "render_json_tables",
     "render_latex",
     "render_markdown",

@@ -1,0 +1,62 @@
+"""Optional uvicorn host behind the ``service`` extra.
+
+The service itself is stdlib-only (:mod:`repro.service.http`); this
+module is the soft-dependency gate — the same convention
+:mod:`repro.vec` uses for numpy — for running the identical ASGI app
+under a production-grade server instead:
+
+    pip install "repro[service]"
+    repro-diag serve --impl uvicorn
+
+Without the extra, :func:`require_uvicorn` raises
+:class:`ServiceUnavailableError` with that instruction and the CLI
+exits 2; the stdlib implementation stays fully functional either way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class ServiceUnavailableError(RuntimeError):
+    """uvicorn is not installed (the ``service`` extra is missing)."""
+
+
+def have_uvicorn() -> bool:
+    """Return True when uvicorn is importable (the ``service`` extra)."""
+    try:
+        import uvicorn  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def require_uvicorn():
+    """The uvicorn module, or a :class:`ServiceUnavailableError`.
+
+    Mirrors :func:`repro.vec.require_numpy`: import at the point of
+    use, fail with an actionable message naming the extra.
+    """
+    try:
+        import uvicorn
+    except ImportError as exc:
+        raise ServiceUnavailableError(
+            "uvicorn is not installed; the stdlib server runs without "
+            "it (`repro-diag serve`), or install the extra with "
+            "`pip install repro[service]` to use --impl uvicorn"
+        ) from exc
+    return uvicorn
+
+
+def run_uvicorn(app: Callable, host: str, port: int) -> None:
+    """Serve ``app`` under uvicorn (blocks until interrupted)."""
+    uvicorn = require_uvicorn()
+    uvicorn.run(app, host=host, port=port, log_level="info")
+
+
+__all__ = [
+    "ServiceUnavailableError",
+    "have_uvicorn",
+    "require_uvicorn",
+    "run_uvicorn",
+]

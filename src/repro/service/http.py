@@ -1,0 +1,262 @@
+"""A minimal stdlib asyncio HTTP/1.1 host for the ASGI app.
+
+Scope: exactly what the diagnosis service needs — ``Content-Length``
+request bodies, one request per connection (``Connection: close``),
+buffered responses with a computed ``Content-Length``, and unbuffered
+streamed responses for SSE (the stream ends when the connection
+closes).  Not a general web server; the ``service`` extra swaps in
+uvicorn for anything beyond that (:mod:`repro.service.asgi`).
+
+:class:`ServiceThread` runs the server (with its own event loop) on a
+background thread — the shape the tests and the CLI's foreground
+process both use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Callable, Optional, Tuple
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 501: "Not Implemented",
+    503: "Service Unavailable",
+}
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+class _BadRequest(Exception):
+    pass
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Tuple[str, str, bytes, list, bytes]:
+    """Parse one request; returns (method, path, query, headers, body)."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _BadRequest("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise _BadRequest(f"malformed request line {lines[0]!r}") from None
+    headers = []
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _sep, value = line.partition(":")
+        headers.append((name.strip().lower().encode("latin-1"),
+                        value.strip().encode("latin-1")))
+    length = 0
+    for name, value in headers:
+        if name == b"content-length":
+            try:
+                length = int(value)
+            except ValueError:
+                raise _BadRequest("bad Content-Length") from None
+        elif name == b"transfer-encoding":
+            raise _BadRequest("chunked request bodies are unsupported")
+    body = await reader.readexactly(length) if length else b""
+    path, _sep, query = target.partition("?")
+    return method, path, query.encode("latin-1"), headers, body
+
+
+async def _handle(app: Callable, reader: asyncio.StreamReader,
+                  writer: asyncio.StreamWriter) -> None:
+    try:
+        try:
+            method, path, query, headers, body = \
+                await _read_request(reader)
+        except (_BadRequest, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError, ValueError):
+            writer.write(b"HTTP/1.1 400 Bad Request\r\n"
+                         b"content-length: 0\r\nconnection: close\r\n\r\n")
+            await writer.drain()
+            return
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": path.encode("latin-1"),
+            "query_string": query,
+            "headers": headers,
+            "scheme": "http",
+        }
+        sent_body = [False]
+
+        async def receive():
+            if not sent_body[0]:
+                sent_body[0] = True
+                return {"type": "http.request", "body": body,
+                        "more_body": False}
+            # Block until the peer goes away, then report disconnect —
+            # this is what lets SSE handlers notice a closed client.
+            while True:
+                chunk = await reader.read(4096)
+                if not chunk:
+                    return {"type": "http.disconnect"}
+
+        state = {"status": None, "headers": None, "streaming": False,
+                 "buffer": b"", "done": False}
+
+        async def send(message):
+            if message["type"] == "http.response.start":
+                state["status"] = message["status"]
+                state["headers"] = list(message.get("headers", []))
+                return
+            if message["type"] != "http.response.body":
+                raise RuntimeError(
+                    f"unsupported ASGI message {message['type']!r}")
+            chunk = message.get("body", b"")
+            more = bool(message.get("more_body"))
+            if not state["streaming"]:
+                if more and state["buffer"] == b"":
+                    # First chunk of a stream: flush headers now,
+                    # no Content-Length, terminate by closing.
+                    state["streaming"] = True
+                    _write_head(writer, state["status"],
+                                state["headers"], None)
+                    writer.write(chunk)
+                    await writer.drain()
+                    return
+                state["buffer"] += chunk
+                if more:
+                    return
+                _write_head(writer, state["status"], state["headers"],
+                            len(state["buffer"]))
+                writer.write(state["buffer"])
+                state["done"] = True
+                await writer.drain()
+                return
+            writer.write(chunk)
+            await writer.drain()
+            if not more:
+                state["done"] = True
+
+        try:
+            await app(scope, receive, send)
+        except Exception:
+            if state["status"] is None and not state["done"]:
+                writer.write(
+                    b"HTTP/1.1 500 Internal Server Error\r\n"
+                    b"content-length: 0\r\nconnection: close\r\n\r\n")
+                await writer.drain()
+            raise
+    except (ConnectionError, asyncio.CancelledError):
+        pass
+    except Exception:  # keep serving other connections
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, Exception):
+            pass
+
+
+def _write_head(writer: asyncio.StreamWriter, status: int, headers,
+                content_length: Optional[int]) -> None:
+    reason = _REASONS.get(status, "Unknown")
+    out = [f"HTTP/1.1 {status} {reason}\r\n".encode("latin-1")]
+    have_length = False
+    for name, value in headers:
+        if name.lower() == b"content-length":
+            have_length = True
+        out.append(name + b": " + value + b"\r\n")
+    if content_length is not None and not have_length:
+        out.append(b"content-length: "
+                   + str(content_length).encode("latin-1") + b"\r\n")
+    out.append(b"connection: close\r\n\r\n")
+    writer.write(b"".join(out))
+
+
+async def start_server(app: Callable, host: str = "127.0.0.1",
+                       port: int = 0) -> asyncio.base_events.Server:
+    """Bind and start serving ``app``; returns the asyncio server."""
+
+    async def handler(reader, writer):
+        await _handle(app, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)
+
+
+class ServiceThread:
+    """The HTTP server on a daemon thread with its own event loop.
+
+    ``start()`` returns once the socket is bound (``port`` is then the
+    real port, even when 0 was requested); ``stop()`` closes the
+    server and joins the thread.  The job manager is shut down by the
+    caller — the thread only owns the HTTP frontend.
+    """
+
+    def __init__(self, app: Callable, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    def start(self) -> "ServiceThread":
+        """Start the host thread; blocks until the socket is bound."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-http", daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._failure is not None:
+            raise self._failure
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                start_server(self.app, self.host, self.port))
+        except BaseException as exc:  # bind failure surfaces in start()
+            self._failure = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._server = server
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def stop(self) -> None:
+        """Stop the event loop and join the host thread."""
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = [
+    "ServiceThread",
+    "start_server",
+]

@@ -35,9 +35,16 @@ Design rules, in order:
    back to pickle, base64-wrapped; large payloads are zlib-compressed.
    :func:`encode_value`/:func:`decode_value` round-trip equal values.
 
-The store is single-writer by design: only the campaign parent process
-touches it (workers ship results home through the pool), so SQLite's
-default locking is ample.
+The store is single-writer *per handle*: a :class:`ResultStore`
+instance (and its SQLite connection) belongs to one thread.  Several
+instances may share one root concurrently — the HTTP service's worker
+pool opens one per worker thread — which SQLite serialises through
+its file locks: every connection sets a ``busy_timeout`` and the few
+operations that can still surface ``SQLITE_BUSY`` under lock
+contention retry with bounded backoff (counter
+``store.busy_retries``).  Shard appends from concurrent instances in
+the same process are serialised by a module lock so offsets recorded
+in the index always match the bytes on disk.
 """
 
 from __future__ import annotations
@@ -48,10 +55,11 @@ import json
 import os
 import pickle
 import sqlite3
+import threading
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..obs.registry import NULL_REGISTRY
 
@@ -62,6 +70,22 @@ STORE_SCHEMA = "repro-store/1"
 COMPRESS_THRESHOLD = 4096
 
 _ENCODINGS = ("json", "json+zlib", "pickle", "pickle+zlib")
+
+#: Seconds SQLite waits for a competing connection's lock before
+#: surfacing ``SQLITE_BUSY`` (per connection; see ``busy_timeout``).
+DEFAULT_BUSY_TIMEOUT = 5.0
+
+#: Bounded retries layered on top of the busy timeout for index
+#: operations, with doubling backoff starting here.
+_BUSY_RETRIES = 5
+_BUSY_BACKOFF = 0.02
+
+#: Serialises shard-file appends across every ResultStore instance in
+#: this process, so the offset each writer records in its index row is
+#: exactly where its record landed.  (Cross-process writers are out of
+#: scope: the service is one process; campaign workers ship results
+#: home through the pool rather than writing shards themselves.)
+_APPEND_LOCK = threading.Lock()
 
 
 def default_cache_dir() -> str:
@@ -159,7 +183,8 @@ class ResultStore:
     """
 
     def __init__(self, root: Optional[str] = None, metrics=NULL_REGISTRY,
-                 compress_threshold: int = COMPRESS_THRESHOLD) -> None:
+                 compress_threshold: int = COMPRESS_THRESHOLD,
+                 busy_timeout: float = DEFAULT_BUSY_TIMEOUT) -> None:
         self.root = root if root is not None else default_cache_dir()
         self.metrics = metrics
         self.compress_threshold = compress_threshold
@@ -167,8 +192,11 @@ class ResultStore:
         self.campaign_dir = os.path.join(self.root, "campaigns")
         os.makedirs(self.shard_dir, exist_ok=True)
         os.makedirs(self.campaign_dir, exist_ok=True)
-        self._db = sqlite3.connect(os.path.join(self.root, "index.sqlite"))
+        self._db = sqlite3.connect(os.path.join(self.root, "index.sqlite"),
+                                   timeout=busy_timeout)
         self._db.execute(
+            f"PRAGMA busy_timeout = {int(busy_timeout * 1000)}")
+        self._retry(lambda: self._db.execute(
             "CREATE TABLE IF NOT EXISTS entries ("
             " key TEXT PRIMARY KEY,"
             " shard TEXT NOT NULL,"
@@ -176,8 +204,33 @@ class ResultStore:
             " length INTEGER NOT NULL,"
             " sha256 TEXT NOT NULL,"
             " created REAL NOT NULL,"
-            " last_used REAL NOT NULL)")
-        self._db.commit()
+            " last_used REAL NOT NULL)"))
+        self._commit()
+
+    def _retry(self, operation: Callable[[], Any]) -> Any:
+        """Run one index operation, absorbing transient ``SQLITE_BUSY``.
+
+        The connection's busy timeout already waits out ordinary lock
+        contention; this bounded retry (doubling backoff, counter
+        ``store.busy_retries``) covers the residual cases — e.g. a
+        read transaction that must restart to upgrade to a write lock
+        while another connection holds it.
+        """
+        delay = _BUSY_BACKOFF
+        for _attempt in range(_BUSY_RETRIES):
+            try:
+                return operation()
+            except sqlite3.OperationalError as exc:
+                text = str(exc).lower()
+                if "locked" not in text and "busy" not in text:
+                    raise
+                self.metrics.counter("store.busy_retries").inc()
+                time.sleep(delay)
+                delay *= 2
+        return operation()
+
+    def _commit(self) -> None:
+        self._retry(self._db.commit)
 
     # -- context / lifecycle -------------------------------------------
     def close(self) -> None:
@@ -231,13 +284,15 @@ class ResultStore:
         if record is None:
             self.metrics.counter("store.corrupt").inc()
             self.metrics.counter("store.miss").inc()
-            self._db.execute("DELETE FROM entries WHERE key = ?", (key,))
-            self._db.commit()
+            self._retry(lambda: self._db.execute(
+                "DELETE FROM entries WHERE key = ?", (key,)))
+            self._commit()
             return None
         self.metrics.counter("store.hit").inc()
-        self._db.execute("UPDATE entries SET last_used = ? WHERE key = ?",
-                         (time.time(), key))
-        self._db.commit()
+        self._retry(lambda: self._db.execute(
+            "UPDATE entries SET last_used = ? WHERE key = ?",
+            (time.time(), key)))
+        self._commit()
         return decode_value(record["enc"], record["payload"])
 
     def _read_record(self, shard: str, offset: int, length: int,
@@ -276,19 +331,20 @@ class ResultStore:
                           sort_keys=True, separators=(",", ":"))
         blob = line.encode("utf-8")
         shard = self._shard_for(key)
-        with open(self._shard_path(shard), "ab") as fh:
-            offset = fh.tell()
-            fh.write(blob + b"\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        with _APPEND_LOCK:
+            with open(self._shard_path(shard), "ab") as fh:
+                offset = fh.tell()
+                fh.write(blob + b"\n")
+                fh.flush()
+                os.fsync(fh.fileno())
         now = time.time()
-        self._db.execute(
+        self._retry(lambda: self._db.execute(
             "INSERT OR REPLACE INTO entries"
             " (key, shard, offset, length, sha256, created, last_used)"
             " VALUES (?, ?, ?, ?, ?, ?, ?)",
             (key, shard, offset, len(blob),
-             hashlib.sha256(blob).hexdigest(), now, now))
-        self._db.commit()
+             hashlib.sha256(blob).hexdigest(), now, now)))
+        self._commit()
         self.metrics.counter("store.put").inc()
 
     # -- batched primitives --------------------------------------------
@@ -350,15 +406,16 @@ class ResultStore:
         for key in corrupt:
             self.metrics.counter("store.corrupt").inc()
             self.metrics.counter("store.miss").inc()
-            self._db.execute("DELETE FROM entries WHERE key = ?", (key,))
+            self._retry(lambda k=key: self._db.execute(
+                "DELETE FROM entries WHERE key = ?", (k,)))
         if found:
             self.metrics.counter("store.hit").inc(len(found))
             now = time.time()
-            self._db.executemany(
+            self._retry(lambda: self._db.executemany(
                 "UPDATE entries SET last_used = ? WHERE key = ?",
-                [(now, key) for key in found])
+                [(now, key) for key in found]))
         if found or corrupt:
-            self._db.commit()
+            self._commit()
         return found
 
     def put_many(self, items) -> None:
@@ -383,21 +440,22 @@ class ResultStore:
             return
         now = time.time()
         index_rows = []
-        for shard, records in sorted(by_shard.items()):
-            with open(self._shard_path(shard), "ab") as fh:
-                for key, blob in records:
-                    offset = fh.tell()
-                    fh.write(blob + b"\n")
-                    index_rows.append(
-                        (key, shard, offset, len(blob),
-                         hashlib.sha256(blob).hexdigest(), now, now))
-                fh.flush()
-                os.fsync(fh.fileno())
-        self._db.executemany(
+        with _APPEND_LOCK:
+            for shard, records in sorted(by_shard.items()):
+                with open(self._shard_path(shard), "ab") as fh:
+                    for key, blob in records:
+                        offset = fh.tell()
+                        fh.write(blob + b"\n")
+                        index_rows.append(
+                            (key, shard, offset, len(blob),
+                             hashlib.sha256(blob).hexdigest(), now, now))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        self._retry(lambda: self._db.executemany(
             "INSERT OR REPLACE INTO entries"
             " (key, shard, offset, length, sha256, created, last_used)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?)", index_rows)
-        self._db.commit()
+            " VALUES (?, ?, ?, ?, ?, ?, ?)", index_rows))
+        self._commit()
         self.metrics.counter("store.put").inc(count)
 
     def keys_for_prefix(self, prefix: str) -> List[str]:
@@ -519,6 +577,7 @@ class ResultStore:
 
 __all__ = [
     "COMPRESS_THRESHOLD",
+    "DEFAULT_BUSY_TIMEOUT",
     "STORE_SCHEMA",
     "GCStats",
     "ResultStore",

@@ -65,4 +65,4 @@ def test_top_level_convenience_imports():
 
 
 def test_version_declared():
-    assert repro.__version__ == "1.5.0"
+    assert repro.__version__ == "1.6.0"

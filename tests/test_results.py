@@ -125,8 +125,9 @@ class TestRenderers:
         assert render_tables(tables, "ascii").count("+--") > 2
 
     def test_render_tables_unknown_format(self):
+        # "html" used to be the canonical unknown format; it is real now.
         with pytest.raises(ValueError, match="unknown format"):
-            render_tables([], "html")
+            render_tables([], "pdf")
 
 
 class TestDerivedCache:

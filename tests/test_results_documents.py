@@ -34,6 +34,7 @@ GOLDEN_BY_FORMAT = {
     "markdown": "golden.md",
     "latex": "golden.tex",
     "csv": "golden.csv",
+    "html": "golden.html",
     "json": "golden.json",
 }
 
